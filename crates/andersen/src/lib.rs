@@ -1,0 +1,35 @@
+//! # dynsum-andersen — exhaustive inclusion-based points-to analysis
+//!
+//! A whole-program, flow- and context-insensitive, field-sensitive
+//! (Andersen-style) points-to solver over Pointer Assignment Graphs.
+//!
+//! The paper's toolchain uses Spark's Andersen analysis twice: to build
+//! the on-the-fly call graph (Table 3's caption) and as the baseline
+//! whole-program alternative that demand-driven analysis avoids. This
+//! crate plays the same two roles in the reproduction, plus a third: it
+//! is the *oracle* for the test suite — every demand-driven,
+//! context-sensitive answer must be a subset of the Andersen solution,
+//! and the context-insensitive demand engine must match it exactly.
+//!
+//! ```
+//! use dynsum_andersen::Andersen;
+//! use dynsum_pag::PagBuilder;
+//!
+//! let mut b = PagBuilder::new();
+//! let m = b.add_method("main", None)?;
+//! let v = b.add_local("v", m, None)?;
+//! let w = b.add_local("w", m, None)?;
+//! let o = b.add_obj("o1", None, Some(m))?;
+//! b.add_new(o, v)?;
+//! b.add_assign(v, w)?;
+//! let result = Andersen::analyze(&b.finish());
+//! assert_eq!(result.var_pts(w), &[o]);
+//! # Ok::<(), dynsum_pag::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod solver;
+
+pub use solver::Andersen;

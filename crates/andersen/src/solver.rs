@@ -1,0 +1,397 @@
+//! The inclusion-constraint worklist solver.
+
+use std::collections::{HashMap, HashSet};
+
+use dynsum_pag::{EdgeKind, FieldId, NodeRef, ObjId, Pag, VarId};
+
+/// Result of a whole-program Andersen analysis over a PAG.
+///
+/// Points-to sets are available for every variable and for every
+/// object-field pair that received a store. All sets are frozen into
+/// sorted vectors for cheap iteration and binary-search membership.
+#[derive(Debug, Clone)]
+pub struct Andersen {
+    var_pts: Vec<Vec<ObjId>>,
+    field_pts: HashMap<(ObjId, FieldId), Vec<ObjId>>,
+    propagations: u64,
+}
+
+impl Andersen {
+    /// Runs the analysis to fixpoint.
+    ///
+    /// The solver treats every copy-like edge (`assign`, `assignglobal`,
+    /// `entry_i`, `exit_i`) as a subset constraint — i.e. it is
+    /// context-insensitive, exactly like Spark's whole-program analysis
+    /// used by the paper to bootstrap the call graph (Table 3 caption) —
+    /// and handles `load(f)`/`store(f)` through per-`(object, field)`
+    /// sets with dynamically discovered copy edges.
+    pub fn analyze(pag: &Pag) -> Andersen {
+        Solver::new(pag).run()
+    }
+
+    /// The points-to set of a variable, sorted ascending.
+    pub fn var_pts(&self, v: VarId) -> &[ObjId] {
+        &self.var_pts[v.index()]
+    }
+
+    /// The points-to set of `o.f`, sorted ascending (empty if nothing was
+    /// ever stored).
+    pub fn field_pts(&self, o: ObjId, f: FieldId) -> &[ObjId] {
+        self.field_pts
+            .get(&(o, f))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// `true` if `o` is in the points-to set of `v`.
+    pub fn var_points_to(&self, v: VarId, o: ObjId) -> bool {
+        self.var_pts[v.index()].binary_search(&o).is_ok()
+    }
+
+    /// Number of set-propagation operations performed (a deterministic
+    /// work metric for benchmarks).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Sum of all variable points-to set sizes.
+    pub fn total_pts_size(&self) -> usize {
+        self.var_pts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Constraint-graph slots: one per variable, plus one per `(obj, field)`
+/// pair materialized on demand.
+struct Solver<'p> {
+    pag: &'p Pag,
+    /// Current points-to set per slot.
+    pts: Vec<HashSet<ObjId>>,
+    /// Copy successors per slot (dedup'd via `succ_set`).
+    succs: Vec<Vec<usize>>,
+    succ_set: HashSet<(usize, usize)>,
+    /// For each variable slot that is the *base* of loads: `(f, dst slot)`.
+    load_subs: Vec<Vec<(FieldId, usize)>>,
+    /// For each variable slot that is the *base* of stores: `(f, src slot)`.
+    store_subs: Vec<Vec<(FieldId, usize)>>,
+    field_slot: HashMap<(ObjId, FieldId), usize>,
+    worklist: Vec<(usize, Vec<ObjId>)>,
+    propagations: u64,
+}
+
+impl<'p> Solver<'p> {
+    fn new(pag: &'p Pag) -> Self {
+        let nvars = pag.num_vars();
+        Solver {
+            pag,
+            pts: vec![HashSet::new(); nvars],
+            succs: vec![Vec::new(); nvars],
+            succ_set: HashSet::new(),
+            load_subs: vec![Vec::new(); nvars],
+            store_subs: vec![Vec::new(); nvars],
+            field_slot: HashMap::new(),
+            worklist: Vec::new(),
+            propagations: 0,
+        }
+    }
+
+    fn field_slot(&mut self, o: ObjId, f: FieldId) -> usize {
+        if let Some(&s) = self.field_slot.get(&(o, f)) {
+            return s;
+        }
+        let s = self.pts.len();
+        self.pts.push(HashSet::new());
+        self.succs.push(Vec::new());
+        self.load_subs.push(Vec::new());
+        self.store_subs.push(Vec::new());
+        self.field_slot.insert((o, f), s);
+        s
+    }
+
+    fn add_copy(&mut self, from: usize, to: usize) {
+        if from == to || !self.succ_set.insert((from, to)) {
+            return;
+        }
+        self.succs[from].push(to);
+        if !self.pts[from].is_empty() {
+            let delta: Vec<ObjId> = self.pts[from].iter().copied().collect();
+            self.insert_all(to, &delta);
+        }
+    }
+
+    fn insert_all(&mut self, slot: usize, objs: &[ObjId]) {
+        let mut delta = Vec::new();
+        for &o in objs {
+            if self.pts[slot].insert(o) {
+                delta.push(o);
+            }
+        }
+        if !delta.is_empty() {
+            self.propagations += 1;
+            self.worklist.push((slot, delta));
+        }
+    }
+
+    fn run(mut self) -> Andersen {
+        let pag = self.pag;
+
+        // Seed constraints from the static edge set.
+        for e in pag.edges() {
+            match e.kind {
+                EdgeKind::New => {
+                    let NodeRef::Obj(o) = pag.node_ref(e.src) else {
+                        continue;
+                    };
+                    let NodeRef::Var(v) = pag.node_ref(e.dst) else {
+                        continue;
+                    };
+                    self.insert_all(v.index(), &[o]);
+                }
+                EdgeKind::Assign
+                | EdgeKind::AssignGlobal
+                | EdgeKind::Entry(_)
+                | EdgeKind::Exit(_) => {
+                    let (NodeRef::Var(s), NodeRef::Var(d)) =
+                        (pag.node_ref(e.src), pag.node_ref(e.dst))
+                    else {
+                        continue;
+                    };
+                    self.add_copy(s.index(), d.index());
+                }
+                EdgeKind::Load(f) => {
+                    let (NodeRef::Var(base), NodeRef::Var(dst)) =
+                        (pag.node_ref(e.src), pag.node_ref(e.dst))
+                    else {
+                        continue;
+                    };
+                    self.load_subs[base.index()].push((f, dst.index()));
+                    // Bases that already point somewhere must fire now.
+                    let objs: Vec<ObjId> = self.pts[base.index()].iter().copied().collect();
+                    for o in objs {
+                        let fs = self.field_slot(o, f);
+                        self.add_copy(fs, dst.index());
+                    }
+                }
+                EdgeKind::Store(f) => {
+                    let (NodeRef::Var(src), NodeRef::Var(base)) =
+                        (pag.node_ref(e.src), pag.node_ref(e.dst))
+                    else {
+                        continue;
+                    };
+                    self.store_subs[base.index()].push((f, src.index()));
+                    let objs: Vec<ObjId> = self.pts[base.index()].iter().copied().collect();
+                    for o in objs {
+                        let fs = self.field_slot(o, f);
+                        self.add_copy(src.index(), fs);
+                    }
+                }
+            }
+        }
+
+        // Difference-propagation fixpoint.
+        while let Some((slot, delta)) = self.worklist.pop() {
+            // Copy successors receive the delta.
+            let succs = self.succs[slot].clone();
+            for to in succs {
+                self.insert_all(to, &delta);
+            }
+            // New pointees of a load/store base introduce copy edges.
+            if slot < self.load_subs.len() {
+                let loads = self.load_subs[slot].clone();
+                let stores = self.store_subs[slot].clone();
+                for &o in &delta {
+                    for &(f, dst) in &loads {
+                        let fs = self.field_slot(o, f);
+                        self.add_copy(fs, dst);
+                    }
+                    for &(f, src) in &stores {
+                        let fs = self.field_slot(o, f);
+                        self.add_copy(src, fs);
+                    }
+                }
+            }
+        }
+
+        // Freeze.
+        let nvars = pag.num_vars();
+        let mut var_pts = Vec::with_capacity(nvars);
+        for slot in 0..nvars {
+            let mut v: Vec<ObjId> = self.pts[slot].iter().copied().collect();
+            v.sort_unstable();
+            var_pts.push(v);
+        }
+        let mut field_pts = HashMap::with_capacity(self.field_slot.len());
+        for (&key, &slot) in &self.field_slot {
+            let mut v: Vec<ObjId> = self.pts[slot].iter().copied().collect();
+            v.sort_unstable();
+            field_pts.insert(key, v);
+        }
+        Andersen {
+            var_pts,
+            field_pts,
+            propagations: self.propagations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::PagBuilder;
+
+    #[test]
+    fn direct_allocation_and_copy() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let w = b.add_local("w", m, None).unwrap();
+        let o = b.add_obj("o1", None, Some(m)).unwrap();
+        b.add_new(o, v).unwrap();
+        b.add_assign(v, w).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert_eq!(a.var_pts(v), &[o]);
+        assert_eq!(a.var_pts(w), &[o]);
+        assert!(a.var_points_to(w, o));
+    }
+
+    #[test]
+    fn store_then_load_through_alias() {
+        // p = new A; q = p; p.f = x (x = new B); y = q.f  =>  y -> oB
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p = b.add_local("p", m, None).unwrap();
+        let q = b.add_local("q", m, None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_new(oa, p).unwrap();
+        b.add_new(ob, x).unwrap();
+        b.add_assign(p, q).unwrap();
+        b.add_store(f, x, p).unwrap();
+        b.add_load(f, q, y).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert_eq!(a.var_pts(y), &[ob]);
+        assert_eq!(a.field_pts(oa, f), &[ob]);
+        assert!(a.field_pts(ob, f).is_empty());
+    }
+
+    #[test]
+    fn load_before_store_in_edge_order_still_converges() {
+        // Same as above but edges added load-first: fixpoint must not
+        // depend on edge insertion order.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p = b.add_local("p", m, None).unwrap();
+        let q = b.add_local("q", m, None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_load(f, q, y).unwrap();
+        b.add_store(f, x, p).unwrap();
+        b.add_assign(p, q).unwrap();
+        b.add_new(oa, p).unwrap();
+        b.add_new(ob, x).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert_eq!(a.var_pts(y), &[ob]);
+    }
+
+    #[test]
+    fn entry_exit_merge_contexts() {
+        // id(p) { return p; } called twice: both callers' results merge.
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let id = b.add_method("id", None).unwrap();
+        let a1 = b.add_local("a1", main, None).unwrap();
+        let a2 = b.add_local("a2", main, None).unwrap();
+        let r1 = b.add_local("r1", main, None).unwrap();
+        let r2 = b.add_local("r2", main, None).unwrap();
+        let p = b.add_local("p", id, None).unwrap();
+        let o1 = b.add_obj("o1", None, Some(main)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(main)).unwrap();
+        b.add_new(o1, a1).unwrap();
+        b.add_new(o2, a2).unwrap();
+        let s1 = b.add_call_site("1", main).unwrap();
+        let s2 = b.add_call_site("2", main).unwrap();
+        b.add_entry(s1, a1, p).unwrap();
+        b.add_entry(s2, a2, p).unwrap();
+        b.add_exit(s1, p, r1).unwrap();
+        b.add_exit(s2, p, r2).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        // Context-insensitive: both results see both objects.
+        assert_eq!(a.var_pts(r1), &[o1, o2]);
+        assert_eq!(a.var_pts(r2), &[o1, o2]);
+    }
+
+    #[test]
+    fn globals_flow_everywhere() {
+        let mut b = PagBuilder::new();
+        let m1 = b.add_method("m1", None).unwrap();
+        let m2 = b.add_method("m2", None).unwrap();
+        let v = b.add_local("v", m1, None).unwrap();
+        let w = b.add_local("w", m2, None).unwrap();
+        let g = b.add_global("G", None).unwrap();
+        let o = b.add_obj("o1", None, Some(m1)).unwrap();
+        b.add_new(o, v).unwrap();
+        b.add_assign(v, g).unwrap();
+        b.add_assign(g, w).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert_eq!(a.var_pts(g), &[o]);
+        assert_eq!(a.var_pts(w), &[o]);
+    }
+
+    #[test]
+    fn points_to_cycle_terminates() {
+        // x = y; y = x; x = new O.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let o = b.add_obj("o1", None, Some(m)).unwrap();
+        b.add_assign(x, y).unwrap();
+        b.add_assign(y, x).unwrap();
+        b.add_new(o, x).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert_eq!(a.var_pts(x), &[o]);
+        assert_eq!(a.var_pts(y), &[o]);
+    }
+
+    #[test]
+    fn recursive_field_structure_terminates() {
+        // n.next = n (cyclic heap): l = n.next.next ... fixpoint is finite.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let n = b.add_local("n", m, None).unwrap();
+        let l = b.add_local("l", m, None).unwrap();
+        let o = b.add_obj("o1", None, Some(m)).unwrap();
+        let f = b.field("next");
+        b.add_new(o, n).unwrap();
+        b.add_store(f, n, n).unwrap();
+        b.add_load(f, n, l).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert_eq!(a.var_pts(l), &[o]);
+        assert_eq!(a.field_pts(o, f), &[o]);
+    }
+
+    #[test]
+    fn empty_sets_for_unreached_vars() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert!(a.var_pts(v).is_empty());
+        assert_eq!(a.total_pts_size(), 0);
+    }
+
+    #[test]
+    fn propagation_counter_moves() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let o = b.add_obj("o1", None, Some(m)).unwrap();
+        b.add_new(o, v).unwrap();
+        let a = Andersen::analyze(&b.finish());
+        assert!(a.propagations() >= 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Ablation study: DYNSUM with the summary cache disabled, context
+//! sensitivity disabled, and under a budget sweep.
+
+use dynsum_bench::ExperimentOptions;
+
+fn main() {
+    let opts = match ExperimentOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\nusage: ablation [--scale F] [--seed N] [--budget N] [--bench a,b]");
+            std::process::exit(2);
+        }
+    };
+    let rows = dynsum_bench::ablation(&opts);
+    print!("{}", dynsum_bench::render_ablation(&rows));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: DYNSUM's per-batch cost normalized to
+//! REFINEPTS over 10 query batches.
+
+use dynsum_bench::ExperimentOptions;
+
+fn main() {
+    let opts = match ExperimentOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\nusage: figure4 [--scale F] [--seed N] [--budget N] [--bench a,b]");
+            std::process::exit(2);
+        }
+    };
+    let series = dynsum_bench::figure4(&opts, 10);
+    print!("{}", dynsum_bench::render_figure4(&series));
+}

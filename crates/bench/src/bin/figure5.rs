@@ -1,0 +1,16 @@
+//! Regenerates Figure 5: DYNSUM's cumulative summary count per batch as
+//! a percentage of STASUM's static total.
+
+use dynsum_bench::ExperimentOptions;
+
+fn main() {
+    let opts = match ExperimentOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\nusage: figure5 [--scale F] [--seed N] [--budget N] [--bench a,b]");
+            std::process::exit(2);
+        }
+    };
+    let rows = dynsum_bench::figure5(&opts, 10);
+    print!("{}", dynsum_bench::render_figure5(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2: the qualitative comparison of the four
+//! demand-driven analyses.
+
+fn main() {
+    print!("{}", dynsum_bench::table2().render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 3: benchmark statistics of the (synthetic) suite.
+
+use dynsum_bench::ExperimentOptions;
+
+fn main() {
+    let opts = match ExperimentOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\nusage: table3 [--scale F] [--seed N] [--budget N] [--bench a,b]");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", dynsum_bench::table3(&opts).render());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 4: analysis times (and deterministic edge counts)
+//! of NOREFINE, REFINEPTS and DYNSUM for the three clients.
+
+use dynsum_bench::ExperimentOptions;
+
+fn main() {
+    let opts = match ExperimentOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\nusage: table4 [--scale F] [--seed N] [--budget N] [--bench a,b]");
+            std::process::exit(2);
+        }
+    };
+    let out = dynsum_bench::table4(&opts);
+    print!("{}", out.render());
+}

@@ -1,0 +1,201 @@
+//! Experiment options and engine selection.
+
+use dynsum_core::{DemandPointsTo, DynSum, EngineConfig, NoRefine, RefinePts, StaSum};
+use dynsum_pag::Pag;
+use dynsum_workloads::{generate, GeneratorOptions, Workload, PROFILES};
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Workload scale relative to the paper's benchmark sizes.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Per-query traversal budget (the paper uses 75,000).
+    pub budget: u64,
+    /// Restrict to these benchmarks (all nine when empty).
+    pub benchmarks: Vec<String>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            scale: 0.02,
+            seed: 0xD45,
+            budget: 75_000,
+            benchmarks: Vec::new(),
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses command-line style arguments (`--scale 0.05 --seed 1
+    /// --budget 75000 --bench soot-c,bloat`). Unknown flags are
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed arguments.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut opts = ExperimentOptions::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    opts.scale = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                }
+                "--seed" => {
+                    opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--budget" => {
+                    opts.budget = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --budget: {e}"))?;
+                }
+                "--bench" => {
+                    opts.benchmarks = value()?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The engine configuration implied by these options.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            budget: self.budget,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Generates the selected workloads.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let gen_opts = GeneratorOptions {
+            scale: self.scale,
+            seed: self.seed,
+        };
+        PROFILES
+            .iter()
+            .filter(|p| self.benchmarks.is_empty() || self.benchmarks.iter().any(|b| b == p.name))
+            .map(|p| generate(p, &gen_opts))
+            .collect()
+    }
+}
+
+/// The engines of Table 2, constructible by name.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum EngineKind {
+    /// NOREFINE baseline.
+    NoRefine,
+    /// REFINEPTS baseline.
+    RefinePts,
+    /// DYNSUM (the paper's contribution).
+    DynSum,
+    /// STASUM static-summary comparison point.
+    StaSum,
+}
+
+impl EngineKind {
+    /// The three timed engines of Table 4, in the paper's row order.
+    pub const TABLE4: [EngineKind; 3] =
+        [EngineKind::NoRefine, EngineKind::RefinePts, EngineKind::DynSum];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::NoRefine => "NOREFINE",
+            EngineKind::RefinePts => "REFINEPTS",
+            EngineKind::DynSum => "DYNSUM",
+            EngineKind::StaSum => "STASUM",
+        }
+    }
+
+    /// Instantiates a fresh engine over `pag`.
+    pub fn build<'p>(self, pag: &'p Pag, config: EngineConfig) -> Box<dyn DemandPointsTo + 'p> {
+        match self {
+            EngineKind::NoRefine => Box::new(NoRefine::with_config(pag, config)),
+            EngineKind::RefinePts => Box::new(RefinePts::with_config(pag, config)),
+            EngineKind::DynSum => Box::new(DynSum::with_config(pag, config)),
+            EngineKind::StaSum => {
+                Box::new(StaSum::precompute_with(pag, config, Default::default()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_owned)
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = ExperimentOptions::parse(args("--scale 0.5 --seed 9 --budget 1000 --bench soot-c,bloat"))
+            .unwrap();
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.budget, 1000);
+        assert_eq!(o.benchmarks, vec!["soot-c", "bloat"]);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(ExperimentOptions::parse(args("--nope 1")).is_err());
+        assert!(ExperimentOptions::parse(args("--scale")).is_err());
+        assert!(ExperimentOptions::parse(args("--scale abc")).is_err());
+    }
+
+    #[test]
+    fn workload_filter_applies() {
+        let mut o = ExperimentOptions {
+            scale: 0.005,
+            ..ExperimentOptions::default()
+        };
+        o.benchmarks = vec!["avrora".to_owned()];
+        let ws = o.workloads();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].name, "avrora");
+    }
+
+    #[test]
+    fn engine_kinds_build() {
+        let o = ExperimentOptions {
+            scale: 0.005,
+            benchmarks: vec!["luindex".to_owned()],
+            ..ExperimentOptions::default()
+        };
+        let w = &o.workloads()[0];
+        for kind in [
+            EngineKind::NoRefine,
+            EngineKind::RefinePts,
+            EngineKind::DynSum,
+            EngineKind::StaSum,
+        ] {
+            let mut e = kind.build(&w.pag, o.engine_config());
+            assert_eq!(e.name(), kind.name());
+            if let Some(&q) = w.info.derefs.first().map(|d| &d.base) {
+                let _ = e.points_to(q);
+            }
+        }
+    }
+}

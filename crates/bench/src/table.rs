@@ -1,0 +1,91 @@
+//! Minimal aligned-text table rendering for the harness binaries.
+
+/// A simple text table with a title, column headers and string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+        // Right-aligned numeric column.
+        assert!(lines[3].ends_with("    1") || lines[3].ends_with("1"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Traversal budgets.
+//!
+//! Demand-driven CFL-reachability analyses bound the work spent on a
+//! single query: once a pre-set number of PAG edge traversals is
+//! exceeded, the query is answered conservatively (§5.2 fixes the limit
+//! at 75,000 edges for all engines). A [`Budget`] counts edge traversals
+//! and reports exhaustion as a hard error that unwinds the query.
+
+/// Error raised when a query exhausts its traversal budget (or one of the
+/// auxiliary depth caps that guard against runaway recursion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "traversal budget exceeded")
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A per-query traversal budget: one unit is one PAG edge traversal,
+/// matching the unit the paper uses (§5.2).
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_cfl::Budget;
+///
+/// let mut b = Budget::new(2);
+/// assert!(b.charge().is_ok());
+/// assert!(b.charge().is_ok());
+/// assert!(b.charge().is_err());
+/// assert_eq!(b.used(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    limit: u64,
+    used: u64,
+}
+
+impl Budget {
+    /// The paper's default per-query edge-traversal limit (§5.2).
+    pub const DEFAULT_LIMIT: u64 = 75_000;
+
+    /// Creates a budget with the given edge-traversal limit.
+    pub fn new(limit: u64) -> Self {
+        Budget { limit, used: 0 }
+    }
+
+    /// Creates an effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget {
+            limit: u64::MAX,
+            used: 0,
+        }
+    }
+
+    /// Charges one edge traversal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] once the limit is reached; the current
+    /// query should then be answered conservatively.
+    #[inline]
+    pub fn charge(&mut self) -> Result<(), BudgetExceeded> {
+        if self.used >= self.limit {
+            return Err(BudgetExceeded);
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// Edge traversals consumed so far.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured limit.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Remaining traversals before exhaustion.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::new(Budget::DEFAULT_LIMIT)
+    }
+}
+
+/// Runs `f` on a dedicated thread with `stack_bytes` of stack.
+///
+/// The recursive engines (NOREFINE / REFINEPTS, Algorithm 1) can recurse
+/// once per traversed edge, so a 75,000-edge budget implies deep native
+/// stacks. Benchmark binaries and stress tests wrap whole experiment runs
+/// in this helper; unit-scale graphs do not need it.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if the OS refuses to spawn the
+/// thread.
+pub fn with_stack<T: Send>(stack_bytes: usize, f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(stack_bytes)
+            .spawn_scoped(scope, f)
+            .expect("failed to spawn analysis thread")
+            .join()
+            .expect("analysis thread panicked")
+    })
+}
+
+/// Default stack size for [`with_stack`] when running paper-scale budgets
+/// (256 MiB comfortably covers 75,000 nested frames).
+pub const ANALYSIS_STACK_BYTES: usize = 256 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let mut b = Budget::new(1);
+        assert!(b.charge().is_ok());
+        assert!(b.charge().is_err());
+        assert!(b.charge().is_err());
+        assert_eq!(b.used(), 1);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        assert_eq!(Budget::default().limit(), 75_000);
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut b = Budget::unlimited();
+        for _ in 0..1_000_000 {
+            b.charge().unwrap();
+        }
+        assert_eq!(b.used(), 1_000_000);
+    }
+
+    #[test]
+    fn with_stack_runs_and_returns() {
+        let out = with_stack(4 * 1024 * 1024, || {
+            // Deliberately recurse deeper than a tiny stack would allow.
+            fn go(n: u32) -> u32 {
+                if n == 0 {
+                    0
+                } else {
+                    1 + go(n - 1)
+                }
+            }
+            go(10_000)
+        });
+        assert_eq!(out, 10_000);
+    }
+}

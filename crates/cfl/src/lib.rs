@@ -1,0 +1,33 @@
+//! # dynsum-cfl — CFL-reachability machinery
+//!
+//! Shared infrastructure for the demand-driven points-to engines of
+//! *On-Demand Dynamic Summary-based Points-to Analysis* (CGO 2012):
+//!
+//! * [`StackPool`]/[`StackId`] — hash-consed persistent stacks, used both
+//!   for **field stacks** ([`FieldStackId`]: unmatched `load(f)`
+//!   parentheses of the `L_FT` language) and **context stacks**
+//!   ([`CtxId`]: unmatched call-site parentheses of `R_RP`);
+//! * [`Direction`] — the two traversal states `S1`/`S2` of the
+//!   `pointsTo`/`alias` RSM (Figure 3), with the transition tables
+//!   documented;
+//! * [`Budget`] — per-query edge-traversal budgets (75,000 by default,
+//!   §5.2) plus [`with_stack`] for running deep recursive queries;
+//! * [`PointsToSet`], [`QueryResult`], [`QueryStats`] — context-qualified
+//!   results and deterministic work counters;
+//! * [`Trace`] — the `(v, f, s, c)` step recorder behind the paper's
+//!   Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod query;
+mod rsm;
+mod stack;
+mod trace;
+
+pub use budget::{with_stack, Budget, BudgetExceeded, ANALYSIS_STACK_BYTES};
+pub use query::{CtxId, FieldStackId, PointsToSet, QueryResult, QueryStats};
+pub use rsm::Direction;
+pub use stack::{StackId, StackPool};
+pub use trace::{StepKind, Trace, TraceStep};

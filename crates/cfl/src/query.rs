@@ -1,0 +1,223 @@
+//! Query and result types shared by all demand-driven engines.
+
+use std::collections::BTreeSet;
+
+use dynsum_pag::{CallSiteId, FieldId, ObjId};
+
+use crate::stack::StackId;
+
+/// Interned field stack (unmatched `load(f)` labels).
+pub type FieldStackId = StackId<FieldId>;
+
+/// Interned context stack (unmatched call-site parentheses; the paper's
+/// call stack `c`).
+pub type CtxId = StackId<CallSiteId>;
+
+/// A context-qualified points-to set: the result of
+/// `pointsTo(v, c)` — pairs of abstract object and the calling context of
+/// its allocation (the paper's heap abstraction, §3.3).
+///
+/// Engines with different memorization strategies can attach different —
+/// equally sound — context representations to the same object, so
+/// cross-engine precision comparisons use [`PointsToSet::objects`].
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_cfl::{CtxId, PointsToSet};
+/// use dynsum_pag::ObjId;
+///
+/// let mut pts = PointsToSet::new();
+/// pts.insert(ObjId::from_raw(3), CtxId::EMPTY);
+/// pts.insert(ObjId::from_raw(3), CtxId::EMPTY);
+/// assert_eq!(pts.len(), 1);
+/// assert!(pts.contains_obj(ObjId::from_raw(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PointsToSet {
+    items: BTreeSet<(ObjId, CtxId)>,
+}
+
+impl PointsToSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PointsToSet {
+            items: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts an `(object, allocation context)` pair; returns `true` if
+    /// it was new.
+    pub fn insert(&mut self, obj: ObjId, ctx: CtxId) -> bool {
+        self.items.insert((obj, ctx))
+    }
+
+    /// Unions another set into this one.
+    pub fn extend_from(&mut self, other: &PointsToSet) {
+        self.items.extend(other.items.iter().copied());
+    }
+
+    /// Number of `(object, context)` pairs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no object was found.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` if any pair mentions `obj`.
+    pub fn contains_obj(&self, obj: ObjId) -> bool {
+        self.items.iter().any(|&(o, _)| o == obj)
+    }
+
+    /// Iterates over `(object, context)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, CtxId)> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// The deduplicated object set, independent of heap contexts — the
+    /// basis for cross-engine precision comparison.
+    pub fn objects(&self) -> BTreeSet<ObjId> {
+        self.items.iter().map(|&(o, _)| o).collect()
+    }
+}
+
+impl FromIterator<(ObjId, CtxId)> for PointsToSet {
+    fn from_iter<I: IntoIterator<Item = (ObjId, CtxId)>>(iter: I) -> Self {
+        PointsToSet {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(ObjId, CtxId)> for PointsToSet {
+    fn extend<I: IntoIterator<Item = (ObjId, CtxId)>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+/// Per-query work counters, the deterministic performance metric used by
+/// the benchmark harness alongside wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// PAG edge traversals (the paper's budget unit).
+    pub edges_traversed: u64,
+    /// Summary-cache hits (DYNSUM) or memo hits (REFINEPTS).
+    pub cache_hits: u64,
+    /// Summary-cache misses that triggered a fresh PPTA run.
+    pub cache_misses: u64,
+    /// Worklist items processed (Algorithm 4) or recursive calls made
+    /// (Algorithm 1).
+    pub steps: u64,
+    /// Refinement iterations executed (REFINEPTS only).
+    pub refinement_iterations: u64,
+}
+
+impl QueryStats {
+    /// Accumulates another query's counters into this one.
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.edges_traversed += other.edges_traversed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.steps += other.steps;
+        self.refinement_iterations += other.refinement_iterations;
+    }
+}
+
+/// The outcome of one demand query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The points-to set computed so far. Complete when
+    /// [`resolved`](Self::resolved) is `true`; a partial under-approximation
+    /// otherwise (clients must then answer conservatively).
+    pub pts: PointsToSet,
+    /// `true` when the query finished within budget; `false` when the
+    /// traversal budget or a depth cap was exhausted.
+    pub resolved: bool,
+    /// Work counters for this query.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// A resolved result with the given set and counters.
+    pub fn resolved(pts: PointsToSet, stats: QueryStats) -> Self {
+        QueryResult {
+            pts,
+            resolved: true,
+            stats,
+        }
+    }
+
+    /// An over-budget result carrying whatever was computed before the
+    /// budget tripped.
+    pub fn over_budget(pts: PointsToSet, stats: QueryStats) -> Self {
+        QueryResult {
+            pts,
+            resolved: false,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> ObjId {
+        ObjId::from_raw(i)
+    }
+
+    #[test]
+    fn points_to_set_dedups_and_sorts() {
+        let mut s = PointsToSet::new();
+        assert!(s.insert(obj(2), CtxId::EMPTY));
+        assert!(s.insert(obj(1), CtxId::EMPTY));
+        assert!(!s.insert(obj(2), CtxId::EMPTY));
+        let objs: Vec<_> = s.iter().map(|(o, _)| o).collect();
+        assert_eq!(objs, vec![obj(1), obj(2)]);
+        assert_eq!(s.objects().len(), 2);
+    }
+
+    #[test]
+    fn same_object_different_contexts_kept() {
+        let mut s = PointsToSet::new();
+        s.insert(obj(1), CtxId::EMPTY);
+        s.insert(obj(1), CtxId::from_raw(5));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.objects().len(), 1);
+    }
+
+    #[test]
+    fn extend_from_unions() {
+        let mut a = PointsToSet::new();
+        a.insert(obj(1), CtxId::EMPTY);
+        let mut b = PointsToSet::new();
+        b.insert(obj(2), CtxId::EMPTY);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn stats_absorb_adds() {
+        let mut a = QueryStats {
+            edges_traversed: 1,
+            cache_hits: 2,
+            cache_misses: 3,
+            steps: 4,
+            refinement_iterations: 5,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.edges_traversed, 2);
+        assert_eq!(a.refinement_iterations, 10);
+    }
+
+    #[test]
+    fn query_result_constructors() {
+        let r = QueryResult::resolved(PointsToSet::new(), QueryStats::default());
+        assert!(r.resolved);
+        let r = QueryResult::over_budget(PointsToSet::new(), QueryStats::default());
+        assert!(!r.resolved);
+    }
+}

@@ -1,0 +1,93 @@
+//! The recursive state machines of Figure 3.
+//!
+//! The paper formulates field-sensitivity as the CFL `L_FT` (productions
+//! (2) and (3), §3.2) and context-sensitivity as the CFL `R_RP` (§3.3).
+//! Operationally the analyses run the two RSMs of Figure 3 side by side:
+//!
+//! * the `pointsTo`/`alias` RSM has two states — `S1`, traversing a
+//!   `flowsTo̅` path *backwards* along value flow, and `S2`, traversing a
+//!   `flowsTo` path *forwards* — with the field stack tracking unmatched
+//!   `load(f)` parentheses;
+//! * the `R_RP` RSM pushes/pops call sites on the context stack at
+//!   `entry_i`/`exit_i` edges, allowing partially balanced strings
+//!   (a realizable path may start and end in different methods).
+//!
+//! This module defines the direction state shared by every engine and
+//! documents the transition tables; the transitions themselves are
+//! implemented by the engines in `dynsum-core`.
+
+/// Direction state of the `pointsTo`/`alias` RSM (Figure 3(a)).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// `S1`: walking a `flowsTo̅` path — backwards along value flow,
+    /// computing `pointsTo` of the current node. Transitions (with the
+    /// current field stack `f`):
+    ///
+    /// | incident edge (real orientation) | action |
+    /// |----------------------------------|--------|
+    /// | in-`new` `o → v`, `f = ∅`        | report object `o` |
+    /// | in-`new` `o → v`, `f ≠ ∅`        | switch to `S2` at `o`'s defining variable (`new new̅`) |
+    /// | in-`assign` `x → v`              | continue `S1` at `x` |
+    /// | in-`load(g)` `b → v`             | push `g`, continue `S1` at base `b` |
+    /// | in-global edge                   | boundary: leave the method (Algorithm 3 line 15) |
+    S1,
+    /// `S2`: walking a `flowsTo` path — forwards along value flow,
+    /// chasing the aliases of a base variable. Transitions:
+    ///
+    /// | incident edge (real orientation) | action |
+    /// |----------------------------------|--------|
+    /// | out-`assign` `v → x`             | continue `S2` at `x` |
+    /// | out-`load(g)` `v → t`, top = `g` | pop `g`, continue `S2` at target `t` |
+    /// | out-`store(g)` `v → b`           | push `g`, switch to `S1` at base `b` |
+    /// | in-`store(g)` `x → v`, top = `g` | pop `g`, switch to `S1` at value `x` |
+    /// | out-global edge                  | boundary: leave the method (Algorithm 3 line 28) |
+    S2,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::S1 => Direction::S2,
+            Direction::S2 => Direction::S1,
+        }
+    }
+
+    /// Short display name (`"S1"` / `"S2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::S1 => "S1",
+            Direction::S2 => "S2",
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        assert_eq!(Direction::S1.flip(), Direction::S2);
+        assert_eq!(Direction::S2.flip(), Direction::S1);
+        assert_eq!(Direction::S1.flip().flip(), Direction::S1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Direction::S1.to_string(), "S1");
+        assert_eq!(Direction::S2.to_string(), "S2");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        assert!(Direction::S1 < Direction::S2);
+    }
+}

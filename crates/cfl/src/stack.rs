@@ -1,0 +1,314 @@
+//! Hash-consed persistent stacks.
+//!
+//! The demand-driven analyses carry two stacks through every traversal
+//! step: the **field stack** (unmatched `load(f)` labels, Algorithm 3) and
+//! the **context stack** (unmatched call-site parentheses, Algorithm 4).
+//! Both are immutable and shared across millions of worklist entries, and
+//! both serve as summary-cache key components, so they are interned: a
+//! stack is a 4-byte [`StackId`], push/pop are O(1) hash-table operations,
+//! and equality is id equality.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// An interned stack handle, branded by element type so field stacks and
+/// context stacks cannot be mixed up.
+///
+/// Ids are only meaningful relative to the [`StackPool`] that produced
+/// them. The empty stack is [`StackId::EMPTY`] in every pool.
+pub struct StackId<E> {
+    raw: u32,
+    _marker: PhantomData<E>,
+}
+
+impl<E> StackId<E> {
+    /// The empty stack (valid in every pool).
+    pub const EMPTY: StackId<E> = StackId {
+        raw: 0,
+        _marker: PhantomData,
+    };
+
+    /// Raw interned index; 0 is the empty stack.
+    #[inline]
+    pub const fn as_raw(self) -> u32 {
+        self.raw
+    }
+
+    /// Reconstructs a handle from a raw index (must come from the same
+    /// pool).
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        StackId {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+
+    /// `true` for the empty stack.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.raw == 0
+    }
+}
+
+// Manual impls: derives would bound `E`, which is only a phantom brand.
+impl<E> Copy for StackId<E> {}
+impl<E> Clone for StackId<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E> PartialEq for StackId<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<E> Eq for StackId<E> {}
+impl<E> PartialOrd for StackId<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for StackId<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl<E> Hash for StackId<E> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<E> std::fmt::Debug for StackId<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stack{}", self.raw)
+    }
+}
+
+/// Arena of hash-consed stacks over element type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_cfl::{StackId, StackPool};
+///
+/// let mut pool: StackPool<u32> = StackPool::new();
+/// let s = pool.push(StackId::EMPTY, 7);
+/// let t = pool.push(s, 9);
+/// assert_eq!(pool.peek(t), Some(9));
+/// let (top, rest) = pool.pop(t).unwrap();
+/// assert_eq!(top, 9);
+/// assert_eq!(rest, s);
+/// // Hash-consing: the same sequence yields the same id.
+/// let s2 = pool.push(StackId::EMPTY, 7);
+/// assert_eq!(s, s2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackPool<E> {
+    /// `nodes[i]` backs `StackId(i + 1)`.
+    nodes: Vec<(E, StackId<E>, u32)>,
+    table: HashMap<(E, u32), StackId<E>>,
+}
+
+impl<E: Copy + Eq + Hash> StackPool<E> {
+    /// Creates a pool containing only the empty stack.
+    pub fn new() -> Self {
+        StackPool {
+            nodes: Vec::new(),
+            table: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct non-empty stacks interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no non-empty stack has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    #[inline]
+    fn node(&self, s: StackId<E>) -> Option<&(E, StackId<E>, u32)> {
+        if s.raw == 0 {
+            None
+        } else {
+            Some(&self.nodes[(s.raw - 1) as usize])
+        }
+    }
+
+    /// Pushes `elem`, returning the interned result.
+    pub fn push(&mut self, s: StackId<E>, elem: E) -> StackId<E> {
+        if let Some(&id) = self.table.get(&(elem, s.raw)) {
+            return id;
+        }
+        let depth = self.depth(s) as u32 + 1;
+        let id = StackId::from_raw(self.nodes.len() as u32 + 1);
+        self.nodes.push((elem, s, depth));
+        self.table.insert((elem, s.raw), id);
+        id
+    }
+
+    /// Pops the top element, returning it with the remaining stack;
+    /// `None` on the empty stack.
+    #[inline]
+    pub fn pop(&self, s: StackId<E>) -> Option<(E, StackId<E>)> {
+        self.node(s).map(|&(e, parent, _)| (e, parent))
+    }
+
+    /// The top element, if any.
+    #[inline]
+    pub fn peek(&self, s: StackId<E>) -> Option<E> {
+        self.node(s).map(|&(e, _, _)| e)
+    }
+
+    /// Number of elements in the stack.
+    #[inline]
+    pub fn depth(&self, s: StackId<E>) -> usize {
+        self.node(s).map_or(0, |&(_, _, d)| d as usize)
+    }
+
+    /// Elements bottom-to-top (push order).
+    pub fn to_vec(&self, s: StackId<E>) -> Vec<E> {
+        let mut out = Vec::with_capacity(self.depth(s));
+        let mut cur = s;
+        while let Some((e, parent)) = self.pop(cur) {
+            out.push(e);
+            cur = parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Interns a stack from elements given bottom-to-top.
+    pub fn from_slice(&mut self, elems: &[E]) -> StackId<E> {
+        let mut s = StackId::EMPTY;
+        for &e in elems {
+            s = self.push(s, e);
+        }
+        s
+    }
+
+    /// `true` when `prefix` (read top-down) matches the topmost
+    /// `depth(prefix)` elements of `s`. Used by STASUM when applying a
+    /// relative summary to a concrete stack.
+    pub fn is_top_prefix(&self, s: StackId<E>, prefix: &[E]) -> bool {
+        let mut cur = s;
+        for &want in prefix {
+            match self.pop(cur) {
+                Some((e, parent)) if e == want => cur = parent,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Removes the topmost `n` elements; `None` if the stack is shorter.
+    pub fn pop_n(&self, s: StackId<E>, n: usize) -> Option<StackId<E>> {
+        let mut cur = s;
+        for _ in 0..n {
+            cur = self.pop(cur)?.1;
+        }
+        Some(cur)
+    }
+}
+
+impl<E: Copy + Eq + Hash> Default for StackPool<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stack_properties() {
+        let pool: StackPool<u8> = StackPool::new();
+        assert!(StackId::<u8>::EMPTY.is_empty());
+        assert_eq!(pool.depth(StackId::EMPTY), 0);
+        assert_eq!(pool.peek(StackId::EMPTY), None);
+        assert_eq!(pool.pop(StackId::EMPTY), None);
+        assert!(pool.to_vec(StackId::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut pool = StackPool::new();
+        let s1 = pool.push(StackId::EMPTY, 'a');
+        let s2 = pool.push(s1, 'b');
+        assert_eq!(pool.depth(s2), 2);
+        assert_eq!(pool.peek(s2), Some('b'));
+        assert_eq!(pool.pop(s2), Some(('b', s1)));
+        assert_eq!(pool.to_vec(s2), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut pool = StackPool::new();
+        let a = pool.from_slice(&[1, 2, 3]);
+        let b = pool.from_slice(&[1, 2, 3]);
+        let c = pool.from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 3); // [1], [1,2], [1,2,3]
+    }
+
+    #[test]
+    fn top_prefix_checks_topdown() {
+        let mut pool = StackPool::new();
+        let s = pool.from_slice(&[1, 2, 3]); // top = 3
+        assert!(pool.is_top_prefix(s, &[]));
+        assert!(pool.is_top_prefix(s, &[3]));
+        assert!(pool.is_top_prefix(s, &[3, 2]));
+        assert!(pool.is_top_prefix(s, &[3, 2, 1]));
+        assert!(!pool.is_top_prefix(s, &[2]));
+        assert!(!pool.is_top_prefix(s, &[3, 2, 1, 0]));
+    }
+
+    #[test]
+    fn pop_n_behaviour() {
+        let mut pool = StackPool::new();
+        let s = pool.from_slice(&[1, 2, 3]);
+        assert_eq!(pool.pop_n(s, 0), Some(s));
+        assert_eq!(pool.pop_n(s, 2), Some(pool.from_slice(&[1])));
+        assert_eq!(pool.pop_n(s, 3), Some(StackId::EMPTY));
+        assert_eq!(pool.pop_n(s, 4), None);
+    }
+
+    proptest! {
+        #[test]
+        fn from_slice_to_vec_round_trips(elems in proptest::collection::vec(0u16..64, 0..24)) {
+            let mut pool = StackPool::new();
+            let s = pool.from_slice(&elems);
+            prop_assert_eq!(pool.to_vec(s), elems.clone());
+            prop_assert_eq!(pool.depth(s), elems.len());
+        }
+
+        #[test]
+        fn interning_is_injective(
+            a in proptest::collection::vec(0u16..8, 0..12),
+            b in proptest::collection::vec(0u16..8, 0..12),
+        ) {
+            let mut pool = StackPool::new();
+            let sa = pool.from_slice(&a);
+            let sb = pool.from_slice(&b);
+            prop_assert_eq!(sa == sb, a == b);
+        }
+
+        #[test]
+        fn push_then_pop_is_identity(
+            base in proptest::collection::vec(0u16..8, 0..12),
+            elem in 0u16..8,
+        ) {
+            let mut pool = StackPool::new();
+            let s = pool.from_slice(&base);
+            let pushed = pool.push(s, elem);
+            prop_assert_eq!(pool.pop(pushed), Some((elem, s)));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Aggregated client run reports.
+
+use std::time::Duration;
+
+use dynsum_cfl::QueryStats;
+
+use crate::client::ClientKind;
+
+/// The outcome of running one client's full query stream against one
+/// engine — a cell of the paper's Table 4.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Which client ran.
+    pub kind: ClientKind,
+    /// Which engine answered (`"DYNSUM"`, `"REFINEPTS"`, …).
+    pub engine: String,
+    /// Queries issued.
+    pub queries: usize,
+    /// Sites proven safe/fresh/non-null.
+    pub proven: usize,
+    /// Sites definitively violated.
+    pub refuted: usize,
+    /// Sites whose queries blew the budget (answered conservatively).
+    pub unresolved: usize,
+    /// Aggregated work counters.
+    pub stats: QueryStats,
+    /// Wall-clock time for the whole stream.
+    pub elapsed: Duration,
+    /// Engine summary count after the run (Figure 5's numerator).
+    pub summaries: usize,
+}
+
+impl ClientReport {
+    /// Creates an empty report.
+    pub fn new(kind: ClientKind, engine: &str) -> Self {
+        ClientReport {
+            kind,
+            engine: engine.to_owned(),
+            queries: 0,
+            proven: 0,
+            refuted: 0,
+            unresolved: 0,
+            stats: QueryStats::default(),
+            elapsed: Duration::ZERO,
+            summaries: 0,
+        }
+    }
+
+    /// Fraction of queries answered within budget.
+    pub fn resolution_rate(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            1.0 - self.unresolved as f64 / self.queries as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ClientReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} queries, {} proven, {} refuted, {} unresolved, \
+             {} edges, {:.1} ms",
+            self.kind,
+            self.engine,
+            self.queries,
+            self.proven,
+            self.refuted,
+            self.unresolved,
+            self.stats.edges_traversed,
+            self.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_rate_handles_empty_and_partial() {
+        let mut r = ClientReport::new(ClientKind::SafeCast, "DYNSUM");
+        assert_eq!(r.resolution_rate(), 1.0);
+        r.queries = 4;
+        r.unresolved = 1;
+        assert!((r.resolution_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_engine_and_client() {
+        let r = ClientReport::new(ClientKind::NullDeref, "REFINEPTS");
+        let s = r.to_string();
+        assert!(s.contains("NullDeref"));
+        assert!(s.contains("REFINEPTS"));
+    }
+}

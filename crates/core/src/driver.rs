@@ -1,0 +1,179 @@
+//! The worklist driver of Algorithm 4, shared by DYNSUM and STASUM.
+//!
+//! The driver walks only the context-dependent **global** edges
+//! (`assignglobal`, `entry_i`, `exit_i`) according to the `R_RP` RSM of
+//! Figure 3(b); at every configuration it asks a *summary provider* for
+//! the local-edge closure. DYNSUM's provider computes concrete partial
+//! points-to summaries on demand and caches them; STASUM's provider
+//! instantiates precomputed relative summaries.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use dynsum_cfl::{
+    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, PointsToSet, QueryResult, QueryStats,
+    StackPool, StepKind, Trace, TraceStep,
+};
+use dynsum_pag::{CallSiteId, EdgeKind, FieldId, NodeId, Pag};
+
+use crate::engine::{ctx_clear, ctx_pop, ctx_push, EngineConfig};
+use crate::summary::Summary;
+
+/// A source of local-edge summaries for the driver. Called once per
+/// worklist configuration whose node has local edges.
+pub(crate) type SummaryProvider<'a> = dyn FnMut(
+        &mut StackPool<FieldId>,
+        &mut Budget,
+        &mut QueryStats,
+        NodeId,
+        FieldStackId,
+        Direction,
+    ) -> Result<(Rc<Summary>, StepKind), BudgetExceeded>
+    + 'a;
+
+/// Runs Algorithm 4 from `(start, ∅, S1, start_ctx)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive(
+    pag: &Pag,
+    fields: &mut StackPool<FieldId>,
+    ctxs: &mut StackPool<CallSiteId>,
+    config: &EngineConfig,
+    start: NodeId,
+    start_ctx: CtxId,
+    provider: &mut SummaryProvider<'_>,
+    mut trace: Option<&mut Trace>,
+) -> QueryResult {
+    let mut budget = Budget::new(config.budget);
+    let mut stats = QueryStats::default();
+    let mut pts = PointsToSet::new();
+
+    let init = (start, FieldStackId::EMPTY, Direction::S1, start_ctx);
+    let mut seen: HashSet<(NodeId, FieldStackId, Direction, CtxId)> = HashSet::new();
+    seen.insert(init);
+    let mut wl = vec![init];
+    let mut over_budget = false;
+
+    'drive: while let Some((u, f, s, c)) = wl.pop() {
+        stats.steps += 1;
+
+        // Lines 5–9: reuse or compute the summary; nodes without local
+        // edges take the trivial summary (§4.3).
+        let (summary, kind) = if pag.has_local_edge(u) {
+            match provider(fields, &mut budget, &mut stats, u, f, s) {
+                Ok(pair) => pair,
+                Err(BudgetExceeded) => {
+                    over_budget = true;
+                    break 'drive;
+                }
+            }
+        } else {
+            (
+                Rc::new(Summary::trivial(pag, u, f, s)),
+                StepKind::NoLocalEdges,
+            )
+        };
+
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(TraceStep {
+                node: u,
+                field_stack: fields.to_vec(f),
+                state: s,
+                ctx: ctxs.to_vec(c),
+                kind,
+            });
+        }
+
+        // Lines 10–11: objects adopt the current calling context.
+        for &o in &summary.objs {
+            pts.insert(o, c);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(TraceStep {
+                    node: pag.obj_node(o),
+                    field_stack: fields.to_vec(f),
+                    state: s,
+                    ctx: ctxs.to_vec(c),
+                    kind: StepKind::ObjectFound,
+                });
+            }
+        }
+
+        // Lines 12–28: follow the global edges of each boundary tuple.
+        for &(x, f1, s1) in &summary.boundaries {
+            let step = |n: NodeId, c2: CtxId, seen: &mut HashSet<_>, wl: &mut Vec<_>| {
+                let item = (n, f1, s1, c2);
+                if seen.insert(item) {
+                    wl.push(item);
+                }
+            };
+            let result: Result<(), BudgetExceeded> = (|| {
+                match s1 {
+                    Direction::S1 => {
+                        for &eid in pag.in_edges(x) {
+                            let e = *pag.edge(eid);
+                            match e.kind {
+                                EdgeKind::Exit(i) => {
+                                    budget.charge()?;
+                                    stats.edges_traversed += 1;
+                                    if let Some(c2) = ctx_push(ctxs, c, i, pag, config)? {
+                                        step(e.src, c2, &mut seen, &mut wl);
+                                    }
+                                }
+                                EdgeKind::Entry(i) => {
+                                    budget.charge()?;
+                                    stats.edges_traversed += 1;
+                                    if let Some(c2) = ctx_pop(ctxs, c, i, pag, config)? {
+                                        step(e.src, c2, &mut seen, &mut wl);
+                                    }
+                                }
+                                EdgeKind::AssignGlobal => {
+                                    budget.charge()?;
+                                    stats.edges_traversed += 1;
+                                    step(e.src, ctx_clear(), &mut seen, &mut wl);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    Direction::S2 => {
+                        for &eid in pag.out_edges(x) {
+                            let e = *pag.edge(eid);
+                            match e.kind {
+                                EdgeKind::Exit(i) => {
+                                    budget.charge()?;
+                                    stats.edges_traversed += 1;
+                                    if let Some(c2) = ctx_pop(ctxs, c, i, pag, config)? {
+                                        step(e.dst, c2, &mut seen, &mut wl);
+                                    }
+                                }
+                                EdgeKind::Entry(i) => {
+                                    budget.charge()?;
+                                    stats.edges_traversed += 1;
+                                    if let Some(c2) = ctx_push(ctxs, c, i, pag, config)? {
+                                        step(e.dst, c2, &mut seen, &mut wl);
+                                    }
+                                }
+                                EdgeKind::AssignGlobal => {
+                                    budget.charge()?;
+                                    stats.edges_traversed += 1;
+                                    step(e.dst, ctx_clear(), &mut seen, &mut wl);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            if result.is_err() {
+                over_budget = true;
+                break 'drive;
+            }
+        }
+    }
+
+    if over_budget {
+        QueryResult::over_budget(pts, stats)
+    } else {
+        QueryResult::resolved(pts, stats)
+    }
+}

@@ -1,0 +1,386 @@
+//! DYNSUM — the paper's contribution (Algorithm 4).
+//!
+//! A worklist driver over configurations `(u, f, s, c)` that handles only
+//! the **global** (context-dependent) edges itself, delegating all local
+//! traversal to the partial points-to analysis of [Algorithm 3](crate::ppta)
+//! and memorizing each `(u, f, s) → Summary` in a cross-query cache. The
+//! summaries are context-independent, so a summary computed while
+//! answering one query under one calling context is reused verbatim under
+//! any other context or query — without any precision loss (§4).
+
+use std::rc::Rc;
+
+use dynsum_cfl::{
+    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, QueryResult, QueryStats, StackPool,
+    StepKind, Trace,
+};
+use dynsum_pag::{CallSiteId, FieldId, NodeId, Pag, VarId};
+
+use crate::driver::drive;
+use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
+use crate::ppta;
+use crate::summary::{Summary, SummaryCache};
+
+/// The DYNSUM demand-driven points-to engine.
+///
+/// Construct once per PAG and issue any number of queries; the summary
+/// cache persists and grows across queries (that persistence is the whole
+/// point — Figures 4 and 5 of the paper measure it).
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_core::{DemandPointsTo, DynSum};
+/// use dynsum_pag::PagBuilder;
+///
+/// let mut b = PagBuilder::new();
+/// let m = b.add_method("main", None)?;
+/// let v = b.add_local("v", m, None)?;
+/// let o = b.add_obj("o1", None, Some(m))?;
+/// b.add_new(o, v)?;
+/// let pag = b.finish();
+///
+/// let mut engine = DynSum::new(&pag);
+/// let result = engine.points_to(v);
+/// assert!(result.resolved);
+/// assert!(result.pts.contains_obj(o));
+/// # Ok::<(), dynsum_pag::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct DynSum<'p> {
+    pag: &'p Pag,
+    fields: StackPool<FieldId>,
+    ctxs: StackPool<CallSiteId>,
+    cache: SummaryCache,
+    config: EngineConfig,
+    tracing: bool,
+    last_trace: Option<Trace>,
+}
+
+impl<'p> DynSum<'p> {
+    /// Creates an engine with the default configuration (75k budget).
+    pub fn new(pag: &'p Pag) -> Self {
+        Self::with_config(pag, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(pag: &'p Pag, config: EngineConfig) -> Self {
+        DynSum {
+            pag,
+            fields: StackPool::new(),
+            ctxs: StackPool::new(),
+            cache: SummaryCache::new(),
+            config,
+            tracing: false,
+            last_trace: None,
+        }
+    }
+
+    /// Enables or disables step tracing (Table 1). Tracing is off by
+    /// default and costs nothing when off.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Takes the trace recorded by the most recent query, if tracing was
+    /// enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.last_trace.take()
+    }
+
+    /// The summary cache (size, hit/miss counters).
+    pub fn cache(&self) -> &SummaryCache {
+        &self.cache
+    }
+
+    /// Evicts the summaries of one method, keeping everything else.
+    ///
+    /// This is the incremental-analysis story the paper motivates for
+    /// JIT compilers and IDEs (§1, §7): when an edit invalidates a
+    /// single method body, only that method's context-independent
+    /// summaries need recomputing — summaries are keyed by node, and
+    /// local edges never cross method boundaries, so summaries of
+    /// untouched methods stay valid. Returns the number of evicted
+    /// entries.
+    ///
+    /// The caller is responsible for re-creating the engine if the
+    /// *graph* object itself changed; this API models the common
+    /// IDE case where queries continue against a freshly rebuilt PAG
+    /// with identical ids for untouched methods.
+    pub fn invalidate_method(&mut self, method: dynsum_pag::MethodId) -> usize {
+        let pag = self.pag;
+        self.cache
+            .evict_where(|&(node, _, _)| pag.method_of(node) == Some(method))
+    }
+
+    /// Evicts summaries for every method in `methods` (bulk form of
+    /// [`invalidate_method`](Self::invalidate_method)).
+    pub fn invalidate_methods(&mut self, methods: &[dynsum_pag::MethodId]) -> usize {
+        let pag = self.pag;
+        self.cache.evict_where(|&(node, _, _)| {
+            pag.method_of(node).is_some_and(|m| methods.contains(&m))
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Answers `pointsTo(v, c)` for an explicit initial context given as
+    /// call-site labels from innermost caller outwards (bottom-to-top of
+    /// the paper's stack notation).
+    pub fn points_to_in(&mut self, v: VarId, ctx: &[CallSiteId]) -> QueryResult {
+        let c0 = self.ctxs.from_slice(ctx);
+        self.run(v, c0)
+    }
+
+    fn run(&mut self, v: VarId, c0: CtxId) -> QueryResult {
+        let pag = self.pag;
+        let config = self.config;
+        let mut trace = self.tracing.then(Trace::new);
+        let cache = &mut self.cache;
+        let cache_on = config.cache_summaries;
+
+        // Algorithm 4, lines 5–9: the summary provider reuses the cache
+        // or computes a fresh PPTA (Algorithm 3). Partial results of an
+        // over-budget PPTA are never cached.
+        let mut provider = |fields: &mut StackPool<FieldId>,
+                            budget: &mut Budget,
+                            stats: &mut QueryStats,
+                            u: NodeId,
+                            f: FieldStackId,
+                            s: Direction|
+         -> Result<(Rc<Summary>, StepKind), BudgetExceeded> {
+            let key = (u, f, s);
+            if cache_on {
+                if let Some(sum) = cache.lookup(key) {
+                    stats.cache_hits += 1;
+                    return Ok((sum, StepKind::PptaReused));
+                }
+            }
+            stats.cache_misses += 1;
+            let sum = ppta::compute(pag, fields, &config, budget, stats, u, f, s)?;
+            let rc = Rc::new(sum);
+            if cache_on {
+                cache.insert(key, Rc::clone(&rc));
+            }
+            Ok((rc, StepKind::PptaComputed))
+        };
+
+        let result = drive(
+            pag,
+            &mut self.fields,
+            &mut self.ctxs,
+            &config,
+            pag.var_node(v),
+            c0,
+            &mut provider,
+            trace.as_mut(),
+        );
+        self.last_trace = trace;
+        result
+    }
+}
+
+impl DemandPointsTo for DynSum<'_> {
+    fn name(&self) -> &'static str {
+        "DYNSUM"
+    }
+
+    /// DYNSUM has no refinement: the client predicate is ignored and the
+    /// precise answer is computed directly (Table 2: full precision).
+    fn query(&mut self, v: VarId, _satisfied: ClientCheck<'_>) -> QueryResult {
+        self.run(v, CtxId::EMPTY)
+    }
+
+    fn summary_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn reset(&mut self) {
+        self.cache.clear();
+        self.fields = StackPool::new();
+        self.ctxs = StackPool::new();
+        self.last_trace = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::PagBuilder;
+
+    /// id(p){return p} called from two sites with distinct objects: a
+    /// context-sensitive analysis must not mix the results.
+    fn two_callers() -> (
+        Pag,
+        VarId,
+        VarId,
+        dynsum_pag::ObjId,
+        dynsum_pag::ObjId,
+    ) {
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let id = b.add_method("id", None).unwrap();
+        let a1 = b.add_local("a1", main, None).unwrap();
+        let a2 = b.add_local("a2", main, None).unwrap();
+        let r1 = b.add_local("r1", main, None).unwrap();
+        let r2 = b.add_local("r2", main, None).unwrap();
+        let p = b.add_local("p", id, None).unwrap();
+        let ret = b.add_local("ret", id, None).unwrap();
+        let o1 = b.add_obj("o1", None, Some(main)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(main)).unwrap();
+        b.add_new(o1, a1).unwrap();
+        b.add_new(o2, a2).unwrap();
+        b.add_assign(p, ret).unwrap();
+        let s1 = b.add_call_site("1", main).unwrap();
+        let s2 = b.add_call_site("2", main).unwrap();
+        b.add_entry(s1, a1, p).unwrap();
+        b.add_entry(s2, a2, p).unwrap();
+        b.add_exit(s1, ret, r1).unwrap();
+        b.add_exit(s2, ret, r2).unwrap();
+        (b.finish(), r1, r2, o1, o2)
+    }
+
+    #[test]
+    fn context_sensitivity_separates_call_sites() {
+        let (pag, r1, r2, o1, o2) = two_callers();
+        let mut e = DynSum::new(&pag);
+        let p1 = e.points_to(r1);
+        assert!(p1.resolved);
+        assert_eq!(p1.pts.objects().into_iter().collect::<Vec<_>>(), vec![o1]);
+        let p2 = e.points_to(r2);
+        assert_eq!(p2.pts.objects().into_iter().collect::<Vec<_>>(), vec![o2]);
+    }
+
+    #[test]
+    fn second_query_reuses_summaries() {
+        let (pag, r1, r2, ..) = two_callers();
+        let mut e = DynSum::new(&pag);
+        let p1 = e.points_to(r1);
+        assert_eq!(p1.stats.cache_hits, 0);
+        let before = e.summary_count();
+        assert!(before > 0);
+        let p2 = e.points_to(r2);
+        assert!(
+            p2.stats.cache_hits > 0,
+            "the callee's summary must be reused across contexts"
+        );
+        assert!(p2.stats.edges_traversed < p1.stats.edges_traversed);
+    }
+
+    #[test]
+    fn cache_disabled_recomputes() {
+        let (pag, r1, r2, ..) = two_callers();
+        let config = EngineConfig {
+            cache_summaries: false,
+            ..EngineConfig::default()
+        };
+        let mut e = DynSum::with_config(&pag, config);
+        e.points_to(r1);
+        let p2 = e.points_to(r2);
+        assert_eq!(p2.stats.cache_hits, 0);
+        assert_eq!(e.summary_count(), 0);
+    }
+
+    #[test]
+    fn globals_clear_context() {
+        // o flows through a global: m1 writes G, m2 reads it.
+        let mut b = PagBuilder::new();
+        let m1 = b.add_method("m1", None).unwrap();
+        let m2 = b.add_method("m2", None).unwrap();
+        let v = b.add_local("v", m1, None).unwrap();
+        let w = b.add_local("w", m2, None).unwrap();
+        let g = b.add_global("G", None).unwrap();
+        let o = b.add_obj("o", None, Some(m1)).unwrap();
+        b.add_new(o, v).unwrap();
+        b.add_assign(v, g).unwrap();
+        b.add_assign(g, w).unwrap();
+        let pag = b.finish();
+        let mut e = DynSum::new(&pag);
+        let r = e.points_to(w);
+        assert!(r.resolved);
+        assert!(r.pts.contains_obj(o));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unresolved() {
+        let (pag, r1, ..) = two_callers();
+        let config = EngineConfig {
+            budget: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = DynSum::with_config(&pag, config);
+        let r = e.points_to(r1);
+        assert!(!r.resolved);
+    }
+
+    #[test]
+    fn tracing_records_steps_and_reuse() {
+        let (pag, r1, r2, ..) = two_callers();
+        let mut e = DynSum::new(&pag);
+        e.set_tracing(true);
+        e.points_to(r1);
+        let t1 = e.take_trace().unwrap();
+        assert!(!t1.is_empty());
+        assert_eq!(t1.reuse_count(), 0);
+        e.points_to(r2);
+        let t2 = e.take_trace().unwrap();
+        assert!(t2.reuse_count() > 0);
+        assert!(t2.len() <= t1.len());
+    }
+
+    #[test]
+    fn reset_clears_cache() {
+        let (pag, r1, ..) = two_callers();
+        let mut e = DynSum::new(&pag);
+        e.points_to(r1);
+        assert!(e.summary_count() > 0);
+        e.reset();
+        assert_eq!(e.summary_count(), 0);
+        // Still answers correctly after reset.
+        assert!(e.points_to(r1).resolved);
+    }
+
+    #[test]
+    fn invalidation_evicts_only_the_edited_method() {
+        let (pag, r1, r2, ..) = two_callers();
+        let mut e = DynSum::new(&pag);
+        e.points_to(r1);
+        e.points_to(r2);
+        let before = e.summary_count();
+        assert!(before > 0);
+        // "Edit" the callee: its summaries go, main's stay.
+        let id = pag.find_method("id").unwrap();
+        let evicted = e.invalidate_method(id);
+        assert!(evicted > 0);
+        assert_eq!(e.summary_count(), before - evicted);
+        // Queries still come out right and repopulate the cache.
+        let r = e.points_to(r1);
+        assert!(r.resolved);
+        assert!(e.summary_count() >= before - evicted);
+        // Invalidating an untouched method evicts nothing new for `id`.
+        let main = pag.find_method("main").unwrap();
+        let evicted_main = e.invalidate_methods(&[main]);
+        assert!(evicted_main > 0, "main's summaries existed too");
+    }
+
+    #[test]
+    fn query_with_explicit_context() {
+        let (pag, ..) = two_callers();
+        // pointsTo(ret, [site1]) must see only o1: the exit edge at site 1
+        // is the only realizable return.
+        let ret = pag.find_var("ret").unwrap();
+        let s1 = pag.find_call_site("1").unwrap();
+        let o1 = pag.find_obj("o1").unwrap();
+        let mut e = DynSum::new(&pag);
+        let r = e.points_to_in(ret, &[s1]);
+        assert!(r.resolved);
+        assert_eq!(
+            r.pts.objects().into_iter().collect::<Vec<_>>(),
+            vec![o1],
+            "context [1] must restrict the formal's sources to site 1"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! NOREFINE — the refinement-free, cache-free baseline (Table 2).
+
+use dynsum_cfl::{Budget, CtxId, QueryResult, QueryStats, StackPool};
+use dynsum_pag::{CallSiteId, FieldId, Pag, VarId};
+
+use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
+use crate::search::{search, Refinement};
+
+/// The NOREFINE engine: Sridharan–Bodík demand-driven CFL-reachability
+/// with every load explored field-sensitively from the start, no
+/// refinement loop, and no memorization across queries.
+///
+/// It delivers full precision (like DYNSUM) but repeats every traversal
+/// on every query — the paper's slowest baseline in most configurations.
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_core::{DemandPointsTo, NoRefine};
+/// use dynsum_pag::PagBuilder;
+///
+/// let mut b = PagBuilder::new();
+/// let m = b.add_method("main", None)?;
+/// let v = b.add_local("v", m, None)?;
+/// let o = b.add_obj("o1", None, Some(m))?;
+/// b.add_new(o, v)?;
+/// let pag = b.finish();
+/// let mut engine = NoRefine::new(&pag);
+/// assert!(engine.points_to(v).pts.contains_obj(o));
+/// # Ok::<(), dynsum_pag::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct NoRefine<'p> {
+    pag: &'p Pag,
+    fields: StackPool<FieldId>,
+    ctxs: StackPool<CallSiteId>,
+    config: EngineConfig,
+}
+
+impl<'p> NoRefine<'p> {
+    /// Creates an engine with the default configuration.
+    pub fn new(pag: &'p Pag) -> Self {
+        Self::with_config(pag, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(pag: &'p Pag, config: EngineConfig) -> Self {
+        NoRefine {
+            pag,
+            fields: StackPool::new(),
+            ctxs: StackPool::new(),
+            config,
+        }
+    }
+
+    /// Creates the **context-insensitive** variant: entries/exits are
+    /// treated as plain assignments, computing pure `L_FT` reachability
+    /// (§3.2). Its answers must coincide exactly with the Andersen
+    /// whole-program solution — the test suite's oracle equality.
+    pub fn context_insensitive(pag: &'p Pag) -> Self {
+        Self::with_config(
+            pag,
+            EngineConfig {
+                context_sensitive: false,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Answers `pointsTo(v, c)` for an explicit initial context.
+    pub fn points_to_in(&mut self, v: VarId, ctx: &[CallSiteId]) -> QueryResult {
+        let c0 = self.ctxs.from_slice(ctx);
+        self.run(v, c0)
+    }
+
+    fn run(&mut self, v: VarId, c0: CtxId) -> QueryResult {
+        let mut budget = Budget::new(self.config.budget);
+        let mut stats = QueryStats::default();
+        let out = search(
+            self.pag,
+            &mut self.fields,
+            &mut self.ctxs,
+            &self.config,
+            Refinement::All,
+            v,
+            c0,
+            &mut budget,
+            &mut stats,
+        );
+        if out.complete {
+            QueryResult::resolved(out.pts, stats)
+        } else {
+            QueryResult::over_budget(out.pts, stats)
+        }
+    }
+}
+
+impl DemandPointsTo for NoRefine<'_> {
+    fn name(&self) -> &'static str {
+        "NOREFINE"
+    }
+
+    /// No refinement: the predicate is ignored, the full field-sensitive
+    /// answer is computed directly.
+    fn query(&mut self, v: VarId, _satisfied: ClientCheck<'_>) -> QueryResult {
+        self.run(v, CtxId::EMPTY)
+    }
+
+    fn reset(&mut self) {
+        self.fields = StackPool::new();
+        self.ctxs = StackPool::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::PagBuilder;
+
+    #[test]
+    fn full_precision_without_refinement() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p1 = b.add_local("p1", m, None).unwrap();
+        let p2 = b.add_local("p2", m, None).unwrap();
+        let x1 = b.add_local("x1", m, None).unwrap();
+        let x2 = b.add_local("x2", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let o1 = b.add_obj("o1", None, Some(m)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_new(oa, p1).unwrap();
+        b.add_new(ob, p2).unwrap();
+        b.add_new(o1, x1).unwrap();
+        b.add_new(o2, x2).unwrap();
+        b.add_store(f, x1, p1).unwrap();
+        b.add_store(f, x2, p2).unwrap();
+        b.add_load(f, p1, y).unwrap();
+        let pag = b.finish();
+        let mut e = NoRefine::new(&pag);
+        let r = e.points_to(y);
+        assert!(r.resolved);
+        assert_eq!(r.pts.objects().into_iter().collect::<Vec<_>>(), vec![o1]);
+        assert_eq!(e.name(), "NOREFINE");
+        assert_eq!(e.summary_count(), 0);
+    }
+
+    #[test]
+    fn no_cross_query_speedup() {
+        // Identical queries cost identical work: nothing is memorized.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let w = b.add_local("w", m, None).unwrap();
+        let o = b.add_obj("o", None, Some(m)).unwrap();
+        b.add_new(o, v).unwrap();
+        b.add_assign(v, w).unwrap();
+        let pag = b.finish();
+        let mut e = NoRefine::new(&pag);
+        let r1 = e.points_to(w);
+        let r2 = e.points_to(w);
+        assert_eq!(r1.stats.edges_traversed, r2.stats.edges_traversed);
+    }
+
+    #[test]
+    fn context_insensitive_constructor() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let _ = v;
+        let pag = b.finish();
+        let e = NoRefine::context_insensitive(&pag);
+        assert!(!e.config().context_sensitive);
+    }
+}

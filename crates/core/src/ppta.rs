@@ -1,0 +1,428 @@
+//! PPTA — the Partial Points-To Analysis of Algorithm 3 (`DSPOINTSTO`).
+//!
+//! Starting from a `(node, field stack, direction)` configuration, PPTA
+//! explores **only the local edges** of the enclosing method, following
+//! the `pointsTo`/`alias` RSM of Figure 3(a):
+//!
+//! * in `S1` it walks `flowsTo̅` paths backwards (in-edges), pushing
+//!   `load(f)` labels on the field stack and reporting objects whose
+//!   `new` edge is reached with an empty stack;
+//! * at an allocation reached with a non-empty stack it performs the
+//!   `new new̅` transition into `S2` (the alias detour);
+//! * in `S2` it walks `flowsTo` paths forwards (out-edges), popping at
+//!   matching loads, pushing at stores (nested alias detours), and
+//!   switching back to `S1` at matching in-stores (the stored value
+//!   feeds the pending field).
+//!
+//! Because local edges never touch the context stack, the resulting
+//! [`Summary`] is context-independent and can be reused under any calling
+//! context — the key insight of the paper (§4.1).
+
+use std::collections::{BTreeSet, HashSet};
+
+use dynsum_cfl::{Budget, BudgetExceeded, Direction, FieldStackId, QueryStats, StackPool};
+use dynsum_pag::{EdgeKind, FieldId, NodeId, NodeRef, Pag};
+
+use crate::engine::EngineConfig;
+use crate::summary::Summary;
+
+/// Computes the partial points-to summary for `(node, fstack, dir)`.
+///
+/// Edge traversals are charged against `budget`; pushing beyond the
+/// configured field-stack depth is treated as budget exhaustion.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when the traversal budget or the
+/// field-stack depth cap trips; the partial result must then **not** be
+/// cached (the query is answered conservatively).
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's signature
+pub fn compute(
+    pag: &Pag,
+    fields: &mut StackPool<FieldId>,
+    config: &EngineConfig,
+    budget: &mut Budget,
+    stats: &mut QueryStats,
+    node: NodeId,
+    fstack: FieldStackId,
+    dir: Direction,
+) -> Result<Summary, BudgetExceeded> {
+    let mut ppta = Ppta {
+        pag,
+        fields,
+        config,
+        budget,
+        stats,
+        visited: HashSet::new(),
+        objs: BTreeSet::new(),
+        boundaries: BTreeSet::new(),
+    };
+    ppta.go(node, fstack, dir)?;
+    Ok(Summary {
+        objs: ppta.objs.into_iter().collect(),
+        boundaries: ppta.boundaries.into_iter().collect(),
+    })
+}
+
+struct Ppta<'a, 'p> {
+    pag: &'p Pag,
+    fields: &'a mut StackPool<FieldId>,
+    config: &'a EngineConfig,
+    budget: &'a mut Budget,
+    stats: &'a mut QueryStats,
+    visited: HashSet<(NodeId, FieldStackId, Direction)>,
+    objs: BTreeSet<dynsum_pag::ObjId>,
+    boundaries: BTreeSet<(NodeId, FieldStackId, Direction)>,
+}
+
+impl Ppta<'_, '_> {
+    fn charge(&mut self) -> Result<(), BudgetExceeded> {
+        self.budget.charge()?;
+        self.stats.edges_traversed += 1;
+        Ok(())
+    }
+
+    fn push_field(&mut self, f: FieldStackId, g: FieldId) -> Result<FieldStackId, BudgetExceeded> {
+        if self.fields.depth(f) >= self.config.max_field_depth {
+            return Err(BudgetExceeded);
+        }
+        Ok(self.fields.push(f, g))
+    }
+
+    fn go(
+        &mut self,
+        u: NodeId,
+        f: FieldStackId,
+        s: Direction,
+    ) -> Result<(), BudgetExceeded> {
+        if !self.visited.insert((u, f, s)) {
+            return Ok(());
+        }
+        match s {
+            Direction::S1 => self.s1(u, f),
+            Direction::S2 => self.s2(u, f),
+        }
+    }
+
+    /// Algorithm 3, lines 5–16.
+    fn s1(&mut self, u: NodeId, f: FieldStackId) -> Result<(), BudgetExceeded> {
+        let mut saw_new = false;
+        for &eid in self.pag.in_edges(u) {
+            let e = *self.pag.edge(eid);
+            match e.kind {
+                EdgeKind::New => {
+                    self.charge()?;
+                    if f.is_empty() {
+                        let NodeRef::Obj(o) = self.pag.node_ref(e.src) else {
+                            continue;
+                        };
+                        self.objs.insert(o);
+                    } else {
+                        saw_new = true;
+                    }
+                }
+                EdgeKind::Assign => {
+                    self.charge()?;
+                    self.go(e.src, f, Direction::S1)?;
+                }
+                EdgeKind::Load(g) => {
+                    self.charge()?;
+                    let f2 = self.push_field(f, g)?;
+                    self.go(e.src, f2, Direction::S1)?;
+                }
+                // Global edges are the driver's job (Algorithm 4); the
+                // boundary bit below records that they exist.
+                EdgeKind::Store(_)
+                | EdgeKind::AssignGlobal
+                | EdgeKind::Entry(_)
+                | EdgeKind::Exit(_) => {}
+            }
+        }
+        if saw_new {
+            // `new new̅`: the only S1→S2 transition (Figure 3(a)). Every
+            // object has a single defining variable, so detouring through
+            // the allocation lands back at `u` in S2.
+            self.charge()?;
+            self.go(u, f, Direction::S2)?;
+        }
+        if self.pag.has_global_in(u) {
+            self.boundaries.insert((u, f, Direction::S1));
+        }
+        Ok(())
+    }
+
+    /// Algorithm 3, lines 17–29.
+    fn s2(&mut self, u: NodeId, f: FieldStackId) -> Result<(), BudgetExceeded> {
+        for &eid in self.pag.out_edges(u) {
+            let e = *self.pag.edge(eid);
+            match e.kind {
+                EdgeKind::Assign => {
+                    self.charge()?;
+                    self.go(e.dst, f, Direction::S2)?;
+                }
+                EdgeKind::Load(g) => {
+                    // Forward over a load: the pending field is matched.
+                    if self.fields.peek(f) == Some(g) {
+                        self.charge()?;
+                        let (_, rest) = self.fields.pop(f).expect("peeked");
+                        self.go(e.dst, rest, Direction::S2)?;
+                    }
+                }
+                EdgeKind::Store(g) => {
+                    // The tracked value is stored into `dst.g`: a nested
+                    // alias detour must find aliases of the base. The
+                    // pushed parenthesis can only be consumed at a
+                    // `load(g)` (grammar: `store(f) alias load(f)`), so
+                    // fields nobody loads need no detour — this both
+                    // matches the search engine's rule and defuses
+                    // field-stack pumping on store-only cycles.
+                    if !self.pag.loads_of(g).is_empty() {
+                        self.charge()?;
+                        let f2 = self.push_field(f, g)?;
+                        self.go(e.dst, f2, Direction::S1)?;
+                    }
+                }
+                EdgeKind::New
+                | EdgeKind::AssignGlobal
+                | EdgeKind::Entry(_)
+                | EdgeKind::Exit(_) => {}
+            }
+        }
+        for &eid in self.pag.in_edges(u) {
+            let e = *self.pag.edge(eid);
+            if let EdgeKind::Store(g) = e.kind {
+                // `u` is the base of a store and the alias detour wants
+                // field `g`: the stored value's points-to set feeds the
+                // answer (back to S1 at the value).
+                if self.fields.peek(f) == Some(g) {
+                    self.charge()?;
+                    let (_, rest) = self.fields.pop(f).expect("peeked");
+                    self.go(e.src, rest, Direction::S1)?;
+                }
+            }
+        }
+        if self.pag.has_global_out(u) {
+            self.boundaries.insert((u, f, Direction::S2));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::{PagBuilder, VarId};
+
+    fn run(
+        pag: &Pag,
+        fields: &mut StackPool<FieldId>,
+        v: VarId,
+        fstack: FieldStackId,
+        dir: Direction,
+    ) -> Summary {
+        let config = EngineConfig::unlimited();
+        let mut budget = Budget::unlimited();
+        let mut stats = QueryStats::default();
+        compute(
+            pag,
+            fields,
+            &config,
+            &mut budget,
+            &mut stats,
+            pag.var_node(v),
+            fstack,
+            dir,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direct_object_found() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let w = b.add_local("w", m, None).unwrap();
+        let o = b.add_obj("o1", None, Some(m)).unwrap();
+        b.add_new(o, v).unwrap();
+        b.add_assign(v, w).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, w, FieldStackId::EMPTY, Direction::S1);
+        assert_eq!(s.objs, vec![o]);
+        assert!(s.boundaries.is_empty());
+    }
+
+    #[test]
+    fn local_store_load_resolves_field() {
+        // p = new A; p.f = x; x = new B; y = p.f  =>  ppta(y) = {oB}
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p = b.add_local("p", m, None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_new(oa, p).unwrap();
+        b.add_new(ob, x).unwrap();
+        b.add_store(f, x, p).unwrap();
+        b.add_load(f, p, y).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, y, FieldStackId::EMPTY, Direction::S1);
+        assert_eq!(s.objs, vec![ob]);
+    }
+
+    #[test]
+    fn alias_through_local_copy() {
+        // p = new A; q = p; p.f = x; y = q.f
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p = b.add_local("p", m, None).unwrap();
+        let q = b.add_local("q", m, None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_new(oa, p).unwrap();
+        b.add_new(ob, x).unwrap();
+        b.add_assign(p, q).unwrap();
+        b.add_store(f, x, p).unwrap();
+        b.add_load(f, q, y).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, y, FieldStackId::EMPTY, Direction::S1);
+        assert_eq!(s.objs, vec![ob]);
+    }
+
+    #[test]
+    fn boundary_recorded_with_pending_fields() {
+        // ret = this.elems.arr — the paper's ppta(ret_get) example (§4.1):
+        // summary must contain (this, [arr, elems], S1).
+        let mut b = PagBuilder::new();
+        let m = b.add_method("get", None).unwrap();
+        let m2 = b.add_method("caller", None).unwrap();
+        let this = b.add_local("this", m, None).unwrap();
+        let t = b.add_local("t", m, None).unwrap();
+        let ret = b.add_local("ret", m, None).unwrap();
+        let recv = b.add_local("recv", m2, None).unwrap();
+        let elems = b.field("elems");
+        let arr = b.array_field();
+        b.add_load(elems, this, t).unwrap();
+        b.add_load(arr, t, ret).unwrap();
+        let site = b.add_call_site("22", m2).unwrap();
+        b.add_entry(site, recv, this).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, ret, FieldStackId::EMPTY, Direction::S1);
+        assert!(s.objs.is_empty());
+        assert_eq!(s.boundaries.len(), 1);
+        let (bnode, bstack, bdir) = s.boundaries[0];
+        assert_eq!(bnode, pag.var_node(this));
+        assert_eq!(bdir, Direction::S1);
+        // Bottom-to-top: arr pushed first, then elems on top.
+        let names: Vec<_> = fields
+            .to_vec(bstack)
+            .into_iter()
+            .map(|f| pag.field_name(f).to_owned())
+            .collect();
+        assert_eq!(names, vec!["arr", "elems"]);
+    }
+
+    #[test]
+    fn points_to_cycle_terminates() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let o = b.add_obj("o1", None, Some(m)).unwrap();
+        b.add_assign(x, y).unwrap();
+        b.add_assign(y, x).unwrap();
+        b.add_new(o, x).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, y, FieldStackId::EMPTY, Direction::S1);
+        assert_eq!(s.objs, vec![o]);
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let mut prev = b.add_local("v0", m, None).unwrap();
+        for i in 1..50 {
+            let v = b.add_local(&format!("v{i}"), m, None).unwrap();
+            b.add_assign(prev, v).unwrap();
+            prev = v;
+        }
+        let o = b.add_obj("o", None, Some(m)).unwrap();
+        b.add_new(o, prev).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let config = EngineConfig::default();
+        let mut budget = Budget::new(3);
+        let mut stats = QueryStats::default();
+        let r = compute(
+            &pag,
+            &mut fields,
+            &config,
+            &mut budget,
+            &mut stats,
+            pag.var_node(prev),
+            FieldStackId::EMPTY,
+            Direction::S1,
+        );
+        assert_eq!(r, Err(BudgetExceeded));
+        assert!(stats.edges_traversed <= 3);
+    }
+
+    #[test]
+    fn field_depth_cap_aborts() {
+        // x = x.f in a loop: unbounded pushes must hit the cap.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let x = b.add_local("x", m, None).unwrap();
+        let f = b.field("f");
+        b.add_load(f, x, x).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let config = EngineConfig {
+            max_field_depth: 8,
+            ..EngineConfig::unlimited()
+        };
+        let mut budget = Budget::unlimited();
+        let mut stats = QueryStats::default();
+        let r = compute(
+            &pag,
+            &mut fields,
+            &config,
+            &mut budget,
+            &mut stats,
+            pag.var_node(x),
+            FieldStackId::EMPTY,
+            Direction::S1,
+        );
+        assert_eq!(r, Err(BudgetExceeded));
+    }
+
+    #[test]
+    fn stays_within_method() {
+        // Local edges of other methods are never touched: callee's ret
+        // only reachable over the exit edge, which PPTA must not cross.
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let callee = b.add_method("callee", None).unwrap();
+        let r = b.add_local("r", main, None).unwrap();
+        let ret = b.add_local("ret", callee, None).unwrap();
+        let o = b.add_obj("o", None, Some(callee)).unwrap();
+        b.add_new(o, ret).unwrap();
+        let site = b.add_call_site("1", main).unwrap();
+        b.add_exit(site, ret, r).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, r, FieldStackId::EMPTY, Direction::S1);
+        assert!(s.objs.is_empty());
+        assert_eq!(s.boundaries, vec![(pag.var_node(r), FieldStackId::EMPTY, Direction::S1)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! REFINEPTS — refinement-based demand-driven analysis (Algorithms 1–2).
+
+use std::collections::HashSet;
+
+use dynsum_cfl::{Budget, CtxId, PointsToSet, QueryResult, QueryStats, StackPool};
+use dynsum_pag::{CallSiteId, EdgeId, FieldId, Pag, VarId};
+
+use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
+use crate::search::{search, Refinement};
+
+/// The REFINEPTS engine (Sridharan–Bodík PLDI'06, the paper's
+/// state-of-the-art baseline).
+///
+/// Each query starts fully **field-based**: every load is paired with
+/// every store of the same field through an artificial match edge. If the
+/// client predicate is not yet satisfied, the match edges actually used
+/// (`fldsSeen`) are promoted into `fldsToRefine` and the query reruns
+/// with those loads explored field-sensitively — until the client is
+/// satisfied, no new match edges appear (the answer is then precise), or
+/// the shared per-query budget runs out (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_core::{DemandPointsTo, RefinePts};
+/// use dynsum_pag::PagBuilder;
+///
+/// let mut b = PagBuilder::new();
+/// let m = b.add_method("main", None)?;
+/// let v = b.add_local("v", m, None)?;
+/// let o = b.add_obj("o1", None, Some(m))?;
+/// b.add_new(o, v)?;
+/// let pag = b.finish();
+/// let mut engine = RefinePts::new(&pag);
+/// assert!(engine.points_to(v).pts.contains_obj(o));
+/// # Ok::<(), dynsum_pag::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct RefinePts<'p> {
+    pag: &'p Pag,
+    fields: StackPool<FieldId>,
+    ctxs: StackPool<CallSiteId>,
+    config: EngineConfig,
+}
+
+impl<'p> RefinePts<'p> {
+    /// Creates an engine with the default configuration.
+    pub fn new(pag: &'p Pag) -> Self {
+        Self::with_config(pag, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(pag: &'p Pag, config: EngineConfig) -> Self {
+        RefinePts {
+            pag,
+            fields: StackPool::new(),
+            ctxs: StackPool::new(),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The refinement loop of Algorithm 2.
+    fn run(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
+        let mut refined: HashSet<EdgeId> = HashSet::new();
+        let mut budget = Budget::new(self.config.budget);
+        let mut stats = QueryStats::default();
+        let mut last = PointsToSet::new();
+
+        for _ in 0..self.config.max_refinements {
+            stats.refinement_iterations += 1;
+            let out = search(
+                self.pag,
+                &mut self.fields,
+                &mut self.ctxs,
+                &self.config,
+                Refinement::Only(&refined),
+                v,
+                CtxId::EMPTY,
+                &mut budget,
+                &mut stats,
+            );
+            last = out.pts;
+            if !out.complete {
+                return QueryResult::over_budget(last, stats);
+            }
+            if satisfied(&last) {
+                return QueryResult::resolved(last, stats);
+            }
+            // fldsSeen only ever contains unrefined loads, so an empty
+            // set means no match edge fired: the answer is precise and
+            // further refinement cannot improve it.
+            let fresh: Vec<EdgeId> = out
+                .flds_seen
+                .iter()
+                .copied()
+                .filter(|e| !refined.contains(e))
+                .collect();
+            if fresh.is_empty() {
+                return QueryResult::resolved(last, stats);
+            }
+            refined.extend(fresh);
+        }
+        QueryResult::resolved(last, stats)
+    }
+}
+
+impl DemandPointsTo for RefinePts<'_> {
+    fn name(&self) -> &'static str {
+        "REFINEPTS"
+    }
+
+    fn query(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
+        self.run(v, satisfied)
+    }
+
+    fn reset(&mut self) {
+        self.fields = StackPool::new();
+        self.ctxs = StackPool::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::{ObjId, PagBuilder};
+
+    /// Two containers sharing a field name: field-based conflates them,
+    /// refinement separates them.
+    fn conflating_pag() -> (Pag, VarId, ObjId, ObjId) {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p1 = b.add_local("p1", m, None).unwrap();
+        let p2 = b.add_local("p2", m, None).unwrap();
+        let x1 = b.add_local("x1", m, None).unwrap();
+        let x2 = b.add_local("x2", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let o1 = b.add_obj("o1", None, Some(m)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_new(oa, p1).unwrap();
+        b.add_new(ob, p2).unwrap();
+        b.add_new(o1, x1).unwrap();
+        b.add_new(o2, x2).unwrap();
+        b.add_store(f, x1, p1).unwrap();
+        b.add_store(f, x2, p2).unwrap();
+        b.add_load(f, p1, y).unwrap();
+        (b.finish(), y, o1, o2)
+    }
+
+    #[test]
+    fn refines_until_precise_when_never_satisfied() {
+        let (pag, y, o1, _o2) = conflating_pag();
+        let mut e = RefinePts::new(&pag);
+        let r = e.points_to(y);
+        assert!(r.resolved);
+        assert_eq!(r.pts.objects().into_iter().collect::<Vec<_>>(), vec![o1]);
+        assert!(
+            r.stats.refinement_iterations >= 2,
+            "must take a field-based pass plus at least one refinement"
+        );
+    }
+
+    #[test]
+    fn stops_early_when_client_satisfied() {
+        let (pag, y, o1, o2) = conflating_pag();
+        let mut e = RefinePts::new(&pag);
+        // A client that tolerates the conflated answer: one iteration.
+        let r = e.query(y, &|pts| pts.contains_obj(o1));
+        assert!(r.resolved);
+        assert_eq!(r.stats.refinement_iterations, 1);
+        assert!(
+            r.pts.contains_obj(o2),
+            "first iteration is field-based and over-approximate"
+        );
+    }
+
+    #[test]
+    fn refinement_never_loses_soundness() {
+        // The refined answer is a subset of the field-based one.
+        let (pag, y, ..) = conflating_pag();
+        let mut e = RefinePts::new(&pag);
+        let precise = e.points_to(y);
+        let mut e2 = RefinePts::new(&pag);
+        let loose = e2.query(y, &|_| true);
+        assert!(precise
+            .pts
+            .objects()
+            .is_subset(&loose.pts.objects()));
+    }
+
+    #[test]
+    fn no_fields_means_single_iteration() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let o = b.add_obj("o", None, Some(m)).unwrap();
+        b.add_new(o, v).unwrap();
+        let pag = b.finish();
+        let mut e = RefinePts::new(&pag);
+        let r = e.points_to(v);
+        assert_eq!(r.stats.refinement_iterations, 1);
+        assert!(r.pts.contains_obj(o));
+    }
+
+    #[test]
+    fn budget_shared_across_iterations() {
+        let (pag, y, ..) = conflating_pag();
+        let config = EngineConfig {
+            budget: 6,
+            ..EngineConfig::default()
+        };
+        let mut e = RefinePts::with_config(&pag, config);
+        let r = e.points_to(y);
+        assert!(!r.resolved);
+        assert!(r.stats.edges_traversed <= 6);
+    }
+}

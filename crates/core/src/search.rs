@@ -1,0 +1,496 @@
+//! The Sridharan–Bodík demand-driven search (Algorithm 1), in worklist
+//! form, shared by NOREFINE and REFINEPTS.
+//!
+//! The search explores the same configuration space as DYNSUM —
+//! `(node, field stack, direction, context)` — but one edge at a time
+//! across the whole PAG, with no summarization and no cross-query
+//! memorization (each query starts from a fresh `seen` set). Running the
+//! engines over a single transition relation makes the paper's precision
+//! claim (*"DYNSUM can deliver the same precision as REFINEPTS"*)
+//! structural, and the property-based test suite verifies it on random
+//! graphs.
+//!
+//! REFINEPTS's **refinement** (§3.3) is expressed per load edge: a load
+//! outside `fldsToRefine` is treated field-based — an artificial *match*
+//! edge short-circuits the alias detour, pairing the load with every
+//! store of the same field and clearing the calling context — and is
+//! recorded in `fldsSeen` so the next iteration can refine it.
+
+use std::collections::HashSet;
+
+use dynsum_cfl::{
+    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, PointsToSet, QueryStats, StackPool,
+};
+use dynsum_pag::{CallSiteId, EdgeId, EdgeKind, FieldId, NodeId, NodeRef, Pag, VarId};
+
+use crate::engine::{ctx_clear, ctx_pop, ctx_push, EngineConfig};
+
+/// Which load edges are explored field-sensitively.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Refinement<'a> {
+    /// Every load is field-sensitive (NOREFINE, and REFINEPTS's limit).
+    All,
+    /// Only the listed load edges are field-sensitive; the rest go
+    /// through match edges (REFINEPTS iterations).
+    Only(&'a HashSet<EdgeId>),
+}
+
+impl Refinement<'_> {
+    #[inline]
+    fn is_refined(&self, e: EdgeId) -> bool {
+        match self {
+            Refinement::All => true,
+            Refinement::Only(set) => set.contains(&e),
+        }
+    }
+}
+
+/// Result of one search pass.
+#[derive(Debug)]
+pub(crate) struct SearchOutcome {
+    /// Points-to pairs found.
+    pub pts: PointsToSet,
+    /// Match edges used (the iteration's `fldsSeen`).
+    pub flds_seen: HashSet<EdgeId>,
+    /// `false` when the budget or a depth cap tripped.
+    pub complete: bool,
+}
+
+/// Runs one demand-driven search pass for `pointsTo(start, start_ctx)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search(
+    pag: &Pag,
+    fields: &mut StackPool<FieldId>,
+    ctxs: &mut StackPool<CallSiteId>,
+    config: &EngineConfig,
+    refinement: Refinement<'_>,
+    start: VarId,
+    start_ctx: CtxId,
+    budget: &mut Budget,
+    stats: &mut QueryStats,
+) -> SearchOutcome {
+    let mut cx = SearchCx {
+        pag,
+        fields,
+        ctxs,
+        config,
+        refinement,
+        budget,
+        stats,
+        pts: PointsToSet::new(),
+        flds_seen: HashSet::new(),
+        seen: HashSet::new(),
+        wl: Vec::new(),
+    };
+    let init = (pag.var_node(start), FieldStackId::EMPTY, Direction::S1, start_ctx);
+    cx.seen.insert(init);
+    cx.wl.push(init);
+    let complete = cx.drive().is_ok();
+    SearchOutcome {
+        pts: cx.pts,
+        flds_seen: cx.flds_seen,
+        complete,
+    }
+}
+
+struct SearchCx<'a, 'p> {
+    pag: &'p Pag,
+    fields: &'a mut StackPool<FieldId>,
+    ctxs: &'a mut StackPool<CallSiteId>,
+    config: &'a EngineConfig,
+    refinement: Refinement<'a>,
+    budget: &'a mut Budget,
+    stats: &'a mut QueryStats,
+    pts: PointsToSet,
+    flds_seen: HashSet<EdgeId>,
+    seen: HashSet<(NodeId, FieldStackId, Direction, CtxId)>,
+    wl: Vec<(NodeId, FieldStackId, Direction, CtxId)>,
+}
+
+impl SearchCx<'_, '_> {
+    fn charge(&mut self) -> Result<(), BudgetExceeded> {
+        self.budget.charge()?;
+        self.stats.edges_traversed += 1;
+        Ok(())
+    }
+
+    fn push_field(&mut self, f: FieldStackId, g: FieldId) -> Result<FieldStackId, BudgetExceeded> {
+        if self.fields.depth(f) >= self.config.max_field_depth {
+            return Err(BudgetExceeded);
+        }
+        Ok(self.fields.push(f, g))
+    }
+
+    fn propagate(&mut self, n: NodeId, f: FieldStackId, s: Direction, c: CtxId) {
+        let item = (n, f, s, c);
+        if self.seen.insert(item) {
+            self.wl.push(item);
+        }
+    }
+
+    fn drive(&mut self) -> Result<(), BudgetExceeded> {
+        while let Some((u, f, s, c)) = self.wl.pop() {
+            self.stats.steps += 1;
+            match s {
+                Direction::S1 => self.s1(u, f, c)?,
+                Direction::S2 => self.s2(u, f, c)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Backward (`pointsTo`) transitions: in-edges of `u`.
+    fn s1(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), BudgetExceeded> {
+        let mut saw_new = false;
+        for &eid in self.pag.in_edges(u) {
+            let e = *self.pag.edge(eid);
+            match e.kind {
+                EdgeKind::New => {
+                    self.charge()?;
+                    if f.is_empty() {
+                        let NodeRef::Obj(o) = self.pag.node_ref(e.src) else {
+                            continue;
+                        };
+                        self.pts.insert(o, c);
+                    } else {
+                        saw_new = true;
+                    }
+                }
+                EdgeKind::Assign => {
+                    self.charge()?;
+                    self.propagate(e.src, f, Direction::S1, c);
+                }
+                EdgeKind::AssignGlobal => {
+                    self.charge()?;
+                    self.propagate(e.src, f, Direction::S1, ctx_clear());
+                }
+                EdgeKind::Exit(i) => {
+                    self.charge()?;
+                    if let Some(c2) = ctx_push(self.ctxs, c, i, self.pag, self.config)? {
+                        self.propagate(e.src, f, Direction::S1, c2);
+                    }
+                }
+                EdgeKind::Entry(i) => {
+                    self.charge()?;
+                    if let Some(c2) = ctx_pop(self.ctxs, c, i, self.pag, self.config)? {
+                        self.propagate(e.src, f, Direction::S1, c2);
+                    }
+                }
+                EdgeKind::Load(g) => {
+                    if self.refinement.is_refined(eid) {
+                        // Field-sensitive: push the pending field and
+                        // resolve the base (Algorithm 1's alias branch).
+                        self.charge()?;
+                        let f2 = self.push_field(f, g)?;
+                        self.propagate(e.src, f2, Direction::S1, c);
+                    } else {
+                        // Field-based match edge: jump straight to every
+                        // store of the field, clearing the context
+                        // (Algorithm 1 lines 15–17).
+                        self.flds_seen.insert(eid);
+                        for &sid in self.pag.stores_of(g) {
+                            self.charge()?;
+                            let st = *self.pag.edge(sid);
+                            self.propagate(st.src, f, Direction::S1, ctx_clear());
+                        }
+                    }
+                }
+                EdgeKind::Store(_) => {}
+            }
+        }
+        if saw_new {
+            // `new new̅`: flip to the forward state to hunt for aliases.
+            self.charge()?;
+            self.propagate(u, f, Direction::S2, c);
+        }
+        Ok(())
+    }
+
+    /// Forward (`flowsTo`) transitions: out-edges of `u`, plus the
+    /// in-store pop.
+    fn s2(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), BudgetExceeded> {
+        for &eid in self.pag.out_edges(u) {
+            let e = *self.pag.edge(eid);
+            match e.kind {
+                EdgeKind::Assign => {
+                    self.charge()?;
+                    self.propagate(e.dst, f, Direction::S2, c);
+                }
+                EdgeKind::AssignGlobal => {
+                    self.charge()?;
+                    self.propagate(e.dst, f, Direction::S2, ctx_clear());
+                }
+                EdgeKind::Entry(i) => {
+                    self.charge()?;
+                    if let Some(c2) = ctx_push(self.ctxs, c, i, self.pag, self.config)? {
+                        self.propagate(e.dst, f, Direction::S2, c2);
+                    }
+                }
+                EdgeKind::Exit(i) => {
+                    self.charge()?;
+                    if let Some(c2) = ctx_pop(self.ctxs, c, i, self.pag, self.config)? {
+                        self.propagate(e.dst, f, Direction::S2, c2);
+                    }
+                }
+                EdgeKind::Load(g) => {
+                    // Forward over a load matches the pending field —
+                    // only when that load is explored field-sensitively.
+                    if self.refinement.is_refined(eid) && self.fields.peek(f) == Some(g) {
+                        self.charge()?;
+                        let (_, rest) = self.fields.pop(f).expect("peeked");
+                        self.propagate(e.dst, rest, Direction::S2, c);
+                    }
+                }
+                EdgeKind::Store(g) => {
+                    // Unrefined loads of `g` pair with this store via the
+                    // match edge (field-based, context cleared).
+                    let mut any_refined = false;
+                    let loads: Vec<EdgeId> = self.pag.loads_of(g).to_vec();
+                    for lid in loads {
+                        if self.refinement.is_refined(lid) {
+                            any_refined = true;
+                        } else {
+                            self.flds_seen.insert(lid);
+                            self.charge()?;
+                            let le = *self.pag.edge(lid);
+                            self.propagate(le.dst, f, Direction::S2, ctx_clear());
+                        }
+                    }
+                    // The precise alias detour feeds the refined loads.
+                    if any_refined {
+                        self.charge()?;
+                        let f2 = self.push_field(f, g)?;
+                        self.propagate(e.dst, f2, Direction::S1, c);
+                    }
+                }
+                EdgeKind::New => {}
+            }
+        }
+        for &eid in self.pag.in_edges(u) {
+            let e = *self.pag.edge(eid);
+            if let EdgeKind::Store(g) = e.kind {
+                if self.fields.peek(f) == Some(g) {
+                    self.charge()?;
+                    let (_, rest) = self.fields.pop(f).expect("peeked");
+                    self.propagate(e.src, rest, Direction::S1, c);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::PagBuilder;
+
+    fn run_all(pag: &Pag, v: VarId) -> PointsToSet {
+        let mut fields = StackPool::new();
+        let mut ctxs = StackPool::new();
+        let config = EngineConfig::unlimited();
+        let mut budget = Budget::unlimited();
+        let mut stats = QueryStats::default();
+        let out = search(
+            pag,
+            &mut fields,
+            &mut ctxs,
+            &config,
+            Refinement::All,
+            v,
+            CtxId::EMPTY,
+            &mut budget,
+            &mut stats,
+        );
+        assert!(out.complete);
+        out.pts
+    }
+
+    #[test]
+    fn interprocedural_field_flow() {
+        // Vector-like: caller stores into v.f via callee, reads back.
+        //   set(this, p) { this.f = p }
+        //   main: c = new C; x = new X; set(c, x); t = c.f
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let set = b.add_method("set", None).unwrap();
+        let c = b.add_local("c", main, None).unwrap();
+        let x = b.add_local("x", main, None).unwrap();
+        let t = b.add_local("t", main, None).unwrap();
+        let this_set = b.add_local("this_set", set, None).unwrap();
+        let p = b.add_local("p", set, None).unwrap();
+        let oc = b.add_obj("oc", None, Some(main)).unwrap();
+        let ox = b.add_obj("ox", None, Some(main)).unwrap();
+        let field = b.field("f");
+        b.add_new(oc, c).unwrap();
+        b.add_new(ox, x).unwrap();
+        let site = b.add_call_site("1", main).unwrap();
+        b.add_entry(site, c, this_set).unwrap();
+        b.add_entry(site, x, p).unwrap();
+        b.add_store(field, p, this_set).unwrap();
+        b.add_load(field, c, t).unwrap();
+        let pag = b.finish();
+        let pts = run_all(&pag, t);
+        assert_eq!(pts.objects().into_iter().collect::<Vec<_>>(), vec![ox]);
+    }
+
+    #[test]
+    fn match_edges_over_approximate_and_record_seen() {
+        // Two unrelated containers with the same field: field-based must
+        // conflate them, field-sensitive must separate.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let p1 = b.add_local("p1", m, None).unwrap();
+        let p2 = b.add_local("p2", m, None).unwrap();
+        let x1 = b.add_local("x1", m, None).unwrap();
+        let x2 = b.add_local("x2", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let o1 = b.add_obj("o1", None, Some(m)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(m)).unwrap();
+        let oa = b.add_obj("oa", None, Some(m)).unwrap();
+        let ob = b.add_obj("ob", None, Some(m)).unwrap();
+        let f = b.field("f");
+        b.add_new(oa, p1).unwrap();
+        b.add_new(ob, p2).unwrap();
+        b.add_new(o1, x1).unwrap();
+        b.add_new(o2, x2).unwrap();
+        b.add_store(f, x1, p1).unwrap();
+        b.add_store(f, x2, p2).unwrap();
+        b.add_load(f, p1, y).unwrap();
+        let pag = b.finish();
+
+        // Field-sensitive: only o1.
+        let precise = run_all(&pag, y);
+        assert_eq!(precise.objects().into_iter().collect::<Vec<_>>(), vec![o1]);
+
+        // Field-based (nothing refined): o1 and o2, and the load edge is
+        // recorded in fldsSeen.
+        let refined = HashSet::new();
+        let mut fields = StackPool::new();
+        let mut ctxs = StackPool::new();
+        let config = EngineConfig::unlimited();
+        let mut budget = Budget::unlimited();
+        let mut stats = QueryStats::default();
+        let out = search(
+            &pag,
+            &mut fields,
+            &mut ctxs,
+            &config,
+            Refinement::Only(&refined),
+            y,
+            CtxId::EMPTY,
+            &mut budget,
+            &mut stats,
+        );
+        assert!(out.complete);
+        let objs: Vec<_> = out.pts.objects().into_iter().collect();
+        assert_eq!(objs, vec![o1, o2], "field-based conflates the bases");
+        assert_eq!(out.flds_seen.len(), 1);
+    }
+
+    #[test]
+    fn unrealizable_paths_filtered() {
+        // Same shape as DynSum's two_callers test; the search engine must
+        // agree.
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let id = b.add_method("id", None).unwrap();
+        let a1 = b.add_local("a1", main, None).unwrap();
+        let a2 = b.add_local("a2", main, None).unwrap();
+        let r1 = b.add_local("r1", main, None).unwrap();
+        let r2 = b.add_local("r2", main, None).unwrap();
+        let p = b.add_local("p", id, None).unwrap();
+        let ret = b.add_local("ret", id, None).unwrap();
+        let o1 = b.add_obj("o1", None, Some(main)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(main)).unwrap();
+        b.add_new(o1, a1).unwrap();
+        b.add_new(o2, a2).unwrap();
+        b.add_assign(p, ret).unwrap();
+        let s1 = b.add_call_site("1", main).unwrap();
+        let s2 = b.add_call_site("2", main).unwrap();
+        b.add_entry(s1, a1, p).unwrap();
+        b.add_entry(s2, a2, p).unwrap();
+        b.add_exit(s1, ret, r1).unwrap();
+        b.add_exit(s2, ret, r2).unwrap();
+        let pag = b.finish();
+        let pts1 = run_all(&pag, r1);
+        assert_eq!(pts1.objects().into_iter().collect::<Vec<_>>(), vec![o1]);
+        let pts2 = run_all(&pag, r2);
+        assert_eq!(pts2.objects().into_iter().collect::<Vec<_>>(), vec![o2]);
+    }
+
+    #[test]
+    fn context_insensitive_mode_merges() {
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let id = b.add_method("id", None).unwrap();
+        let a1 = b.add_local("a1", main, None).unwrap();
+        let a2 = b.add_local("a2", main, None).unwrap();
+        let r1 = b.add_local("r1", main, None).unwrap();
+        let p = b.add_local("p", id, None).unwrap();
+        let ret = b.add_local("ret", id, None).unwrap();
+        let o1 = b.add_obj("o1", None, Some(main)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(main)).unwrap();
+        b.add_new(o1, a1).unwrap();
+        b.add_new(o2, a2).unwrap();
+        b.add_assign(p, ret).unwrap();
+        let s1 = b.add_call_site("1", main).unwrap();
+        let s2 = b.add_call_site("2", main).unwrap();
+        b.add_entry(s1, a1, p).unwrap();
+        b.add_entry(s2, a2, p).unwrap();
+        b.add_exit(s1, ret, r1).unwrap();
+        let pag = b.finish();
+
+        let mut fields = StackPool::new();
+        let mut ctxs = StackPool::new();
+        let config = EngineConfig {
+            context_sensitive: false,
+            ..EngineConfig::unlimited()
+        };
+        let mut budget = Budget::unlimited();
+        let mut stats = QueryStats::default();
+        let out = search(
+            &pag,
+            &mut fields,
+            &mut ctxs,
+            &config,
+            Refinement::All,
+            r1,
+            CtxId::EMPTY,
+            &mut budget,
+            &mut stats,
+        );
+        let objs: Vec<_> = out.pts.objects().into_iter().collect();
+        assert_eq!(objs, vec![o1, o2], "insensitive mode merges both sites");
+    }
+
+    #[test]
+    fn budget_trips_and_reports_incomplete() {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let mut prev = b.add_local("v0", m, None).unwrap();
+        for i in 1..64 {
+            let v = b.add_local(&format!("v{i}"), m, None).unwrap();
+            b.add_assign(prev, v).unwrap();
+            prev = v;
+        }
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let mut ctxs = StackPool::new();
+        let config = EngineConfig::default();
+        let mut budget = Budget::new(5);
+        let mut stats = QueryStats::default();
+        let out = search(
+            &pag,
+            &mut fields,
+            &mut ctxs,
+            &config,
+            Refinement::All,
+            prev,
+            CtxId::EMPTY,
+            &mut budget,
+            &mut stats,
+        );
+        assert!(!out.complete);
+    }
+}

@@ -1,0 +1,182 @@
+//! Partial points-to summaries and the cross-query summary cache.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dynsum_cfl::{Direction, FieldStackId};
+use dynsum_pag::{NodeId, ObjId, Pag};
+
+/// The result of one partial points-to analysis (Algorithm 3): everything
+/// reachable from a `(node, field stack, direction)` configuration along
+/// **local** edges only.
+///
+/// * [`objs`](Self::objs) — objects whose `new` edge was reached with an
+///   empty field stack (fully resolved answers);
+/// * [`boundaries`](Self::boundaries) — configurations at method-boundary
+///   nodes where a global edge must be crossed to continue; the worklist
+///   driver (Algorithm 4) resumes from these.
+///
+/// Summaries are context-independent by construction (local edges never
+/// touch the context stack), which is exactly what makes them reusable
+/// across different calling contexts (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Objects found (field stack fully matched).
+    pub objs: Vec<ObjId>,
+    /// Boundary configurations awaiting global-edge continuation.
+    pub boundaries: Vec<(NodeId, FieldStackId, Direction)>,
+}
+
+impl Summary {
+    /// A summary for a node with no local edges: no objects, and the node
+    /// itself as a boundary when it has global edges on the side the
+    /// direction needs (the driver skips PPTA entirely for such nodes,
+    /// §4.3).
+    pub fn trivial(pag: &Pag, node: NodeId, fstack: FieldStackId, dir: Direction) -> Summary {
+        let boundary = match dir {
+            Direction::S1 => pag.has_global_in(node),
+            Direction::S2 => pag.has_global_out(node),
+        };
+        Summary {
+            objs: Vec::new(),
+            boundaries: if boundary {
+                vec![(node, fstack, dir)]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Total number of facts carried (objects + boundary tuples).
+    pub fn len(&self) -> usize {
+        self.objs.len() + self.boundaries.len()
+    }
+
+    /// `true` when the summary carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty() && self.boundaries.is_empty()
+    }
+}
+
+/// Key of a cached summary: the `(u, f, s)` triple of Algorithm 4 line 5.
+pub type SummaryKey = (NodeId, FieldStackId, Direction);
+
+/// DYNSUM's cross-query summary cache (the paper's `Cache`).
+///
+/// Entries are reference-counted so cache hits are O(1) clones; the entry
+/// count is the quantity compared against STASUM in Figure 5.
+#[derive(Debug, Default, Clone)]
+pub struct SummaryCache {
+    map: HashMap<SummaryKey, Rc<Summary>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SummaryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SummaryCache::default()
+    }
+
+    /// Looks up a summary, counting a hit or miss.
+    pub fn lookup(&mut self, key: SummaryKey) -> Option<Rc<Summary>> {
+        match self.map.get(&key) {
+            Some(s) => {
+                self.hits += 1;
+                Some(Rc::clone(s))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed summary.
+    pub fn insert(&mut self, key: SummaryKey, summary: Rc<Summary>) {
+        self.map.insert(key, summary);
+    }
+
+    /// Number of cached summaries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears entries and counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Removes every entry whose key satisfies `pred`, returning how
+    /// many were evicted. Counters are kept (they describe history).
+    pub fn evict_where(&mut self, mut pred: impl FnMut(&SummaryKey) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, _| !pred(k));
+        before - self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::PagBuilder;
+
+    #[test]
+    fn trivial_summary_reflects_boundary_bits() {
+        let mut b = PagBuilder::new();
+        let m1 = b.add_method("m1", None).unwrap();
+        let m2 = b.add_method("m2", None).unwrap();
+        let a = b.add_local("a", m1, None).unwrap();
+        let p = b.add_local("p", m2, None).unwrap();
+        let s = b.add_call_site("1", m1).unwrap();
+        b.add_entry(s, a, p).unwrap();
+        let pag = b.finish();
+        let na = pag.var_node(a);
+        let np = pag.var_node(p);
+
+        // `a` has a global out-edge only.
+        let s1 = Summary::trivial(&pag, na, FieldStackId::EMPTY, Direction::S1);
+        assert!(s1.is_empty());
+        let s2 = Summary::trivial(&pag, na, FieldStackId::EMPTY, Direction::S2);
+        assert_eq!(s2.boundaries.len(), 1);
+        assert_eq!(s2.len(), 1);
+
+        // `p` has a global in-edge only.
+        let s1 = Summary::trivial(&pag, np, FieldStackId::EMPTY, Direction::S1);
+        assert_eq!(s1.boundaries, vec![(np, FieldStackId::EMPTY, Direction::S1)]);
+        let s2 = Summary::trivial(&pag, np, FieldStackId::EMPTY, Direction::S2);
+        assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut c = SummaryCache::new();
+        let key = (NodeId::from_raw(0), FieldStackId::EMPTY, Direction::S1);
+        assert!(c.lookup(key).is_none());
+        c.insert(key, Rc::new(Summary::default()));
+        assert!(c.lookup(key).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Abstract syntax of the Java-subset language.
+//!
+//! The language covers what the paper's PAGs need: classes with single
+//! inheritance, instance and static fields, instance and static methods,
+//! constructors, allocation, field/array loads and stores, casts,
+//! virtual and static calls, `null`, strings, and (flow-irrelevant)
+//! control flow.
+
+use crate::span::Span;
+
+/// A type annotation: a class name or `int`, optionally an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeRef {
+    /// Element type name (`int` is the only primitive).
+    pub name: String,
+    /// `true` for `T[]`.
+    pub array: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+impl TypeRef {
+    /// `true` for the primitive `int` (non-pointer).
+    pub fn is_int(&self) -> bool {
+        !self.array && self.name == "int"
+    }
+
+    /// Display form (`T` or `T[]`).
+    pub fn display(&self) -> String {
+        if self.array {
+            format!("{}[]", self.name)
+        } else {
+            self.name.clone()
+        }
+    }
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// `class Name extends Super { members }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name (`Object` when omitted).
+    pub superclass: Option<String>,
+    /// Instance fields.
+    pub fields: Vec<FieldDecl>,
+    /// Static fields (globals).
+    pub statics: Vec<FieldDecl>,
+    /// Methods and constructors.
+    pub methods: Vec<MethodDecl>,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeRef,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A method, constructor (name == class name, no return type) or static
+/// method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// Method name.
+    pub name: String,
+    /// `None` for `void` and constructors.
+    pub return_type: Option<TypeRef>,
+    /// `true` for `static` methods.
+    pub is_static: bool,
+    /// `true` for constructors.
+    pub is_ctor: bool,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A method parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeRef,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statements. Control flow is parsed but irrelevant to the
+/// flow-insensitive analysis: bodies are lowered unconditionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `T x = e;` / `T x;`
+    VarDecl {
+        /// Declared type.
+        ty: TypeRef,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `lvalue = e;`
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Assigned value.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// An expression evaluated for effect (usually a call).
+    Expr(Expr),
+    /// `return e?;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `if (c) s else s?` — both branches lowered.
+    If {
+        /// Condition (evaluated for effects only).
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Else-branch.
+        else_branch: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `while (c) s` — body lowered once.
+    While {
+        /// Condition (evaluated for effects only).
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable or unqualified name (resolved later: local, param, or
+    /// implicit `this` field).
+    Name {
+        /// The identifier.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// `this`
+    This {
+        /// Location.
+        span: Span,
+    },
+    /// `null`
+    Null {
+        /// Location.
+        span: Span,
+    },
+    /// Integer literal (non-pointer).
+    Int {
+        /// The value.
+        value: i64,
+        /// Location.
+        span: Span,
+    },
+    /// String literal (allocates a `String`).
+    Str {
+        /// The contents.
+        value: String,
+        /// Location.
+        span: Span,
+    },
+    /// `new C(args)`
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `new T[len]`
+    NewArray {
+        /// Element type name.
+        elem: String,
+        /// Length expression (effects only).
+        len: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `(T) e`
+    Cast {
+        /// Target type.
+        ty: TypeRef,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `e.f`
+    Field {
+        /// Base object expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Location.
+        span: Span,
+    },
+    /// `e[i]`
+    Index {
+        /// Array expression.
+        base: Box<Expr>,
+        /// Index expression (effects only).
+        index: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `e.m(args)` (virtual) or `C.m(args)` (static, when `base` names a
+    /// class) or `m(args)` (implicit `this`).
+    Call {
+        /// Receiver (`None` for implicit `this` / unqualified calls).
+        base: Option<Box<Expr>>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `a op b` (non-pointer result; both sides evaluated for effects).
+    Binary {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator text.
+        op: &'static str,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `!e` / `-e`.
+    Unary {
+        /// Operator text.
+        op: &'static str,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Name { span, .. }
+            | Expr::This { span }
+            | Expr::Null { span }
+            | Expr::Int { span, .. }
+            | Expr::Str { span, .. }
+            | Expr::New { span, .. }
+            | Expr::NewArray { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_ref_display() {
+        let t = TypeRef {
+            name: "Vector".into(),
+            array: false,
+            span: Span::default(),
+        };
+        assert_eq!(t.display(), "Vector");
+        let a = TypeRef {
+            name: "Object".into(),
+            array: true,
+            span: Span::default(),
+        };
+        assert_eq!(a.display(), "Object[]");
+        assert!(!a.is_int());
+        let i = TypeRef {
+            name: "int".into(),
+            array: false,
+            span: Span::default(),
+        };
+        assert!(i.is_int());
+    }
+
+    #[test]
+    fn expr_span_accessor() {
+        let s = Span::new(1, 2, 3, 4);
+        assert_eq!(Expr::This { span: s }.span(), s);
+        assert_eq!(
+            Expr::Int { value: 1, span: s }.span(),
+            s
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Compiler diagnostics.
+
+use crate::span::Span;
+
+/// A compilation error with location and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        CompileError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with a source excerpt and caret line:
+    ///
+    /// ```text
+    /// error at 3:9: unknown class `Vectr`
+    ///   |     Vectr v = new Vectr();
+    ///   |     ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_text = source
+            .lines()
+            .nth(self.span.line.saturating_sub(1) as usize)
+            .unwrap_or("");
+        let caret_pad = " ".repeat(self.span.col.saturating_sub(1) as usize);
+        format!(
+            "error at {}: {}\n  | {}\n  | {}^\n",
+            self.span, self.message, line_text, caret_pad
+        )
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_offender() {
+        let src = "class A {\n  Vectr v;\n}\n";
+        let e = CompileError::new(Span::new(12, 17, 2, 3), "unknown class `Vectr`");
+        let out = e.render(src);
+        assert!(out.contains("error at 2:3"));
+        assert!(out.contains("Vectr v;"));
+        assert!(out.contains("  ^"));
+    }
+
+    #[test]
+    fn display_has_location() {
+        let e = CompileError::new(Span::new(0, 1, 1, 1), "boom");
+        assert_eq!(e.to_string(), "error at 1:1: boom");
+    }
+}

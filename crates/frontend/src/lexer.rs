@@ -1,0 +1,333 @@
+//! The hand-written lexer.
+
+use crate::error::CompileError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` into a vector ending with an [`TokenKind::Eof`]
+/// token.
+///
+/// Supports `//` line comments and `/* ... */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unterminated strings or block comments
+/// and for characters outside the language's alphabet.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn span_here(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_here(start, line, col),
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'.' => self.single(TokenKind::Dot),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::EqEq
+                    } else {
+                        TokenKind::Assign
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::NotEq
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'"' => self.string(start, line, col)?,
+                b'0'..=b'9' => self.number(start),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(start),
+                other => {
+                    return Err(CompileError::new(
+                        self.span_here(start, line, col),
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
+            };
+            out.push(Token {
+                kind,
+                span: self.span_here(start, line, col),
+            });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (start, line, col) = (self.pos, self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(
+                                    Span::new(start, self.pos, line, col),
+                                    "unterminated block comment",
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self, start: usize, line: u32, col: u32) -> Result<TokenKind, CompileError> {
+        self.bump(); // opening quote
+        let content_start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let text = self.src[content_start..self.pos].to_owned();
+                    self.bump();
+                    return Ok(TokenKind::Str(text));
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    return Err(CompileError::new(
+                        Span::new(start, self.pos, line, col),
+                        "unterminated string literal",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> TokenKind {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::Int(text.parse().unwrap_or(0))
+    }
+
+    fn ident(&mut self, start: usize) -> TokenKind {
+        while matches!(self.peek(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        match &self.src[start..self.pos] {
+            "class" => TokenKind::Class,
+            "extends" => TokenKind::Extends,
+            "static" => TokenKind::Static,
+            "void" => TokenKind::Void,
+            "new" => TokenKind::New,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "this" => TokenKind::This,
+            "null" => TokenKind::Null,
+            other => TokenKind::Ident(other.to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_class_header() {
+        assert_eq!(
+            kinds("class Vector extends Object {"),
+            vec![
+                TokenKind::Class,
+                TokenKind::Ident("Vector".into()),
+                TokenKind::Extends,
+                TokenKind::Ident("Object".into()),
+                TokenKind::LBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        assert_eq!(
+            kinds(r#"x == 42 != "hi" <= >= < > ! = + - * /"#),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::EqEq,
+                TokenKind::Int(42),
+                TokenKind::NotEq,
+                TokenKind::Str("hi".into()),
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Bang,
+                TokenKind::Assign,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n /* block\n comment */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* no end").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        let e = lex("a § b").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(kinds("null"), vec![TokenKind::Null, TokenKind::Eof]);
+        assert_eq!(
+            kinds("nullish"),
+            vec![TokenKind::Ident("nullish".into()), TokenKind::Eof]
+        );
+    }
+}

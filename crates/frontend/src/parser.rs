@@ -1,0 +1,676 @@
+//! Recursive-descent parser for the Java subset.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a compilation unit.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] encountered.
+pub fn parse(tokens: Vec<Token>) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        let i = (self.pos + off).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, CompileError> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(CompileError::new(
+                self.span(),
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(CompileError::new(
+                self.span(),
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut classes = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            classes.push(self.class_decl()?);
+        }
+        Ok(Program { classes })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, CompileError> {
+        let start = self.span();
+        self.expect(TokenKind::Class)?;
+        let (name, _) = self.expect_ident("class name")?;
+        let superclass = if self.eat(&TokenKind::Extends) {
+            Some(self.expect_ident("superclass name")?.0)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut decl = ClassDecl {
+            name: name.clone(),
+            superclass,
+            fields: Vec::new(),
+            statics: Vec::new(),
+            methods: Vec::new(),
+            span: start,
+        };
+        while !self.eat(&TokenKind::RBrace) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(CompileError::new(
+                    self.span(),
+                    format!("unterminated body of class `{name}`"),
+                ));
+            }
+            self.member(&mut decl)?;
+        }
+        Ok(decl)
+    }
+
+    fn member(&mut self, class: &mut ClassDecl) -> Result<(), CompileError> {
+        let is_static = self.eat(&TokenKind::Static);
+
+        // Constructor: `Name ( ... ) { ... }` where Name == class name.
+        if let TokenKind::Ident(n) = self.peek() {
+            if n == &class.name && matches!(self.peek_at(1), TokenKind::LParen) {
+                if is_static {
+                    return Err(CompileError::new(self.span(), "constructors cannot be static"));
+                }
+                let span = self.span();
+                let (name, _) = self.expect_ident("constructor name")?;
+                let params = self.params()?;
+                let body = self.block()?;
+                class.methods.push(MethodDecl {
+                    name,
+                    return_type: None,
+                    is_static: false,
+                    is_ctor: true,
+                    params,
+                    body,
+                    span,
+                });
+                return Ok(());
+            }
+        }
+
+        // `void m(...) {...}` or `T m(...) {...}` or `T f;`
+        let span = self.span();
+        let return_type = if self.eat(&TokenKind::Void) {
+            None
+        } else {
+            Some(self.type_ref()?)
+        };
+        let (name, _) = self.expect_ident("member name")?;
+        if matches!(self.peek(), TokenKind::LParen) {
+            let params = self.params()?;
+            let body = self.block()?;
+            class.methods.push(MethodDecl {
+                name,
+                return_type,
+                is_static,
+                is_ctor: false,
+                params,
+                body,
+                span,
+            });
+        } else {
+            let ty = return_type.ok_or_else(|| {
+                CompileError::new(span, "fields cannot have type `void`")
+            })?;
+            self.expect(TokenKind::Semi)?;
+            let field = FieldDecl { name, ty, span };
+            if is_static {
+                class.statics.push(field);
+            } else {
+                class.fields.push(field);
+            }
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<Vec<ParamDecl>, CompileError> {
+        self.expect(TokenKind::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let span = self.span();
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident("parameter name")?;
+                out.push(ParamDecl { name, ty, span });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(out)
+    }
+
+    fn type_ref(&mut self) -> Result<TypeRef, CompileError> {
+        let span = self.span();
+        let (name, _) = self.expect_ident("type name")?;
+        let array = if matches!(self.peek(), TokenKind::LBracket)
+            && matches!(self.peek_at(1), TokenKind::RBracket)
+        {
+            self.bump();
+            self.bump();
+            true
+        } else {
+            false
+        };
+        Ok(TypeRef { name, array, span })
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(CompileError::new(self.span(), "unterminated block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Return => {
+                self.bump();
+                let value = if matches!(self.peek(), TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_branch = self.stmt_or_block()?;
+                let else_branch = if self.eat(&TokenKind::Else) {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            // Local declaration: `T x ...` or `T[] x ...`.
+            TokenKind::Ident(_)
+                if matches!(self.peek_at(1), TokenKind::Ident(_))
+                    || (matches!(self.peek_at(1), TokenKind::LBracket)
+                        && matches!(self.peek_at(2), TokenKind::RBracket)) =>
+            {
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident("variable name")?;
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::VarDecl {
+                    ty,
+                    name,
+                    init,
+                    span,
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Assign {
+                        target: e,
+                        value,
+                        span,
+                    })
+                } else {
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.equality()
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => "==",
+                TokenKind::NotEq => "!=",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                lhs: Box::new(lhs),
+                op,
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => "<",
+                TokenKind::Gt => ">",
+                TokenKind::Le => "<=",
+                TokenKind::Ge => ">=",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                lhs: Box::new(lhs),
+                op,
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => "+",
+                TokenKind::Minus => "-",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                lhs: Box::new(lhs),
+                op,
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => "*",
+                TokenKind::Slash => "/",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                lhs: Box::new(lhs),
+                op,
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        let op = match self.peek() {
+            TokenKind::Bang => Some("!"),
+            TokenKind::Minus => Some("-"),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let (name, nspan) = self.expect_ident("member name")?;
+                    if matches!(self.peek(), TokenKind::LParen) {
+                        let args = self.args()?;
+                        let span = e.span().to(nspan);
+                        e = Expr::Call {
+                            base: Some(Box::new(e)),
+                            method: name,
+                            args,
+                            span,
+                        };
+                    } else {
+                        let span = e.span().to(nspan);
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            field: name,
+                            span,
+                        };
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    let span = e.span().to(index.span());
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(TokenKind::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                out.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(out)
+    }
+
+    /// `true` when the current token can begin a cast operand.
+    fn starts_cast_operand(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Ident(_)
+                | TokenKind::This
+                | TokenKind::Null
+                | TokenKind::New
+                | TokenKind::Str(_)
+                | TokenKind::LParen
+        )
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(value) => {
+                self.bump();
+                Ok(Expr::Int { value, span })
+            }
+            TokenKind::Str(value) => {
+                self.bump();
+                Ok(Expr::Str { value, span })
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::This { span })
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Null { span })
+            }
+            TokenKind::New => {
+                self.bump();
+                let (class, _) = self.expect_ident("class name after `new`")?;
+                if self.eat(&TokenKind::LBracket) {
+                    let len = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(Expr::NewArray {
+                        elem: class,
+                        len: Box::new(len),
+                        span,
+                    })
+                } else {
+                    let args = self.args()?;
+                    Ok(Expr::New { class, args, span })
+                }
+            }
+            TokenKind::LParen => {
+                // Cast heuristic: `(T) e` / `(T[]) e` when what follows the
+                // closing paren can start an operand; otherwise grouping.
+                if let TokenKind::Ident(_) = self.peek_at(1) {
+                    let is_array =
+                        matches!(self.peek_at(2), TokenKind::LBracket)
+                            && matches!(self.peek_at(3), TokenKind::RBracket);
+                    let close_at = if is_array { 4 } else { 2 };
+                    if matches!(self.peek_at(close_at), TokenKind::RParen) {
+                        let save = self.pos;
+                        self.bump(); // (
+                        let ty = self.type_ref()?;
+                        self.expect(TokenKind::RParen)?;
+                        if self.starts_cast_operand() {
+                            let expr = self.unary()?;
+                            return Ok(Expr::Cast {
+                                ty,
+                                expr: Box::new(expr),
+                                span,
+                            });
+                        }
+                        self.pos = save;
+                    }
+                }
+                self.bump(); // (
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::LParen) {
+                    let args = self.args()?;
+                    Ok(Expr::Call {
+                        base: None,
+                        method: name,
+                        args,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Name { name, span })
+                }
+            }
+            other => Err(CompileError::new(
+                span,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_class_with_members() {
+        let p = parse_src(
+            "class Vector { Object[] elems; int count; static Vector shared; \
+             Vector() { } void add(Object p) { } Object get(int i) { return null; } }",
+        );
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.fields.len(), 2);
+        assert_eq!(c.statics.len(), 1);
+        assert_eq!(c.methods.len(), 3);
+        assert!(c.methods[0].is_ctor);
+        assert!(c.fields[0].ty.array);
+    }
+
+    #[test]
+    fn parses_inheritance() {
+        let p = parse_src("class A {} class B extends A {}");
+        assert_eq!(p.classes[1].superclass.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn parses_statements() {
+        let p = parse_src(
+            "class M { void m(Object p) { \
+               Object t = p; t = this.f; this.f = t; t.g(p); \
+               if (t == null) { t = p; } else t = p; \
+               while (1 < 2) { t = p; } \
+               return; } }",
+        );
+        let body = &p.classes[0].methods[0].body;
+        assert_eq!(body.len(), 7);
+        assert!(matches!(body[0], Stmt::VarDecl { .. }));
+        assert!(matches!(body[4], Stmt::If { .. }));
+        assert!(matches!(body[5], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_cast() {
+        let p = parse_src("class M { void m(Object p) { String s = (String) p; } }");
+        let Stmt::VarDecl { init: Some(e), .. } = &p.classes[0].methods[0].body[0] else {
+            panic!("expected decl");
+        };
+        assert!(matches!(e, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn grouping_is_not_cast() {
+        // `(a) + 1` groups; `+` cannot start a cast operand.
+        let p = parse_src("class M { void m(int a) { int b = (a) + 1; } }");
+        let Stmt::VarDecl { init: Some(e), .. } = &p.classes[0].methods[0].body[0] else {
+            panic!("expected decl");
+        };
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn parses_array_ops_and_calls() {
+        let p = parse_src(
+            "class M { Object m(Vector v, int i) { \
+               Object[] a = new Object[8]; a[i] = v.get(i); return a[0]; } }",
+        );
+        let body = &p.classes[0].methods[0].body;
+        assert!(matches!(&body[1], Stmt::Assign { target: Expr::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn parses_static_calls_and_fields() {
+        let p = parse_src(
+            "class M { void m() { Object t = Registry.lookup(); Registry.cache = t; } }",
+        );
+        let body = &p.classes[0].methods[0].body;
+        assert!(matches!(&body[0], Stmt::VarDecl { init: Some(Expr::Call { base: Some(_), .. }), .. }));
+        assert!(matches!(&body[1], Stmt::Assign { target: Expr::Field { .. }, .. }));
+    }
+
+    #[test]
+    fn error_messages_carry_location() {
+        let e = parse(lex("class A { void m() { return }").unwrap()).unwrap_err();
+        assert!(e.message.contains("expected"));
+        assert!(e.span.line >= 1);
+    }
+
+    #[test]
+    fn unterminated_class_reports_nicely() {
+        let e = parse(lex("class A { void m() {} ").unwrap()).unwrap_err();
+        assert!(e.message.contains("unterminated body"));
+    }
+}

@@ -1,0 +1,341 @@
+//! AST pretty-printer.
+//!
+//! Renders a parsed [`Program`] back to canonical source text. Printing
+//! is *stable*: `print ∘ parse ∘ print == print`, which the test suite
+//! uses to validate the parser's precedence and associativity handling
+//! (any mismatch between how an expression is printed and re-parsed
+//! shows up as a fixed-point violation).
+
+use crate::ast::*;
+
+/// Pretty-prints a whole program in canonical formatting.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, c) in p.classes.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_class(c, &mut out);
+    }
+    out
+}
+
+fn print_class(c: &ClassDecl, out: &mut String) {
+    out.push_str("class ");
+    out.push_str(&c.name);
+    if let Some(sup) = &c.superclass {
+        out.push_str(" extends ");
+        out.push_str(sup);
+    }
+    out.push_str(" {\n");
+    for f in &c.statics {
+        out.push_str(&format!("    static {} {};\n", f.ty.display(), f.name));
+    }
+    for f in &c.fields {
+        out.push_str(&format!("    {} {};\n", f.ty.display(), f.name));
+    }
+    for m in &c.methods {
+        print_method(m, out);
+    }
+    out.push_str("}\n");
+}
+
+fn print_method(m: &MethodDecl, out: &mut String) {
+    out.push_str("    ");
+    if m.is_static {
+        out.push_str("static ");
+    }
+    if !m.is_ctor {
+        match &m.return_type {
+            Some(t) => {
+                out.push_str(&t.display());
+                out.push(' ');
+            }
+            None => out.push_str("void "),
+        }
+    }
+    out.push_str(&m.name);
+    out.push('(');
+    for (i, p) in m.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{} {}", p.ty.display(), p.name));
+    }
+    out.push_str(") {\n");
+    for s in &m.body {
+        print_stmt(s, out, 2);
+    }
+    out.push_str("    }\n");
+}
+
+fn print_stmt(s: &Stmt, out: &mut String, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match s {
+        Stmt::VarDecl { ty, name, init, .. } => {
+            out.push_str(&pad);
+            out.push_str(&ty.display());
+            out.push(' ');
+            out.push_str(name);
+            if let Some(e) = init {
+                out.push_str(" = ");
+                print_expr(e, out, 0);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, value, .. } => {
+            out.push_str(&pad);
+            print_expr(target, out, 0);
+            out.push_str(" = ");
+            print_expr(value, out, 0);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            out.push_str(&pad);
+            print_expr(e, out, 0);
+            out.push_str(";\n");
+        }
+        Stmt::Return { value, .. } => {
+            out.push_str(&pad);
+            out.push_str("return");
+            if let Some(e) = value {
+                out.push(' ');
+                print_expr(e, out, 0);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            print_expr(cond, out, 0);
+            out.push_str(") {\n");
+            for s in then_branch {
+                print_stmt(s, out, depth + 1);
+            }
+            out.push_str(&pad);
+            out.push('}');
+            if !else_branch.is_empty() {
+                out.push_str(" else {\n");
+                for s in else_branch {
+                    print_stmt(s, out, depth + 1);
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str(&pad);
+            out.push_str("while (");
+            print_expr(cond, out, 0);
+            out.push_str(") {\n");
+            for s in body {
+                print_stmt(s, out, depth + 1);
+            }
+            out.push_str(&pad);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Binding strength of each operator level; higher binds tighter.
+fn binary_prec(op: &str) -> u8 {
+    match op {
+        "==" | "!=" => 1,
+        "<" | ">" | "<=" | ">=" => 2,
+        "+" | "-" => 3,
+        "*" | "/" => 4,
+        _ => 0,
+    }
+}
+
+/// Prints `e`, parenthesizing when its binding strength is below the
+/// surrounding context's `min_prec`.
+fn print_expr(e: &Expr, out: &mut String, min_prec: u8) {
+    match e {
+        Expr::Name { name, .. } => out.push_str(name),
+        Expr::This { .. } => out.push_str("this"),
+        Expr::Null { .. } => out.push_str("null"),
+        Expr::Int { value, .. } => out.push_str(&value.to_string()),
+        Expr::Str { value, .. } => {
+            out.push('"');
+            out.push_str(value);
+            out.push('"');
+        }
+        Expr::New { class, args, .. } => {
+            out.push_str("new ");
+            out.push_str(class);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(a, out, 0);
+            }
+            out.push(')');
+        }
+        Expr::NewArray { elem, len, .. } => {
+            out.push_str("new ");
+            out.push_str(elem);
+            out.push('[');
+            print_expr(len, out, 0);
+            out.push(']');
+        }
+        Expr::Cast { ty, expr, .. } => {
+            // Casts bind like unary operators (level 5); the operand is
+            // printed at postfix strength so nested binaries get parens.
+            let needs = min_prec > 5;
+            if needs {
+                out.push('(');
+            }
+            out.push('(');
+            out.push_str(&ty.display());
+            out.push_str(") ");
+            print_expr(expr, out, 6);
+            if needs {
+                out.push(')');
+            }
+        }
+        Expr::Field { base, field, .. } => {
+            print_expr(base, out, 6);
+            out.push('.');
+            out.push_str(field);
+        }
+        Expr::Index { base, index, .. } => {
+            print_expr(base, out, 6);
+            out.push('[');
+            print_expr(index, out, 0);
+            out.push(']');
+        }
+        Expr::Call {
+            base, method, args, ..
+        } => {
+            if let Some(b) = base {
+                print_expr(b, out, 6);
+                out.push('.');
+            }
+            out.push_str(method);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(a, out, 0);
+            }
+            out.push(')');
+        }
+        Expr::Binary { lhs, op, rhs, .. } => {
+            let prec = binary_prec(op);
+            let needs = prec < min_prec;
+            if needs {
+                out.push('(');
+            }
+            // Left-associative: left child at this level, right child one
+            // tighter.
+            print_expr(lhs, out, prec);
+            out.push(' ');
+            out.push_str(op);
+            out.push(' ');
+            print_expr(rhs, out, prec + 1);
+            if needs {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, expr, .. } => {
+            let needs = min_prec > 5;
+            if needs {
+                out.push('(');
+            }
+            out.push_str(op);
+            print_expr(expr, out, 5);
+            if needs {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    /// `print ∘ parse` must be a projection: applying it twice equals
+    /// applying it once.
+    fn assert_fixed_point(src: &str) {
+        let p1 = parse(lex(src).unwrap()).unwrap();
+        let printed1 = print_program(&p1);
+        let p2 = parse(lex(&printed1).unwrap())
+            .unwrap_or_else(|e| panic!("printed output failed to parse: {e}\n{printed1}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed1, printed2, "printing is not stable for:\n{src}");
+    }
+
+    #[test]
+    fn classes_and_members() {
+        assert_fixed_point(
+            "class A extends Object { Object f; static A shared; A() {} \
+             void m(Object p, int i) {} Object g() { return null; } }",
+        );
+    }
+
+    #[test]
+    fn statements() {
+        assert_fixed_point(
+            "class M { void m(Object p) { Object t = p; t = this.f; \
+             if (1 < 2) { t = p; } else { p = t; } \
+             while (1 == 1) { t = p; } return; } \
+             Object f; }",
+        );
+    }
+
+    #[test]
+    fn expression_precedence_round_trips() {
+        assert_fixed_point(
+            "class M { void m(int a, int b) { \
+             int x = a + b * 2; \
+             int y = (a + b) * 2; \
+             int z = a < b == b < a; \
+             int w = -a + !b; \
+             int v = -(a + b); } }",
+        );
+    }
+
+    #[test]
+    fn casts_calls_and_chains() {
+        assert_fixed_point(
+            "class Box { Object item; Object take() { return this.item; } } \
+             class M { void m(Box b) { \
+             Object o = (Object) b.take(); \
+             Box c = (Box) o; \
+             Object q = c.take(); \
+             Object[] a = new Object[8]; \
+             a[0] = b.take(); \
+             Object e = a[1]; } }",
+        );
+    }
+
+    #[test]
+    fn parenthesized_cast_operand_preserved() {
+        // (Box) (x) — the parens around a parenthesized operand may
+        // disappear, but semantics (a cast of x) must survive.
+        let src = "class Box {} class M { void m(Object x) { Box b = (Box) x; } }";
+        assert_fixed_point(src);
+        let p = parse(lex(src).unwrap()).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("(Box) x"));
+    }
+
+    #[test]
+    fn strings_and_literals() {
+        assert_fixed_point(
+            r#"class M { void m() { String s = "hello"; int i = 42; Object n = null; } }"#,
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Source locations for diagnostics.
+
+/// A half-open byte range in the source text, with a precomputed
+/// line/column of its start for cheap rendering.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Merges two spans into the smallest span covering both; keeps the
+    /// line/column of the earlier one.
+    pub fn to(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_earliest_position() {
+        let a = Span::new(0, 3, 1, 1);
+        let b = Span::new(10, 12, 2, 4);
+        let m = a.to(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+        assert_eq!(b.to(a), m);
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(0, 1, 7, 3).to_string(), "7:3");
+    }
+}

@@ -1,0 +1,155 @@
+//! Tokens of the Java-subset language.
+
+use crate::span::Span;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal (value is irrelevant to points-to analysis).
+    Int(i64),
+    /// A string literal (allocates a `String` object).
+    Str(String),
+
+    // Keywords.
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `static`
+    Static,
+    /// `void`
+    Void,
+    /// `new`
+    New,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `this`
+    This,
+    /// `null`
+    Null,
+
+    // Punctuation.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(_) => "string literal".to_owned(),
+            TokenKind::Class => "`class`".to_owned(),
+            TokenKind::Extends => "`extends`".to_owned(),
+            TokenKind::Static => "`static`".to_owned(),
+            TokenKind::Void => "`void`".to_owned(),
+            TokenKind::New => "`new`".to_owned(),
+            TokenKind::Return => "`return`".to_owned(),
+            TokenKind::If => "`if`".to_owned(),
+            TokenKind::Else => "`else`".to_owned(),
+            TokenKind::While => "`while`".to_owned(),
+            TokenKind::This => "`this`".to_owned(),
+            TokenKind::Null => "`null`".to_owned(),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::LBracket => "`[`".to_owned(),
+            TokenKind::RBracket => "`]`".to_owned(),
+            TokenKind::Semi => "`;`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::Dot => "`.`".to_owned(),
+            TokenKind::Assign => "`=`".to_owned(),
+            TokenKind::EqEq => "`==`".to_owned(),
+            TokenKind::NotEq => "`!=`".to_owned(),
+            TokenKind::Lt => "`<`".to_owned(),
+            TokenKind::Gt => "`>`".to_owned(),
+            TokenKind::Le => "`<=`".to_owned(),
+            TokenKind::Ge => "`>=`".to_owned(),
+            TokenKind::Plus => "`+`".to_owned(),
+            TokenKind::Minus => "`-`".to_owned(),
+            TokenKind::Star => "`*`".to_owned(),
+            TokenKind::Slash => "`/`".to_owned(),
+            TokenKind::Bang => "`!`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind (and payload, for identifiers and literals).
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_never_empty() {
+        for k in [
+            TokenKind::Class,
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(3),
+            TokenKind::Eof,
+        ] {
+            assert!(!k.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! The frozen Pointer Assignment Graph.
+
+use std::collections::HashMap;
+
+use crate::edge::{Edge, EdgeId, EdgeKind};
+use crate::ids::{CallSiteId, FieldId, MethodId, ObjId, VarId};
+use crate::node::{CallSiteInfo, MethodInfo, NodeId, NodeRef, ObjInfo, VarInfo};
+use crate::stats::PagStats;
+use crate::types::Hierarchy;
+
+/// An immutable Pointer Assignment Graph (§2, Figure 1).
+///
+/// Build one with [`PagBuilder`](crate::PagBuilder), by parsing the
+/// [text format](crate::text), or via the `dynsum-frontend` /
+/// `dynsum-workloads` crates. Nodes are variables and abstract objects;
+/// edges are the seven statement kinds of [`EdgeKind`], stored once in
+/// value-flow orientation with both adjacency directions precomputed
+/// (demand-driven CFL-reachability walks the graph both ways).
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_pag::PagBuilder;
+///
+/// let mut b = PagBuilder::new();
+/// let m = b.add_method("main", None)?;
+/// let v = b.add_local("v", m, None)?;
+/// let o = b.add_obj("o1", None, Some(m))?;
+/// b.add_new(o, v)?;
+/// let pag = b.finish();
+/// assert_eq!(pag.num_vars(), 1);
+/// assert_eq!(pag.num_objs(), 1);
+/// assert_eq!(pag.num_edges(), 1);
+/// # Ok::<(), dynsum_pag::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pag {
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) fields: Vec<String>,
+    pub(crate) methods: Vec<MethodInfo>,
+    pub(crate) vars: Vec<VarInfo>,
+    pub(crate) objs: Vec<ObjInfo>,
+    pub(crate) call_sites: Vec<CallSiteInfo>,
+    pub(crate) edges: Vec<Edge>,
+
+    // CSR adjacency over the dense node space (vars then objects).
+    out_index: Vec<u32>,
+    out_list: Vec<EdgeId>,
+    in_index: Vec<u32>,
+    in_list: Vec<EdgeId>,
+
+    // Per-node precomputed classification bits.
+    has_global_in: Vec<bool>,
+    has_global_out: Vec<bool>,
+    has_local_edge: Vec<bool>,
+
+    // Field-indexed store/load edge lists (REFINEPTS pairs loads with all
+    // stores of the same field).
+    stores_by_field: Vec<Vec<EdgeId>>,
+    loads_by_field: Vec<Vec<EdgeId>>,
+
+    // Grouping of locals / allocation sites per method.
+    method_locals: Vec<Vec<VarId>>,
+    method_objs: Vec<Vec<ObjId>>,
+
+    // Name lookup tables.
+    var_names: HashMap<String, VarId>,
+    method_names: HashMap<String, MethodId>,
+    field_names: HashMap<String, FieldId>,
+    obj_labels: HashMap<String, ObjId>,
+    site_labels: HashMap<String, CallSiteId>,
+}
+
+impl Pag {
+    /// The distinguished field name into which all array elements are
+    /// collapsed (§2).
+    pub const ARRAY_FIELD_NAME: &'static str = "arr";
+
+    // ---- sizes -----------------------------------------------------------
+
+    /// Number of variable nodes (locals + globals).
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of abstract object nodes.
+    #[inline]
+    pub fn num_objs(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.vars.len() + self.objs.len()
+    }
+
+    /// Total number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of methods.
+    #[inline]
+    pub fn num_methods(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of interned fields.
+    #[inline]
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Number of call sites.
+    #[inline]
+    pub fn num_call_sites(&self) -> usize {
+        self.call_sites.len()
+    }
+
+    // ---- node id packing --------------------------------------------------
+
+    /// Dense node id of a variable.
+    #[inline]
+    pub fn var_node(&self, v: VarId) -> NodeId {
+        debug_assert!(v.index() < self.vars.len());
+        NodeId(v.as_raw())
+    }
+
+    /// Dense node id of an object.
+    #[inline]
+    pub fn obj_node(&self, o: ObjId) -> NodeId {
+        debug_assert!(o.index() < self.objs.len());
+        NodeId(self.vars.len() as u32 + o.as_raw())
+    }
+
+    /// Dense node id of any node reference.
+    #[inline]
+    pub fn node(&self, r: NodeRef) -> NodeId {
+        match r {
+            NodeRef::Var(v) => self.var_node(v),
+            NodeRef::Obj(o) => self.obj_node(o),
+        }
+    }
+
+    /// Typed view of a dense node id.
+    #[inline]
+    pub fn node_ref(&self, n: NodeId) -> NodeRef {
+        let nv = self.vars.len() as u32;
+        if n.0 < nv {
+            NodeRef::Var(VarId::from_raw(n.0))
+        } else {
+            NodeRef::Obj(ObjId::from_raw(n.0 - nv))
+        }
+    }
+
+    /// Iterates over all dense node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    // ---- adjacency ---------------------------------------------------------
+
+    /// The edge behind an [`EdgeId`].
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// All edges, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of edges leaving `n` (value flows out of `n`).
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        let lo = self.out_index[n.index()] as usize;
+        let hi = self.out_index[n.index() + 1] as usize;
+        &self.out_list[lo..hi]
+    }
+
+    /// Ids of edges entering `n` (value flows into `n`).
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        let lo = self.in_index[n.index()] as usize;
+        let hi = self.in_index[n.index() + 1] as usize;
+        &self.in_list[lo..hi]
+    }
+
+    /// `true` if some global edge flows *into* `n` — the S1 boundary test
+    /// of Algorithm 3 (line 15).
+    #[inline]
+    pub fn has_global_in(&self, n: NodeId) -> bool {
+        self.has_global_in[n.index()]
+    }
+
+    /// `true` if some global edge flows *out of* `n` — the S2 boundary
+    /// test of Algorithm 3 (line 28).
+    #[inline]
+    pub fn has_global_out(&self, n: NodeId) -> bool {
+        self.has_global_out[n.index()]
+    }
+
+    /// `true` if any local edge touches `n`; when false, the DYNSUM driver
+    /// skips the partial points-to analysis entirely (§4.3).
+    #[inline]
+    pub fn has_local_edge(&self, n: NodeId) -> bool {
+        self.has_local_edge[n.index()]
+    }
+
+    /// All `store(f)` edges for a field, across the whole graph.
+    #[inline]
+    pub fn stores_of(&self, f: FieldId) -> &[EdgeId] {
+        &self.stores_by_field[f.index()]
+    }
+
+    /// All `load(f)` edges for a field, across the whole graph.
+    #[inline]
+    pub fn loads_of(&self, f: FieldId) -> &[EdgeId] {
+        &self.loads_by_field[f.index()]
+    }
+
+    // ---- metadata ----------------------------------------------------------
+
+    /// The class hierarchy (sealed).
+    #[inline]
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Metadata for a variable.
+    #[inline]
+    pub fn var(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// Metadata for an object.
+    #[inline]
+    pub fn obj(&self, o: ObjId) -> &ObjInfo {
+        &self.objs[o.index()]
+    }
+
+    /// Metadata for a method.
+    #[inline]
+    pub fn method(&self, m: MethodId) -> &MethodInfo {
+        &self.methods[m.index()]
+    }
+
+    /// Metadata for a call site.
+    #[inline]
+    pub fn call_site(&self, s: CallSiteId) -> &CallSiteInfo {
+        &self.call_sites[s.index()]
+    }
+
+    /// Name of a field.
+    #[inline]
+    pub fn field_name(&self, f: FieldId) -> &str {
+        &self.fields[f.index()]
+    }
+
+    /// `true` when the call site participates in a call-graph cycle; its
+    /// entry/exit edges are then traversed context-insensitively.
+    #[inline]
+    pub fn is_recursive_site(&self, s: CallSiteId) -> bool {
+        self.call_sites[s.index()].recursive
+    }
+
+    /// The method owning a node: the declaring method for locals and the
+    /// allocating method for objects; `None` for globals and method-less
+    /// objects.
+    pub fn method_of(&self, n: NodeId) -> Option<MethodId> {
+        match self.node_ref(n) {
+            NodeRef::Var(v) => self.vars[v.index()].kind.method(),
+            NodeRef::Obj(o) => self.objs[o.index()].alloc_method,
+        }
+    }
+
+    /// Local variables of a method.
+    #[inline]
+    pub fn locals_of(&self, m: MethodId) -> &[VarId] {
+        &self.method_locals[m.index()]
+    }
+
+    /// Allocation sites inside a method.
+    #[inline]
+    pub fn objs_of(&self, m: MethodId) -> &[ObjId] {
+        &self.method_objs[m.index()]
+    }
+
+    /// Iterates over all variables with their ids.
+    pub fn vars(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId::from_raw(i as u32), v))
+    }
+
+    /// Iterates over all objects with their ids.
+    pub fn objs(&self) -> impl Iterator<Item = (ObjId, &ObjInfo)> {
+        self.objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId::from_raw(i as u32), o))
+    }
+
+    /// Iterates over all methods with their ids.
+    pub fn methods(&self) -> impl Iterator<Item = (MethodId, &MethodInfo)> {
+        self.methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MethodId::from_raw(i as u32), m))
+    }
+
+    /// Iterates over all call sites with their ids.
+    pub fn call_sites(&self) -> impl Iterator<Item = (CallSiteId, &CallSiteInfo)> {
+        self.call_sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (CallSiteId::from_raw(i as u32), s))
+    }
+
+    /// Iterates over all fields with their ids.
+    pub fn fields(&self) -> impl Iterator<Item = (FieldId, &str)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FieldId::from_raw(i as u32), f.as_str()))
+    }
+
+    // ---- name lookup -------------------------------------------------------
+
+    /// Looks up a variable by name.
+    pub fn find_var(&self, name: &str) -> Option<VarId> {
+        self.var_names.get(name).copied()
+    }
+
+    /// Looks up a method by name.
+    pub fn find_method(&self, name: &str) -> Option<MethodId> {
+        self.method_names.get(name).copied()
+    }
+
+    /// Looks up a field by name.
+    pub fn find_field(&self, name: &str) -> Option<FieldId> {
+        self.field_names.get(name).copied()
+    }
+
+    /// Looks up an object by label.
+    pub fn find_obj(&self, label: &str) -> Option<ObjId> {
+        self.obj_labels.get(label).copied()
+    }
+
+    /// Looks up a call site by label.
+    pub fn find_call_site(&self, label: &str) -> Option<CallSiteId> {
+        self.site_labels.get(label).copied()
+    }
+
+    /// Human-readable label of a node (variable name or object label).
+    pub fn node_label(&self, n: NodeId) -> &str {
+        match self.node_ref(n) {
+            NodeRef::Var(v) => &self.vars[v.index()].name,
+            NodeRef::Obj(o) => &self.objs[o.index()].label,
+        }
+    }
+
+    // ---- statistics --------------------------------------------------------
+
+    /// Computes the Table 3 statistics row for this graph.
+    pub fn stats(&self) -> PagStats {
+        PagStats::of(self)
+    }
+
+    // ---- construction (crate-internal) --------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        hierarchy: Hierarchy,
+        fields: Vec<String>,
+        methods: Vec<MethodInfo>,
+        vars: Vec<VarInfo>,
+        objs: Vec<ObjInfo>,
+        call_sites: Vec<CallSiteInfo>,
+        edges: Vec<Edge>,
+    ) -> Pag {
+        let num_nodes = vars.len() + objs.len();
+
+        // Counting-sort edges into CSR form, both directions.
+        let mut out_index = vec![0u32; num_nodes + 1];
+        let mut in_index = vec![0u32; num_nodes + 1];
+        for e in &edges {
+            out_index[e.src.index() + 1] += 1;
+            in_index[e.dst.index() + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            out_index[i + 1] += out_index[i];
+            in_index[i + 1] += in_index[i];
+        }
+        let mut out_list = vec![EdgeId(0); edges.len()];
+        let mut in_list = vec![EdgeId(0); edges.len()];
+        let mut out_cursor = out_index.clone();
+        let mut in_cursor = in_index.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            out_list[out_cursor[e.src.index()] as usize] = id;
+            out_cursor[e.src.index()] += 1;
+            in_list[in_cursor[e.dst.index()] as usize] = id;
+            in_cursor[e.dst.index()] += 1;
+        }
+
+        let mut has_global_in = vec![false; num_nodes];
+        let mut has_global_out = vec![false; num_nodes];
+        let mut has_local_edge = vec![false; num_nodes];
+        let mut stores_by_field = vec![Vec::new(); fields.len()];
+        let mut loads_by_field = vec![Vec::new(); fields.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            if e.kind.is_global() {
+                has_global_out[e.src.index()] = true;
+                has_global_in[e.dst.index()] = true;
+            } else {
+                has_local_edge[e.src.index()] = true;
+                has_local_edge[e.dst.index()] = true;
+            }
+            match e.kind {
+                EdgeKind::Store(f) => stores_by_field[f.index()].push(id),
+                EdgeKind::Load(f) => loads_by_field[f.index()].push(id),
+                _ => {}
+            }
+        }
+
+        let mut method_locals = vec![Vec::new(); methods.len()];
+        for (i, v) in vars.iter().enumerate() {
+            if let Some(m) = v.kind.method() {
+                method_locals[m.index()].push(VarId::from_raw(i as u32));
+            }
+        }
+        let mut method_objs = vec![Vec::new(); methods.len()];
+        for (i, o) in objs.iter().enumerate() {
+            if let Some(m) = o.alloc_method {
+                method_objs[m.index()].push(ObjId::from_raw(i as u32));
+            }
+        }
+
+        let var_names = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.clone(), VarId::from_raw(i as u32)))
+            .collect();
+        let method_names = methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), MethodId::from_raw(i as u32)))
+            .collect();
+        let field_names = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.clone(), FieldId::from_raw(i as u32)))
+            .collect();
+        let obj_labels = objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.label.clone(), ObjId::from_raw(i as u32)))
+            .collect();
+        let site_labels = call_sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.label.clone(), CallSiteId::from_raw(i as u32)))
+            .collect();
+
+        Pag {
+            hierarchy,
+            fields,
+            methods,
+            vars,
+            objs,
+            call_sites,
+            edges,
+            out_index,
+            out_list,
+            in_index,
+            in_list,
+            has_global_in,
+            has_global_out,
+            has_local_edge,
+            stores_by_field,
+            loads_by_field,
+            method_locals,
+            method_objs,
+            var_names,
+            method_names,
+            field_names,
+            obj_labels,
+            site_labels,
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Client-facing program metadata.
+//!
+//! The three evaluation clients of the paper (§5.2) issue queries about
+//! specific program points: downcasts (`SafeCast`), dereferences
+//! (`NullDeref`) and factory-method returns (`FactoryM`). Frontends —
+//! the Java-subset compiler and the synthetic workload generator — emit
+//! this metadata alongside the PAG so clients can generate their query
+//! sets without re-inspecting source code.
+
+use crate::ids::{ClassId, MethodId, VarId};
+
+/// A downcast site `v = (T) u`: the `SafeCast` client asks whether every
+/// object in `pts(v)` is a subtype of `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastSite {
+    /// The variable holding the cast result (its points-to set is
+    /// queried).
+    pub var: VarId,
+    /// The cast target class `T`.
+    pub target: ClassId,
+    /// Human-readable location, e.g. `Main.main:12`.
+    pub location: String,
+}
+
+/// A dereference site (field access, array access or virtual call):
+/// the `NullDeref` client asks whether `pts(base)` contains a
+/// null-object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerefSite {
+    /// The dereferenced base variable.
+    pub base: VarId,
+    /// Human-readable location.
+    pub location: String,
+}
+
+/// A factory-method candidate: the `FactoryM` client asks whether every
+/// object in `pts(ret)` was allocated inside `method` itself (i.e. the
+/// method really returns a fresh object rather than a cached or escaped
+/// one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactoryCandidate {
+    /// The candidate method.
+    pub method: MethodId,
+    /// Its return-value variable.
+    pub ret: VarId,
+}
+
+/// All client-relevant metadata of a program, produced next to its PAG.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramInfo {
+    /// Downcast sites for `SafeCast`.
+    pub casts: Vec<CastSite>,
+    /// Dereference sites for `NullDeref`.
+    pub derefs: Vec<DerefSite>,
+    /// Factory candidates for `FactoryM`.
+    pub factories: Vec<FactoryCandidate>,
+    /// The program entry point, when known.
+    pub entry: Option<MethodId>,
+}
+
+impl ProgramInfo {
+    /// Total number of client query sites.
+    pub fn total_sites(&self) -> usize {
+        self.casts.len() + self.derefs.len() + self.factories.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sites_counts_all_kinds() {
+        let info = ProgramInfo {
+            casts: vec![CastSite {
+                var: VarId::from_raw(0),
+                target: ClassId::from_raw(0),
+                location: "a:1".into(),
+            }],
+            derefs: vec![
+                DerefSite {
+                    base: VarId::from_raw(1),
+                    location: "a:2".into(),
+                },
+                DerefSite {
+                    base: VarId::from_raw(2),
+                    location: "a:3".into(),
+                },
+            ],
+            factories: vec![],
+            entry: None,
+        };
+        assert_eq!(info.total_sites(), 3);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(ProgramInfo::default().total_sites(), 0);
+    }
+}

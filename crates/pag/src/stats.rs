@@ -1,0 +1,176 @@
+//! PAG shape statistics — the columns of the paper's Table 3.
+
+use crate::edge::EdgeKind;
+use crate::graph::Pag;
+use crate::node::VarKind;
+
+/// Statistics describing a PAG's shape, mirroring Table 3 of the paper:
+/// entity counts, per-kind edge counts, and **locality** — the fraction of
+/// local edges among all edges, which bounds the reach of DYNSUM's
+/// summarization (the paper reports 80–90% for its nine benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PagStats {
+    /// Number of methods.
+    pub methods: usize,
+    /// Number of abstract objects (`O`; identical to `new` edge count in
+    /// well-formed graphs where every object is defined).
+    pub objs: usize,
+    /// Number of local variables (`V`).
+    pub locals: usize,
+    /// Number of global variables (`G`).
+    pub globals: usize,
+    /// `new` edges.
+    pub new_edges: usize,
+    /// local `assign` edges.
+    pub assign_edges: usize,
+    /// `load(f)` edges.
+    pub load_edges: usize,
+    /// `store(f)` edges.
+    pub store_edges: usize,
+    /// `entry_i` edges.
+    pub entry_edges: usize,
+    /// `exit_i` edges.
+    pub exit_edges: usize,
+    /// `assignglobal` edges.
+    pub assignglobal_edges: usize,
+}
+
+impl PagStats {
+    /// Computes statistics for a graph.
+    pub fn of(pag: &Pag) -> PagStats {
+        let mut s = PagStats {
+            methods: pag.num_methods(),
+            objs: pag.num_objs(),
+            ..PagStats::default()
+        };
+        for (_, v) in pag.vars() {
+            match v.kind {
+                VarKind::Local(_) => s.locals += 1,
+                VarKind::Global => s.globals += 1,
+            }
+        }
+        for e in pag.edges() {
+            match e.kind {
+                EdgeKind::New => s.new_edges += 1,
+                EdgeKind::Assign => s.assign_edges += 1,
+                EdgeKind::Load(_) => s.load_edges += 1,
+                EdgeKind::Store(_) => s.store_edges += 1,
+                EdgeKind::Entry(_) => s.entry_edges += 1,
+                EdgeKind::Exit(_) => s.exit_edges += 1,
+                EdgeKind::AssignGlobal => s.assignglobal_edges += 1,
+            }
+        }
+        s
+    }
+
+    /// Total number of local edges (`new + assign + load + store`).
+    pub fn local_edges(&self) -> usize {
+        self.new_edges + self.assign_edges + self.load_edges + self.store_edges
+    }
+
+    /// Total number of global edges (`entry + exit + assignglobal`).
+    pub fn global_edges(&self) -> usize {
+        self.entry_edges + self.exit_edges + self.assignglobal_edges
+    }
+
+    /// Total edge count.
+    pub fn total_edges(&self) -> usize {
+        self.local_edges() + self.global_edges()
+    }
+
+    /// The paper's *locality* metric: local edges over all edges.
+    /// Returns 0.0 for an empty graph.
+    pub fn locality(&self) -> f64 {
+        let total = self.total_edges();
+        if total == 0 {
+            0.0
+        } else {
+            self.local_edges() as f64 / total as f64
+        }
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.objs + self.locals + self.globals
+    }
+}
+
+impl std::fmt::Display for PagStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "methods={} O={} V={} G={} new={} assign={} load={} store={} \
+             entry={} exit={} assignglobal={} locality={:.1}%",
+            self.methods,
+            self.objs,
+            self.locals,
+            self.globals,
+            self.new_edges,
+            self.assign_edges,
+            self.load_edges,
+            self.store_edges,
+            self.entry_edges,
+            self.exit_edges,
+            self.assignglobal_edges,
+            self.locality() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PagBuilder;
+
+    #[test]
+    fn counts_and_locality() {
+        let mut b = PagBuilder::new();
+        let m1 = b.add_method("m1", None).unwrap();
+        let m2 = b.add_method("m2", None).unwrap();
+        let a = b.add_local("a", m1, None).unwrap();
+        let c = b.add_local("c", m1, None).unwrap();
+        let p = b.add_local("p", m2, None).unwrap();
+        let g = b.add_global("G", None).unwrap();
+        let o = b.add_obj("o1", None, Some(m1)).unwrap();
+        let f = b.field("f");
+        b.add_new(o, a).unwrap();
+        b.add_assign(a, c).unwrap();
+        b.add_load(f, a, c).unwrap();
+        b.add_store(f, c, a).unwrap();
+        b.add_assign(a, g).unwrap();
+        let site = b.add_call_site("cs", m1).unwrap();
+        b.add_entry(site, a, p).unwrap();
+        b.add_exit(site, p, c).unwrap();
+        let s = b.finish().stats();
+
+        assert_eq!(s.methods, 2);
+        assert_eq!(s.objs, 1);
+        assert_eq!(s.locals, 3);
+        assert_eq!(s.globals, 1);
+        assert_eq!(s.new_edges, 1);
+        assert_eq!(s.assign_edges, 1);
+        assert_eq!(s.load_edges, 1);
+        assert_eq!(s.store_edges, 1);
+        assert_eq!(s.entry_edges, 1);
+        assert_eq!(s.exit_edges, 1);
+        assert_eq!(s.assignglobal_edges, 1);
+        assert_eq!(s.local_edges(), 4);
+        assert_eq!(s.global_edges(), 3);
+        assert_eq!(s.total_edges(), 7);
+        assert!((s.locality() - 4.0 / 7.0).abs() < 1e-9);
+        assert_eq!(s.total_nodes(), 5);
+    }
+
+    #[test]
+    fn empty_graph_locality_is_zero() {
+        let s = PagBuilder::new().finish().stats();
+        assert_eq!(s.locality(), 0.0);
+        assert_eq!(s.total_edges(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = PagStats::default();
+        assert!(format!("{s}").contains("locality"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Structural validation of frozen PAGs.
+//!
+//! [`PagBuilder`](crate::PagBuilder) already enforces these invariants at
+//! construction time; this module re-checks them on a frozen graph. It is
+//! used by integration tests, by consumers of externally produced
+//! text-format graphs, and as a debugging aid for the workload generator.
+
+use std::collections::HashSet;
+
+use crate::edge::EdgeKind;
+use crate::graph::Pag;
+use crate::node::{NodeId, NodeRef};
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A local edge whose endpoints are not locals of a single method.
+    LocalEdgeCrossesMethods {
+        /// Index of the edge in [`Pag::edges`].
+        edge: usize,
+    },
+    /// A `new` edge whose source is not an object or destination not a
+    /// variable.
+    MalformedNewEdge {
+        /// Index of the edge in [`Pag::edges`].
+        edge: usize,
+    },
+    /// An object with more than one defining `new` edge.
+    ObjectMultiplyDefined {
+        /// The object's dense node id.
+        node: NodeId,
+    },
+    /// An object appearing as the endpoint of a non-`new` edge.
+    ObjectInNonNewEdge {
+        /// Index of the edge in [`Pag::edges`].
+        edge: usize,
+    },
+    /// An `entry`/`exit` edge whose caller-side endpoint is not a local of
+    /// the site's calling method.
+    CallEdgeWrongCaller {
+        /// Index of the edge in [`Pag::edges`].
+        edge: usize,
+    },
+    /// An `assign` edge (local kind) touching a global variable.
+    GlobalOnLocalAssign {
+        /// Index of the edge in [`Pag::edges`].
+        edge: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::LocalEdgeCrossesMethods { edge } => {
+                write!(f, "edge #{edge}: local edge crosses method boundary")
+            }
+            Violation::MalformedNewEdge { edge } => {
+                write!(f, "edge #{edge}: malformed new edge")
+            }
+            Violation::ObjectMultiplyDefined { node } => {
+                write!(f, "{node:?}: object has multiple defining new edges")
+            }
+            Violation::ObjectInNonNewEdge { edge } => {
+                write!(f, "edge #{edge}: object endpoint on non-new edge")
+            }
+            Violation::CallEdgeWrongCaller { edge } => {
+                write!(f, "edge #{edge}: caller-side variable not in calling method")
+            }
+            Violation::GlobalOnLocalAssign { edge } => {
+                write!(f, "edge #{edge}: local assign touches a global")
+            }
+        }
+    }
+}
+
+/// Checks all structural invariants, returning every violation found.
+///
+/// An empty result means the graph satisfies the PAG well-formedness
+/// assumptions the analyses rely on.
+pub fn validate(pag: &Pag) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut defined: HashSet<NodeId> = HashSet::new();
+
+    for (i, e) in pag.edges().iter().enumerate() {
+        let src = pag.node_ref(e.src);
+        let dst = pag.node_ref(e.dst);
+        match e.kind {
+            EdgeKind::New => match (src, dst) {
+                (NodeRef::Obj(_), NodeRef::Var(v)) => {
+                    if !defined.insert(e.src) {
+                        out.push(Violation::ObjectMultiplyDefined { node: e.src });
+                    }
+                    let vm = pag.var(v).kind.method();
+                    let om = pag.method_of(e.src);
+                    if vm.is_none() || (om.is_some() && om != vm) {
+                        out.push(Violation::LocalEdgeCrossesMethods { edge: i });
+                    }
+                }
+                _ => out.push(Violation::MalformedNewEdge { edge: i }),
+            },
+            EdgeKind::Assign | EdgeKind::Load(_) | EdgeKind::Store(_) => {
+                match (src, dst) {
+                    (NodeRef::Var(s), NodeRef::Var(d)) => {
+                        let ms = pag.var(s).kind.method();
+                        let md = pag.var(d).kind.method();
+                        if ms.is_none() || md.is_none() {
+                            out.push(Violation::GlobalOnLocalAssign { edge: i });
+                        } else if ms != md {
+                            out.push(Violation::LocalEdgeCrossesMethods { edge: i });
+                        }
+                    }
+                    _ => out.push(Violation::ObjectInNonNewEdge { edge: i }),
+                }
+            }
+            EdgeKind::AssignGlobal => {
+                if src.as_var().is_none() || dst.as_var().is_none() {
+                    out.push(Violation::ObjectInNonNewEdge { edge: i });
+                }
+            }
+            EdgeKind::Entry(site) => match (src, dst) {
+                (NodeRef::Var(a), NodeRef::Var(_)) => {
+                    let caller = pag.call_site(site).caller;
+                    if pag.var(a).kind.method() != Some(caller) {
+                        out.push(Violation::CallEdgeWrongCaller { edge: i });
+                    }
+                }
+                _ => out.push(Violation::ObjectInNonNewEdge { edge: i }),
+            },
+            EdgeKind::Exit(site) => match (src, dst) {
+                (NodeRef::Var(_), NodeRef::Var(d)) => {
+                    let caller = pag.call_site(site).caller;
+                    if pag.var(d).kind.method() != Some(caller) {
+                        out.push(Violation::CallEdgeWrongCaller { edge: i });
+                    }
+                }
+                _ => out.push(Violation::ObjectInNonNewEdge { edge: i }),
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PagBuilder;
+
+    #[test]
+    fn builder_output_validates_clean() {
+        let mut b = PagBuilder::new();
+        let m1 = b.add_method("m1", None).unwrap();
+        let m2 = b.add_method("m2", None).unwrap();
+        let a = b.add_local("a", m1, None).unwrap();
+        let c = b.add_local("c", m1, None).unwrap();
+        let p = b.add_local("p", m2, None).unwrap();
+        let g = b.add_global("G", None).unwrap();
+        let o = b.add_obj("o1", None, Some(m1)).unwrap();
+        let f = b.field("f");
+        b.add_new(o, a).unwrap();
+        b.add_assign(a, c).unwrap();
+        b.add_load(f, a, c).unwrap();
+        b.add_store(f, c, a).unwrap();
+        b.add_assign(a, g).unwrap();
+        let site = b.add_call_site("cs", m1).unwrap();
+        b.add_entry(site, a, p).unwrap();
+        b.add_exit(site, p, c).unwrap();
+        assert!(validate(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::LocalEdgeCrossesMethods { edge: 3 };
+        assert!(format!("{v}").contains("edge #3"));
+    }
+}

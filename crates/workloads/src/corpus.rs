@@ -1,0 +1,210 @@
+//! A small corpus of complete mini-Java programs, used by examples and
+//! integration tests to exercise the full source → PAG → analysis
+//! pipeline on hand-understood code.
+
+/// A named source program.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusProgram {
+    /// Short name.
+    pub name: &'static str,
+    /// What the program exercises.
+    pub description: &'static str,
+    /// The source text.
+    pub source: &'static str,
+}
+
+/// Container polymorphism: two boxes, one payload each — the classic
+/// context-sensitivity litmus test.
+pub const BOXES: CorpusProgram = CorpusProgram {
+    name: "boxes",
+    description: "two containers with distinct payloads; context-sensitive analyses keep them apart",
+    source: r#"
+class Box {
+    Object item;
+    void put(Object x) { this.item = x; }
+    Object take() { return this.item; }
+}
+class Apple { }
+class Orange { }
+class Main {
+    static void main() {
+        Box a = new Box();
+        a.put(new Apple());
+        Box b = new Box();
+        b.put(new Orange());
+        Apple x = (Apple) a.take();
+        Orange y = (Orange) b.take();
+    }
+}
+"#,
+};
+
+/// Virtual dispatch through a hierarchy, with an unsafe downcast.
+pub const SHAPES: CorpusProgram = CorpusProgram {
+    name: "shapes",
+    description: "virtual dispatch, overriding, and one deliberately unsafe cast",
+    source: r#"
+class Shape {
+    Shape clone2() { return new Shape(); }
+}
+class Circle extends Shape {
+    Shape clone2() { return new Circle(); }
+}
+class Square extends Shape {
+    Shape clone2() { return new Square(); }
+}
+class Main {
+    static void main() {
+        Shape s = new Circle();
+        Shape c = s.clone2();
+        Circle ok = (Circle) c;
+        Square bad = (Square) c;
+    }
+}
+"#,
+};
+
+/// Static fields as global channels between unrelated methods.
+pub const REGISTRY: CorpusProgram = CorpusProgram {
+    name: "registry",
+    description: "globals (static fields) carry objects context-insensitively",
+    source: r#"
+class Registry {
+    static Object current;
+    static void publish(Object x) { Registry.current = x; }
+    static Object fetch() { return Registry.current; }
+}
+class Main {
+    static void main() {
+        Registry.publish(new Main());
+        Object got = Registry.fetch();
+        Main m = (Main) got;
+    }
+}
+"#,
+};
+
+/// Linked list: recursion in both the heap (next chain) and the call
+/// graph (recursive walk).
+pub const LINKED_LIST: CorpusProgram = CorpusProgram {
+    name: "linked-list",
+    description: "recursive data structure + recursive method (call-graph cycle collapsed)",
+    source: r#"
+class Node {
+    Node next;
+    Object value;
+    void link(Node n) { this.next = n; }
+    Node tail() {
+        Node n = this.next;
+        if (n == null) { return this; }
+        return n.tail();
+    }
+}
+class Main {
+    static void main() {
+        Node head = new Node();
+        Node second = new Node();
+        head.link(second);
+        second.value = new Main();
+        Node t = head.tail();
+        Object v = t.value;
+    }
+}
+"#,
+};
+
+/// Factory methods: one fresh, one cached through a static field.
+pub const FACTORIES: CorpusProgram = CorpusProgram {
+    name: "factories",
+    description: "a genuine factory and a caching impostor for the FactoryM client",
+    source: r#"
+class Widget { }
+class Maker {
+    static Widget shared;
+    Widget fresh() { return new Widget(); }
+    Widget cached() {
+        Widget w = Maker.shared;
+        if (w == null) { w = new Widget(); Maker.shared = w; }
+        return w;
+    }
+}
+class Main {
+    static void main() {
+        Maker m = new Maker();
+        Widget a = m.fresh();
+        Widget b = m.cached();
+    }
+}
+"#,
+};
+
+/// Null flows for the NullDeref client.
+pub const NULLS: CorpusProgram = CorpusProgram {
+    name: "nulls",
+    description: "null values reaching (and missing) dereference sites",
+    source: r#"
+class Holder {
+    Object v;
+    Object get() { return this.v; }
+}
+class Main {
+    static void main() {
+        Holder safe = new Holder();
+        safe.v = new Main();
+        Object s = safe.get();
+        Holder risky = new Holder();
+        risky.v = null;
+        Object r = risky.get();
+        Holder gone = null;
+        Object g = gone.get();
+    }
+}
+"#,
+};
+
+/// Every corpus program.
+pub const ALL: [CorpusProgram; 6] = [BOXES, SHAPES, REGISTRY, LINKED_LIST, FACTORIES, NULLS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_frontend::compile;
+
+    #[test]
+    fn every_corpus_program_compiles_and_validates() {
+        for p in &ALL {
+            let c = compile(p.source)
+                .unwrap_or_else(|e| panic!("{} failed: {}", p.name, e.render(p.source)));
+            assert!(
+                dynsum_pag::validate(&c.pag).is_empty(),
+                "{} produced an invalid PAG",
+                p.name
+            );
+            assert!(c.info.entry.is_some(), "{} has no main", p.name);
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_three_clients() {
+        let mut casts = 0;
+        let mut derefs = 0;
+        let mut factories = 0;
+        for p in &ALL {
+            let c = compile(p.source).unwrap();
+            casts += c.info.casts.len();
+            derefs += c.info.derefs.len();
+            factories += c.info.factories.len();
+        }
+        assert!(casts >= 4);
+        assert!(derefs >= 10);
+        assert!(factories >= 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ALL.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

@@ -1,0 +1,971 @@
+//! The synthetic benchmark generator.
+//!
+//! The paper's evaluation needs the PAGs of nine large Java programs
+//! (Soot/Spark exports of SPECjvm98/DaCapo benchmarks) which cannot be
+//! rebuilt here; this generator is the documented substitution
+//! (DESIGN.md §2). It synthesizes PAGs that preserve what the algorithms
+//! are sensitive to:
+//!
+//! * **shape ratios** — per-kind edge counts scaled from the Table 3
+//!   profile, in particular *locality* (fraction of local edges), which
+//!   bounds how much work DYNSUM can summarize;
+//! * **library fan-in** — a small tier of container classes
+//!   (`Box`-like single-field and `Vector`-like two-level) called from
+//!   many application methods, so the same summaries are wanted under
+//!   many different calling contexts (the paper's reuse source);
+//! * **shared field names** — containers draw fields from a small pool,
+//!   so REFINEPTS's field-based first pass conflates unrelated
+//!   containers and must refine;
+//! * **client sites** — downcasts (mostly provable, some planted
+//!   violations), dereferences (some reachable from `null`), and both
+//!   fresh and caching factory methods, in the profile's proportions.
+//!
+//! Generation is deterministic in `(profile, options)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dynsum_pag::{
+    CastSite, ClassId, DerefSite, FactoryCandidate, FieldId, MethodId, Pag, PagBuilder,
+    ProgramInfo, VarId,
+};
+
+use crate::profiles::BenchmarkProfile;
+
+/// A generated benchmark: PAG plus client metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (profile name).
+    pub name: String,
+    /// The generated graph.
+    pub pag: Pag,
+    /// Client query sites.
+    pub info: ProgramInfo,
+}
+
+/// Generator options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorOptions {
+    /// Linear scale factor applied to every profile count (1.0 = paper
+    /// size). The default, 0.02, yields graphs of a few thousand nodes —
+    /// laptop-scale yet large enough for the performance shapes.
+    pub scale: f64,
+    /// RNG seed; same seed + profile ⇒ identical workload.
+    pub seed: u64,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            scale: 0.02,
+            seed: 0xD45,
+        }
+    }
+}
+
+/// Generates a workload for a Table 3 profile.
+pub fn generate(profile: &BenchmarkProfile, opts: &GeneratorOptions) -> Workload {
+    Gen::new(profile, opts).run()
+}
+
+/// Remaining per-kind quotas (signed: padding stops at zero, the main
+/// loop may overshoot slightly).
+#[derive(Debug, Clone, Copy)]
+struct Quota {
+    objs: i64,
+    locals: i64,
+    assign: i64,
+    load: i64,
+    store: i64,
+    entry: i64,
+    exit: i64,
+    ag: i64,
+    casts: i64,
+    derefs: i64,
+    factories: i64,
+}
+
+#[derive(Clone)]
+struct LibContainer {
+    class: ClassId,
+    /// `put`-like method: `(this, param)` formals.
+    put_this: VarId,
+    put_param: VarId,
+    /// `get`-like method: `(this, ret)`.
+    get_this: VarId,
+    get_ret: VarId,
+    /// Two-level containers have an `init` to call after allocation.
+    init_this: Option<VarId>,
+    /// `clear`-like method that stores `null` into the container's
+    /// field. Mostly dead code — but its store edge pairs with every
+    /// same-field load under *field-based* matching, forcing REFINEPTS
+    /// to refine NullDeref queries (as real Java library code does).
+    clear_this: VarId,
+}
+
+struct Gen<'p> {
+    profile: &'p BenchmarkProfile,
+    rng: SmallRng,
+    b: PagBuilder,
+    q: Quota,
+    info: ProgramInfo,
+    slots: Vec<FieldId>,
+    elems: FieldId,
+    arr: FieldId,
+    data: FieldId,
+    pad: FieldId,
+    containers: Vec<LibContainer>,
+    payload_classes: Vec<ClassId>,
+    globals: Vec<VarId>,
+    /// Factory methods callable from app code: `(ret_var)`.
+    factory_rets: Vec<VarId>,
+    /// App methods callable from later app methods: `(param, ret)`.
+    app_callables: Vec<(VarId, VarId)>,
+    /// Padding material: `(method, container chain vars, container idx,
+    /// payload-ish var)`.
+    pad_sites: Vec<(MethodId, Vec<VarId>, usize, VarId)>,
+    counter: usize,
+}
+
+impl<'p> Gen<'p> {
+    fn new(profile: &'p BenchmarkProfile, opts: &GeneratorOptions) -> Self {
+        let s = opts.scale;
+        let scaled = |x: u64, min: i64| (((x as f64) * s).round() as i64).max(min);
+        let q = Quota {
+            objs: scaled(profile.objs, 24),
+            locals: scaled(profile.locals, 64),
+            assign: scaled(profile.assign, 64),
+            load: scaled(profile.load, 24),
+            store: scaled(profile.store, 12),
+            entry: scaled(profile.entry, 24),
+            exit: scaled(profile.exit, 8),
+            ag: scaled(profile.assignglobal, 4),
+            casts: scaled(profile.q_safecast, 8),
+            derefs: scaled(profile.q_nullderef, 12),
+            factories: scaled(profile.q_factory, 6),
+        };
+        Gen {
+            profile,
+            rng: SmallRng::seed_from_u64(opts.seed ^ hash_name(profile.name)),
+            b: PagBuilder::new(),
+            q,
+            info: ProgramInfo::default(),
+            slots: Vec::new(),
+            elems: FieldId::from_raw(0),
+            arr: FieldId::from_raw(0),
+            data: FieldId::from_raw(0),
+            pad: FieldId::from_raw(0),
+            containers: Vec::new(),
+            payload_classes: Vec::new(),
+            globals: Vec::new(),
+            factory_rets: Vec::new(),
+            app_callables: Vec::new(),
+            pad_sites: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    /// Appends a `len`-long assign chain starting at `src`, returning
+    /// the final variable. Consumes local and assign quota.
+    fn chain_locals(
+        &mut self,
+        m: MethodId,
+        prefix: &str,
+        src: VarId,
+        len: usize,
+    ) -> VarId {
+        let mut cur = src;
+        for k in 0..len {
+            let v = self.b.add_local(&format!("{prefix}{k}"), m, None).unwrap();
+            self.b.add_assign(cur, v).unwrap();
+            self.q.locals -= 1;
+            self.q.assign -= 1;
+            cur = v;
+        }
+        cur
+    }
+
+    fn run(mut self) -> Workload {
+        self.setup_fields_and_classes();
+        self.setup_globals();
+        self.setup_library();
+        self.setup_factories();
+
+        let mut app_index = 0usize;
+        while (self.q.casts > 0
+            || self.q.derefs > 0
+            || self.q.objs > 8
+            || self.q.entry > 4)
+            && app_index < 200_000
+        {
+            self.app_method(app_index);
+            app_index += 1;
+        }
+        self.pad_quotas();
+        self.pad_locality(self.profile.locality());
+
+        let pag = self.b.finish();
+        debug_assert!(dynsum_pag::validate(&pag).is_empty());
+        Workload {
+            name: self.profile.name.to_owned(),
+            pag,
+            info: self.info,
+        }
+    }
+
+    fn setup_fields_and_classes(&mut self) {
+        for i in 0..6 {
+            let f = self.b.field(&format!("slot{i}"));
+            self.slots.push(f);
+        }
+        self.elems = self.b.field("elems");
+        self.arr = self.b.array_field();
+        self.data = self.b.field("data");
+        self.pad = self.b.field("padslot");
+
+        let base = self.b.add_class("Payload", None).expect("fresh class");
+        let n_payload = ((self.q.objs / 80).clamp(3, 24)) as usize;
+        for i in 0..n_payload {
+            let c = self
+                .b
+                .add_class(&format!("P{i}"), Some(base))
+                .expect("fresh class");
+            self.payload_classes.push(c);
+        }
+    }
+
+    fn setup_globals(&mut self) {
+        let n = ((self.profile.globals as f64).sqrt() as usize).clamp(3, 40);
+        for i in 0..n {
+            let g = self
+                .b
+                .add_global(&format!("G{i}"), None)
+                .expect("fresh global");
+            self.globals.push(g);
+        }
+    }
+
+    fn setup_library(&mut self) {
+        let n_lib = ((self.q.entry / 40).clamp(2, 24)) as usize;
+        for i in 0..n_lib {
+            let class = self
+                .b
+                .add_class(&format!("C{i}"), None)
+                .expect("fresh class");
+            let slot = self.slots[i % self.slots.len()];
+            if i % 2 == 1 {
+                // Deep container (Vector-like, Figure 2).
+                let m_init = self.b.add_method(&format!("C{i}.init"), Some(class)).unwrap();
+                let this_i = self
+                    .b
+                    .add_local(&format!("C{i}.init#this"), m_init, Some(class))
+                    .unwrap();
+                let t_i = self.b.add_local(&format!("C{i}.init#t"), m_init, None).unwrap();
+                let oarr = self
+                    .b
+                    .add_obj(&format!("oarr{i}"), None, Some(m_init))
+                    .unwrap();
+                self.b.add_new(oarr, t_i).unwrap();
+                self.b.add_store(self.elems, t_i, this_i).unwrap();
+                self.q.objs -= 1;
+                self.q.locals -= 2;
+                self.q.store -= 1;
+
+                let m_add = self.b.add_method(&format!("C{i}.add"), Some(class)).unwrap();
+                let this_a = self
+                    .b
+                    .add_local(&format!("C{i}.add#this"), m_add, Some(class))
+                    .unwrap();
+                let p_a = self.b.add_local(&format!("C{i}.add#p"), m_add, None).unwrap();
+                // Real library methods are not two-liners: route the
+                // payload and the backing array through local chains so
+                // each summary covers real work (this is what makes
+                // summary reuse worth anything).
+                let p_end = self.chain_locals(m_add, &format!("C{i}.add#pc"), p_a, 3);
+                let t_a = self.b.add_local(&format!("C{i}.add#t"), m_add, None).unwrap();
+                self.b.add_load(self.elems, this_a, t_a).unwrap();
+                let t_end = self.chain_locals(m_add, &format!("C{i}.add#tc"), t_a, 2);
+                self.b.add_store(self.arr, p_end, t_end).unwrap();
+                self.q.locals -= 3;
+                self.q.load -= 1;
+                self.q.store -= 1;
+
+                let m_get = self.b.add_method(&format!("C{i}.get"), Some(class)).unwrap();
+                let this_g = self
+                    .b
+                    .add_local(&format!("C{i}.get#this"), m_get, Some(class))
+                    .unwrap();
+                let t_g = self.b.add_local(&format!("C{i}.get#t"), m_get, None).unwrap();
+                let mid_g = self.b.add_local(&format!("C{i}.get#mid"), m_get, None).unwrap();
+                let r_g = self.b.add_local(&format!("C{i}.get#ret"), m_get, None).unwrap();
+                self.b.add_load(self.elems, this_g, t_g).unwrap();
+                let t_end = self.chain_locals(m_get, &format!("C{i}.get#tc"), t_g, 2);
+                self.b.add_load(self.arr, t_end, mid_g).unwrap();
+                let mid_end = self.chain_locals(m_get, &format!("C{i}.get#mc"), mid_g, 3);
+                self.b.add_assign(mid_end, r_g).unwrap();
+                self.q.locals -= 4;
+                self.q.load -= 2;
+                self.q.assign -= 1;
+
+                // clear(this) { t = this.elems; t[*] = null }
+                let m_clear = self.b.add_method(&format!("C{i}.clear"), Some(class)).unwrap();
+                let this_c = self
+                    .b
+                    .add_local(&format!("C{i}.clear#this"), m_clear, Some(class))
+                    .unwrap();
+                let t_c = self.b.add_local(&format!("C{i}.clear#t"), m_clear, None).unwrap();
+                let nl = self.b.add_local(&format!("C{i}.clear#nl"), m_clear, None).unwrap();
+                let on = self
+                    .b
+                    .add_null_obj(&format!("onull_clear{i}"), Some(m_clear))
+                    .unwrap();
+                self.b.add_new(on, nl).unwrap();
+                self.b.add_load(self.elems, this_c, t_c).unwrap();
+                self.b.add_store(self.arr, nl, t_c).unwrap();
+                self.q.objs -= 1;
+                self.q.locals -= 3;
+                self.q.load -= 1;
+                self.q.store -= 1;
+
+                self.containers.push(LibContainer {
+                    class,
+                    put_this: this_a,
+                    put_param: p_a,
+                    get_this: this_g,
+                    get_ret: r_g,
+                    init_this: Some(this_i),
+                    clear_this: this_c,
+                });
+            } else {
+                // Shallow container (Box-like).
+                let m_put = self.b.add_method(&format!("C{i}.put"), Some(class)).unwrap();
+                let this_p = self
+                    .b
+                    .add_local(&format!("C{i}.put#this"), m_put, Some(class))
+                    .unwrap();
+                let p_p = self.b.add_local(&format!("C{i}.put#p"), m_put, None).unwrap();
+                let p_end = self.chain_locals(m_put, &format!("C{i}.put#pc"), p_p, 4);
+                self.b.add_store(slot, p_end, this_p).unwrap();
+                self.q.locals -= 2;
+                self.q.store -= 1;
+
+                let m_take = self.b.add_method(&format!("C{i}.take"), Some(class)).unwrap();
+                let this_t = self
+                    .b
+                    .add_local(&format!("C{i}.take#this"), m_take, Some(class))
+                    .unwrap();
+                let mid_t = self.b.add_local(&format!("C{i}.take#mid"), m_take, None).unwrap();
+                let r_t = self.b.add_local(&format!("C{i}.take#ret"), m_take, None).unwrap();
+                self.b.add_load(slot, this_t, mid_t).unwrap();
+                let mid_end = self.chain_locals(m_take, &format!("C{i}.take#mc"), mid_t, 4);
+                self.b.add_assign(mid_end, r_t).unwrap();
+                self.q.locals -= 3;
+                self.q.load -= 1;
+                self.q.assign -= 1;
+
+                // clear(this) { this.slot = null }
+                let m_clear = self.b.add_method(&format!("C{i}.clear"), Some(class)).unwrap();
+                let this_c = self
+                    .b
+                    .add_local(&format!("C{i}.clear#this"), m_clear, Some(class))
+                    .unwrap();
+                let nl = self.b.add_local(&format!("C{i}.clear#nl"), m_clear, None).unwrap();
+                let on = self
+                    .b
+                    .add_null_obj(&format!("onull_clear{i}"), Some(m_clear))
+                    .unwrap();
+                self.b.add_new(on, nl).unwrap();
+                self.b.add_store(slot, nl, this_c).unwrap();
+                self.q.objs -= 1;
+                self.q.locals -= 2;
+                self.q.store -= 1;
+
+                self.containers.push(LibContainer {
+                    class,
+                    put_this: this_p,
+                    put_param: p_p,
+                    get_this: this_t,
+                    get_ret: r_t,
+                    init_this: None,
+                    clear_this: this_c,
+                });
+            }
+        }
+    }
+
+    fn setup_factories(&mut self) {
+        let n = self.q.factories.max(1) as usize;
+
+        // Shared validation helpers (think `Objects.requireNonNull`):
+        // every factory funnels its product through one, so factory
+        // queries traverse library code whose summaries are reusable —
+        // the paper's FactoryM speedup source (its smallest, 1.37x).
+        let n_helpers = (n / 8).max(1);
+        let mut helpers: Vec<(VarId, VarId)> = Vec::new();
+        for h in 0..n_helpers {
+            let m = self.b.add_method(&format!("validate{h}"), None).unwrap();
+            let v = self.b.add_local(&format!("validate{h}#v"), m, None).unwrap();
+            let mid = self.b.add_local(&format!("validate{h}#mid"), m, None).unwrap();
+            let r = self.b.add_local(&format!("validate{h}#ret"), m, None).unwrap();
+            self.b.add_assign(v, mid).unwrap();
+            self.b.add_assign(mid, r).unwrap();
+            self.q.locals -= 3;
+            self.q.assign -= 2;
+            helpers.push((v, r));
+        }
+
+        for i in 0..n {
+            let fresh = i % 3 != 2; // two thirds genuinely fresh
+            let name = self.fresh("factory");
+            let m = self.b.add_method(&name, None).expect("fresh method");
+            let x = self.b.add_local(&format!("{name}#x"), m, None).unwrap();
+            let ret = self.b.add_local(&format!("{name}#ret"), m, None).unwrap();
+            self.q.locals -= 2;
+            if fresh {
+                let class = self.pick_payload();
+                let label = self.fresh("ofac");
+                let o = self.b.add_obj(&label, Some(class), Some(m)).unwrap();
+                self.b.add_new(o, x).unwrap();
+                self.q.objs -= 1;
+            } else {
+                let g = self.pick_global();
+                self.b.add_assign(g, x).unwrap();
+                self.q.ag -= 1;
+            }
+            // ret = validate(x)
+            let (hv, hr) = helpers[i % helpers.len()];
+            let sname = self.fresh("s");
+            let site = self.b.add_call_site(&sname, m).unwrap();
+            self.b.add_entry(site, x, hv).unwrap();
+            self.b.add_exit(site, hr, ret).unwrap();
+            self.q.entry -= 1;
+            self.q.exit -= 1;
+            if self.q.factories > 0 {
+                self.info.factories.push(FactoryCandidate { method: m, ret });
+                self.q.factories -= 1;
+            }
+            self.factory_rets.push(ret);
+        }
+    }
+
+    fn pick_payload(&mut self) -> ClassId {
+        let i = self.rng.gen_range(0..self.payload_classes.len());
+        self.payload_classes[i]
+    }
+
+    fn pick_sibling(&mut self, not: ClassId) -> ClassId {
+        if self.payload_classes.len() == 1 {
+            return not;
+        }
+        loop {
+            let c = self.pick_payload();
+            if c != not {
+                return c;
+            }
+        }
+    }
+
+    fn pick_global(&mut self) -> VarId {
+        let i = self.rng.gen_range(0..self.globals.len());
+        self.globals[i]
+    }
+
+    /// Biased pick: few containers receive most call sites (library
+    /// fan-in — the reuse DYNSUM exploits).
+    fn pick_container(&mut self) -> usize {
+        let r: f64 = self.rng.gen();
+        let idx = (r * r * self.containers.len() as f64) as usize;
+        idx.min(self.containers.len() - 1)
+    }
+
+    /// Stamps one application method: allocate a container, push a
+    /// payload through it, read it back, cast it, dereference it.
+    fn app_method(&mut self, index: usize) {
+        let name = self.fresh("app");
+        let m = self.b.add_method(&name, None).expect("fresh method");
+        let param = self.b.add_local(&format!("{name}#param"), m, None).unwrap();
+        self.q.locals -= 1;
+
+        // Keep the incoming parameter alive without polluting the
+        // pattern's precision.
+        let sink = self.b.add_local(&format!("{name}#sink"), m, None).unwrap();
+        self.b.add_assign(param, sink).unwrap();
+        self.q.locals -= 1;
+        self.q.assign -= 1;
+
+        // Container: fresh allocation (with init for deep containers) or
+        // read back from a global.
+        let ci = self.pick_container();
+        let cont = self.containers[ci].clone();
+        let c0 = self.b.add_local(&format!("{name}#c0"), m, None).unwrap();
+        self.q.locals -= 1;
+        if self.rng.gen_bool(0.8) || self.globals.is_empty() {
+            let label = self.fresh("oc");
+            let o = self.b.add_obj(&label, Some(cont.class), Some(m)).unwrap();
+            self.b.add_new(o, c0).unwrap();
+            self.q.objs -= 1;
+            if let Some(init_this) = cont.init_this {
+                let site = self.fresh("s");
+                let site = self.b.add_call_site(&site, m).unwrap();
+                self.b.add_entry(site, c0, init_this).unwrap();
+                self.q.entry -= 1;
+            }
+        } else {
+            let g = self.pick_global();
+            self.b.add_assign(g, c0).unwrap();
+            self.q.ag -= 1;
+        }
+
+        // Container assign chain.
+        let mut chain = vec![c0];
+        let chain_len = self.rng.gen_range(1..=4);
+        let mut c = c0;
+        for k in 0..chain_len {
+            let c2 = self
+                .b
+                .add_local(&format!("{name}#c{}", k + 1), m, None)
+                .unwrap();
+            self.b.add_assign(c, c2).unwrap();
+            self.q.locals -= 1;
+            self.q.assign -= 1;
+            chain.push(c2);
+            c = c2;
+        }
+
+        // Payload (occasionally null).
+        let pclass = self.pick_payload();
+        let p = self.b.add_local(&format!("{name}#p"), m, None).unwrap();
+        self.q.locals -= 1;
+        let is_null = self.rng.gen_bool(0.12);
+        if is_null {
+            let label = self.fresh("nul");
+            let o = self.b.add_null_obj(&label, Some(m)).unwrap();
+            self.b.add_new(o, p).unwrap();
+        } else {
+            let label = self.fresh("op");
+            let o = self.b.add_obj(&label, Some(pclass), Some(m)).unwrap();
+            self.b.add_new(o, p).unwrap();
+        }
+        self.q.objs -= 1;
+
+        // put(c, p)
+        let site = self.fresh("s");
+        let site = self.b.add_call_site(&site, m).unwrap();
+        self.b.add_entry(site, c, cont.put_this).unwrap();
+        self.b.add_entry(site, p, cont.put_param).unwrap();
+        self.q.entry -= 2;
+
+        // y = get(c)
+        let y = self.b.add_local(&format!("{name}#y"), m, None).unwrap();
+        self.q.locals -= 1;
+        let site2 = self.fresh("s");
+        let site2 = self.b.add_call_site(&site2, m).unwrap();
+        self.b.add_entry(site2, c, cont.get_this).unwrap();
+        self.b.add_exit(site2, cont.get_ret, y).unwrap();
+        self.q.entry -= 1;
+        self.q.exit -= 1;
+
+        // z = (T) y — cast site. Mostly the true payload class.
+        let z = self.b.add_local(&format!("{name}#z"), m, None).unwrap();
+        self.b.add_assign(y, z).unwrap();
+        self.q.locals -= 1;
+        self.q.assign -= 1;
+        let target = if self.rng.gen_bool(0.7) {
+            pclass
+        } else {
+            self.pick_sibling(pclass)
+        };
+        if self.q.casts > 0 {
+            self.info.casts.push(CastSite {
+                var: z,
+                target,
+                location: format!("{name}:cast"),
+            });
+            self.q.casts -= 1;
+        }
+
+        // d = z.data — dereference site(s).
+        let d = self.b.add_local(&format!("{name}#d"), m, None).unwrap();
+        self.b.add_load(self.data, z, d).unwrap();
+        self.q.locals -= 1;
+        self.q.load -= 1;
+        if self.q.derefs > 0 {
+            self.info.derefs.push(DerefSite {
+                base: z,
+                location: format!("{name}:deref"),
+            });
+            self.q.derefs -= 1;
+        }
+        if self.q.derefs > 0 && self.rng.gen_bool(0.5) {
+            self.info.derefs.push(DerefSite {
+                base: c,
+                location: format!("{name}:recv"),
+            });
+            self.q.derefs -= 1;
+        }
+
+        // Occasionally escape the container through a global.
+        if self.q.ag > 0 && self.rng.gen_bool(0.15) {
+            let g = self.pick_global();
+            self.b.add_assign(c, g).unwrap();
+            self.q.ag -= 1;
+        }
+
+        // Occasionally clear a *sacrificial* container: null flows into
+        // that object's field only, so precise analyses keep other
+        // containers null-free while field-based matching cannot.
+        if self.rng.gen_bool(0.2) {
+            let sac = self.b.add_local(&format!("{name}#sac"), m, None).unwrap();
+            let label = self.fresh("osac");
+            let so = self.b.add_obj(&label, Some(cont.class), Some(m)).unwrap();
+            self.b.add_new(so, sac).unwrap();
+            let sites = self.fresh("s");
+            let sites = self.b.add_call_site(&sites, m).unwrap();
+            self.b.add_entry(sites, sac, cont.clear_this).unwrap();
+            self.q.locals -= 1;
+            self.q.objs -= 1;
+            self.q.entry -= 1;
+        }
+
+        // Occasionally consume a factory.
+        if !self.factory_rets.is_empty() && self.rng.gen_bool(0.3) {
+            let fr = self.factory_rets[self.rng.gen_range(0..self.factory_rets.len())];
+            let w = self.b.add_local(&format!("{name}#w"), m, None).unwrap();
+            let site3 = self.fresh("s");
+            let site3 = self.b.add_call_site(&site3, m).unwrap();
+            self.b.add_exit(site3, fr, w).unwrap();
+            self.q.locals -= 1;
+            self.q.exit -= 1;
+        }
+
+        // Occasionally call an earlier app method (deeper call chains).
+        if !self.app_callables.is_empty() && self.rng.gen_bool(0.25) {
+            let (aparam, aret) = self.app_callables[self.rng.gen_range(0..self.app_callables.len())];
+            let w2 = self.b.add_local(&format!("{name}#w2"), m, None).unwrap();
+            let site4 = self.fresh("s");
+            let site4 = self.b.add_call_site(&site4, m).unwrap();
+            self.b.add_entry(site4, z, aparam).unwrap();
+            self.b.add_exit(site4, aret, w2).unwrap();
+            self.q.locals -= 1;
+            self.q.entry -= 1;
+            self.q.exit -= 1;
+        }
+
+        // A sprinkle of recursion: self-call, context-transparent.
+        if index % 40 == 39 {
+            let site5 = self.fresh("s");
+            let site5 = self.b.add_call_site(&site5, m).unwrap();
+            self.b.add_entry(site5, z, param).unwrap();
+            self.b.set_recursive(site5, true).unwrap();
+            self.q.entry -= 1;
+        }
+
+        // Return value: makes this method callable by later ones.
+        let retv = self.b.add_local(&format!("{name}#ret"), m, None).unwrap();
+        self.b.add_assign(z, retv).unwrap();
+        self.q.locals -= 1;
+        self.q.assign -= 1;
+        self.app_callables.push((param, retv));
+
+        self.pad_sites.push((m, chain, ci, z));
+    }
+
+    /// Consumes leftover per-kind quota with precision-neutral filler.
+    fn pad_quotas(&mut self) {
+        if self.pad_sites.is_empty() {
+            return;
+        }
+
+        // Assign padding, phase 1: intra-chain links (all chain members
+        // already share the same points-to set, so extra links between
+        // them change nothing).
+        let mut tries = 0;
+        while self.q.assign > 0 && tries < 4 * self.q.assign.unsigned_abs() as usize {
+            tries += 1;
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let chain = &self.pad_sites[i].1;
+            if chain.len() < 2 {
+                continue;
+            }
+            let a = chain[self.rng.gen_range(0..chain.len())];
+            let d = chain[self.rng.gen_range(0..chain.len())];
+            if a == d {
+                continue;
+            }
+            let before = self.b.num_edges();
+            self.b.add_assign(a, d).unwrap();
+            if self.b.num_edges() > before {
+                self.q.assign -= 1;
+            }
+        }
+        // Assign padding, phase 2: fresh chains off existing vars (also
+        // burns remaining local quota).
+        while self.q.assign > 0 {
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let (m, src) = {
+                let (m, chain, _, _) = &self.pad_sites[i];
+                (*m, chain[chain.len() - 1])
+            };
+            let name = self.fresh("padv");
+            let v = self.b.add_local(&name, m, None).unwrap();
+            self.b.add_assign(src, v).unwrap();
+            self.q.assign -= 1;
+            self.q.locals -= 1;
+        }
+
+        // Load padding: reads of container slots into fresh temps.
+        while self.q.load > 0 {
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let (m, base) = {
+                let (m, chain, _, _) = &self.pad_sites[i];
+                (*m, chain[0])
+            };
+            let slot = self.slots[self.rng.gen_range(0..self.slots.len())];
+            let name = self.fresh("padl");
+            let t = self.b.add_local(&name, m, None).unwrap();
+            self.b.add_load(slot, base, t).unwrap();
+            self.q.load -= 1;
+            self.q.locals -= 1;
+        }
+
+        // Store padding: payloads into the never-read pad slot.
+        while self.q.store > 0 {
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let (_, chain, _, z) = &self.pad_sites[i];
+            let base = chain[0];
+            let z = *z;
+            let before = self.b.num_edges();
+            self.b.add_store(self.pad, z, base).unwrap();
+            if self.b.num_edges() > before {
+                self.q.store -= 1;
+            } else {
+                // Edge already exists; fall back to a fresh temp chain.
+                let (m, base) = {
+                    let (m, chain, _, _) = &self.pad_sites[i];
+                    (*m, chain[0])
+                };
+                let name = self.fresh("pads");
+                let t = self.b.add_local(&name, m, None).unwrap();
+                self.b.add_assign(base, t).unwrap();
+                self.b.add_store(self.pad, t, base).unwrap();
+                self.q.store -= 1;
+                self.q.locals -= 1;
+                self.q.assign -= 1;
+            }
+        }
+
+        // Entry/exit padding: extra `get` calls through existing chains.
+        while self.q.entry > 0 {
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let (m, c, ci) = {
+                let (m, chain, ci, _) = &self.pad_sites[i];
+                (*m, chain[chain.len() - 1], *ci)
+            };
+            let cont = self.containers[ci].clone();
+            let sname = self.fresh("s");
+            let site = self.b.add_call_site(&sname, m).unwrap();
+            self.b.add_entry(site, c, cont.get_this).unwrap();
+            self.q.entry -= 1;
+            if self.q.exit > 0 {
+                let name = self.fresh("pady");
+                let y = self.b.add_local(&name, m, None).unwrap();
+                self.b.add_exit(site, cont.get_ret, y).unwrap();
+                self.q.exit -= 1;
+                self.q.locals -= 1;
+            }
+        }
+
+        // Global padding.
+        while self.q.ag > 0 {
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let (m, v) = {
+                let (m, chain, _, _) = &self.pad_sites[i];
+                (*m, chain[0])
+            };
+            let g = self.pick_global();
+            let before = self.b.num_edges();
+            self.b.add_assign(v, g).unwrap();
+            if self.b.num_edges() == before {
+                let name = self.fresh("padg");
+                let t = self.b.add_local(&name, m, None).unwrap();
+                self.b.add_assign(g, t).unwrap();
+                self.q.locals -= 1;
+            }
+            self.q.ag -= 1;
+        }
+    }
+}
+
+impl Gen<'_> {
+    /// Final correction pass: the profile's *locality* (fraction of
+    /// local edges) is the headline Table 3 metric, so after quota
+    /// padding we top up precision-neutral local edges until the
+    /// generated graph matches it.
+    fn pad_locality(&mut self, target: f64) {
+        if self.pad_sites.is_empty() || !(0.0..1.0).contains(&target) {
+            return;
+        }
+        let stats = self.b.clone().finish().stats();
+        let global = stats.global_edges() as f64;
+        let local = stats.local_edges() as f64;
+        let wanted_local = target / (1.0 - target) * global;
+        let mut deficit = (wanted_local - local).ceil() as i64;
+
+        // Phase 1: intra-chain links (no points-to change, no new nodes).
+        let mut tries = 0usize;
+        let max_tries = (deficit.max(0) as usize) * 6;
+        while deficit > 0 && tries < max_tries {
+            tries += 1;
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let chain = &self.pad_sites[i].1;
+            if chain.len() < 2 {
+                continue;
+            }
+            let a = chain[self.rng.gen_range(0..chain.len())];
+            let d = chain[self.rng.gen_range(0..chain.len())];
+            if a == d {
+                continue;
+            }
+            let before = self.b.num_edges();
+            self.b.add_assign(a, d).unwrap();
+            if self.b.num_edges() > before {
+                deficit -= 1;
+            }
+        }
+        // Phase 2: fresh dead-end chains hanging off existing variables.
+        while deficit > 0 {
+            let i = self.rng.gen_range(0..self.pad_sites.len());
+            let (m, src) = {
+                let (m, chain, _, _) = &self.pad_sites[i];
+                (*m, chain[chain.len() - 1])
+            };
+            let mut prev = src;
+            let burst = deficit.min(8);
+            for _ in 0..burst {
+                let name = self.fresh("loc");
+                let v = self.b.add_local(&name, m, None).unwrap();
+                self.b.add_assign(prev, v).unwrap();
+                prev = v;
+                deficit -= 1;
+            }
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::PROFILES;
+
+    fn small_opts() -> GeneratorOptions {
+        GeneratorOptions {
+            scale: 0.01,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generates_valid_pags_for_all_profiles() {
+        for p in &PROFILES {
+            let w = generate(p, &small_opts());
+            assert!(
+                dynsum_pag::validate(&w.pag).is_empty(),
+                "{} generated an invalid PAG",
+                p.name
+            );
+            assert!(w.pag.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = &PROFILES[2];
+        let a = generate(p, &small_opts());
+        let b = generate(p, &small_opts());
+        assert_eq!(a.pag.num_edges(), b.pag.num_edges());
+        assert_eq!(a.pag.num_vars(), b.pag.num_vars());
+        assert_eq!(
+            dynsum_pag::text::write_pag(&a.pag),
+            dynsum_pag::text::write_pag(&b.pag)
+        );
+        let c = generate(
+            p,
+            &GeneratorOptions {
+                seed: 8,
+                ..small_opts()
+            },
+        );
+        assert_ne!(
+            dynsum_pag::text::write_pag(&a.pag),
+            dynsum_pag::text::write_pag(&c.pag)
+        );
+    }
+
+    #[test]
+    fn locality_tracks_profile() {
+        for p in &PROFILES {
+            let w = generate(p, &GeneratorOptions { scale: 0.02, seed: 1 });
+            let got = w.pag.stats().locality();
+            let want = p.locality();
+            assert!(
+                (got - want).abs() < 0.02,
+                "{}: generated locality {:.3} vs profile {:.3}",
+                p.name,
+                got,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn edge_ratios_track_profile() {
+        let p = &PROFILES[0]; // jack
+        let w = generate(p, &GeneratorOptions { scale: 0.05, seed: 3 });
+        let s = w.pag.stats();
+        let ratio = |a: usize, b: u64| a as f64 / ((b as f64) * 0.05);
+        // Within 2x on every class of edge (the generator prioritizes
+        // structure over exact counts).
+        for (got, want, name) in [
+            (s.assign_edges, p.assign, "assign"),
+            (s.load_edges, p.load, "load"),
+            (s.store_edges, p.store, "store"),
+            (s.entry_edges, p.entry, "entry"),
+            (s.exit_edges, p.exit, "exit"),
+        ] {
+            let r = ratio(got, want);
+            assert!(
+                (0.5..2.5).contains(&r),
+                "{name}: got {got}, scaled target {}, ratio {r:.2}",
+                (want as f64 * 0.05) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn query_sites_meet_minimums() {
+        let p = &PROFILES[8]; // xalan: most queries
+        let w = generate(p, &small_opts());
+        assert!(w.info.casts.len() >= 8);
+        assert!(w.info.derefs.len() >= 12);
+        assert!(w.info.factories.len() >= 6);
+    }
+
+    #[test]
+    fn plants_null_objects_and_recursive_sites() {
+        let p = &PROFILES[3];
+        let w = generate(p, &GeneratorOptions { scale: 0.05, seed: 2 });
+        assert!(w.pag.objs().any(|(_, o)| o.is_null));
+        assert!(w.pag.call_sites().any(|(_, s)| s.recursive));
+    }
+}

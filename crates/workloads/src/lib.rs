@@ -1,0 +1,37 @@
+//! # dynsum-workloads — benchmarks for the evaluation
+//!
+//! The paper evaluates on nine Java programs from SPECjvm98/DaCapo
+//! (Table 3). Their PAGs cannot be regenerated here (no Soot, no
+//! benchmark jars), so this crate supplies the documented substitution:
+//!
+//! * [`PROFILES`] — the Table 3 shape statistics of all nine benchmarks,
+//!   transcribed from the paper (the locality column is reproduced
+//!   exactly — see the module tests);
+//! * [`generate`] — a deterministic synthetic PAG generator that scales
+//!   a profile down while preserving edge-kind ratios, library fan-in,
+//!   field-name sharing and client query sites;
+//! * [`motivating_pag`]/[`MOTIVATING_SOURCE`] — Figure 2's
+//!   `Vector`/`Client` program, both hand-built (paper names, line-number
+//!   call sites) and as compilable source;
+//! * [`corpus`] — six hand-written mini-Java programs for end-to-end
+//!   pipeline tests and examples.
+//!
+//! ```
+//! use dynsum_workloads::{generate, GeneratorOptions, PROFILES};
+//!
+//! let workload = generate(&PROFILES[2], &GeneratorOptions::default()); // soot-c
+//! assert_eq!(workload.name, "soot-c");
+//! assert!(workload.pag.stats().locality() > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+mod generator;
+mod motivating;
+mod profiles;
+
+pub use generator::{generate, GeneratorOptions, Workload};
+pub use motivating::{motivating_pag, motivating_workload, Motivating, MOTIVATING_SOURCE};
+pub use profiles::{BenchmarkProfile, PROFILES, SCALABILITY_BENCHMARKS};

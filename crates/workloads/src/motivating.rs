@@ -1,0 +1,261 @@
+//! The paper's motivating example (Figure 2): the `Vector`/`Client`
+//! program whose two queries `s1` and `s2` drive the whole of §3.4/§4.3
+//! and Table 1.
+//!
+//! Provided in two equivalent forms:
+//!
+//! * [`motivating_pag`] — hand-built, node-for-node and edge-for-edge as
+//!   drawn in Figure 2, with the paper's variable names (`t_add`,
+//!   `this_get`, `ret_retrieve`, `o26`, …) and call-site labels (the
+//!   source line numbers 22–33);
+//! * [`MOTIVATING_SOURCE`] — the same program in the frontend's Java
+//!   subset, for the end-to-end pipeline.
+//!
+//! The expected answers (§3.4): `pts(s1) = {o26}` and `pts(s2) = {o29}`.
+
+use dynsum_pag::{DerefSite, Pag, PagBuilder, ProgramInfo, VarId};
+
+use crate::generator::Workload;
+
+/// Figure 2 in the frontend's syntax (same line structure as the paper's
+/// listing).
+pub const MOTIVATING_SOURCE: &str = r#"
+class Vector {
+    Object[] elems;
+    int count;
+    Vector() { Object[] t = new Object[8]; this.elems = t; }
+    void add(Object p) { Object[] t = this.elems; t[0] = p; }
+    Object get(int i) { Object[] t = this.elems; return t[i]; }
+}
+class Integer { }
+class Client {
+    Vector vec;
+    Client() { }
+    void set(Vector v) { this.vec = v; }
+    Object retrieve() { Vector t = this.vec; return t.get(0); }
+}
+class Main {
+    static void main() {
+        Vector v1 = new Vector();
+        v1.add(new Integer());
+        Client c1 = new Client();
+        c1.set(v1);
+        Vector v2 = new Vector();
+        v2.add(new String());
+        Client c2 = new Client();
+        c2.set(v2);
+        Object s1 = c1.retrieve();
+        Object s2 = c2.retrieve();
+    }
+}
+class String { }
+"#;
+
+/// Handles to the interesting entities of the hand-built Figure 2 PAG.
+#[derive(Debug, Clone)]
+pub struct Motivating {
+    /// The graph.
+    pub pag: Pag,
+    /// Client metadata (the two dereference-style queries `s1`, `s2`).
+    pub info: ProgramInfo,
+    /// The queried variable `s1` (must point to `o26` only).
+    pub s1: VarId,
+    /// The queried variable `s2` (must point to `o29` only).
+    pub s2: VarId,
+}
+
+/// Builds Figure 2's PAG exactly as drawn, with the paper's names.
+///
+/// # Panics
+///
+/// Never panics on the fixed input; the construction is static.
+pub fn motivating_pag() -> Motivating {
+    let mut b = PagBuilder::new();
+
+    let vector = b.add_class("Vector", None).unwrap();
+    let client = b.add_class("Client", None).unwrap();
+    let integer = b.add_class("Integer", None).unwrap();
+    let string = b.add_class("String", None).unwrap();
+    let objarr = b.add_class("Object[]", None).unwrap();
+
+    let elems = b.field("elems");
+    let arr = b.array_field();
+    let vec_f = b.field("vec");
+
+    // Methods.
+    let m_vector_init = b.add_method("Vector.<init>", Some(vector)).unwrap();
+    let m_add = b.add_method("Vector.add", Some(vector)).unwrap();
+    let m_get = b.add_method("Vector.get", Some(vector)).unwrap();
+    let m_client_init = b.add_method("Client.<init>", Some(client)).unwrap();
+    let m_set = b.add_method("Client.set", Some(client)).unwrap();
+    let m_retrieve = b.add_method("Client.retrieve", Some(client)).unwrap();
+    let m_main = b.add_method("Main.main", None).unwrap();
+
+    // Vector.<init>: t = new Object[8]; this.elems = t;
+    let this_vector = b.add_local("this_Vector", m_vector_init, Some(vector)).unwrap();
+    let t_vector = b.add_local("t_Vector", m_vector_init, Some(objarr)).unwrap();
+    let o5 = b.add_obj("o5", Some(objarr), Some(m_vector_init)).unwrap();
+    b.add_new(o5, t_vector).unwrap();
+    b.add_store(elems, t_vector, this_vector).unwrap();
+
+    // Vector.add(p): t = this.elems; t[count++] = p;
+    let this_add = b.add_local("this_add", m_add, Some(vector)).unwrap();
+    let p = b.add_local("p", m_add, None).unwrap();
+    let t_add = b.add_local("t_add", m_add, Some(objarr)).unwrap();
+    b.add_load(elems, this_add, t_add).unwrap();
+    b.add_store(arr, p, t_add).unwrap();
+
+    // Vector.get(i): t = this.elems; return t[i];
+    let this_get = b.add_local("this_get", m_get, Some(vector)).unwrap();
+    let t_get = b.add_local("t_get", m_get, Some(objarr)).unwrap();
+    let ret_get = b.add_local("ret_get", m_get, None).unwrap();
+    b.add_load(elems, this_get, t_get).unwrap();
+    b.add_load(arr, t_get, ret_get).unwrap();
+
+    // Client.<init>(v): this.vec = v;  (the two-argument constructor of
+    // the paper's line 16; the figure routes both c1's and c2's vector
+    // through `set` / ctor stores — we model the stores exactly as the
+    // figure draws them: v_Client into this_Client, v_set into this_set.)
+    let this_client = b.add_local("this_Client", m_client_init, Some(client)).unwrap();
+    let v_client = b.add_local("v_Client", m_client_init, Some(vector)).unwrap();
+    b.add_store(vec_f, v_client, this_client).unwrap();
+
+    // Client.set(v): this.vec = v;
+    let this_set = b.add_local("this_set", m_set, Some(client)).unwrap();
+    let v_set = b.add_local("v_set", m_set, Some(vector)).unwrap();
+    b.add_store(vec_f, v_set, this_set).unwrap();
+
+    // Client.retrieve(): t = this.vec; return t.get(0);
+    let this_retrieve = b.add_local("this_retrieve", m_retrieve, Some(client)).unwrap();
+    let t_retrieve = b.add_local("t_retrieve", m_retrieve, Some(vector)).unwrap();
+    let ret_retrieve = b.add_local("ret_retrieve", m_retrieve, None).unwrap();
+    b.add_load(vec_f, this_retrieve, t_retrieve).unwrap();
+
+    // Main.main.
+    let v1 = b.add_local("v1", m_main, Some(vector)).unwrap();
+    let v2 = b.add_local("v2", m_main, Some(vector)).unwrap();
+    let c1 = b.add_local("c1", m_main, Some(client)).unwrap();
+    let c2 = b.add_local("c2", m_main, Some(client)).unwrap();
+    let tmp1 = b.add_local("tmp1", m_main, Some(integer)).unwrap();
+    let tmp2 = b.add_local("tmp2", m_main, Some(string)).unwrap();
+    let s1 = b.add_local("s1", m_main, None).unwrap();
+    let s2 = b.add_local("s2", m_main, None).unwrap();
+
+    let o25 = b.add_obj("o25", Some(vector), Some(m_main)).unwrap();
+    let o26 = b.add_obj("o26", Some(integer), Some(m_main)).unwrap();
+    let o27 = b.add_obj("o27", Some(client), Some(m_main)).unwrap();
+    let o28 = b.add_obj("o28", Some(vector), Some(m_main)).unwrap();
+    let o29 = b.add_obj("o29", Some(string), Some(m_main)).unwrap();
+    let o30 = b.add_obj("o30", Some(client), Some(m_main)).unwrap();
+    b.add_new(o25, v1).unwrap();
+    b.add_new(o26, tmp1).unwrap();
+    b.add_new(o27, c1).unwrap();
+    b.add_new(o28, v2).unwrap();
+    b.add_new(o29, tmp2).unwrap();
+    b.add_new(o30, c2).unwrap();
+
+    // Call sites, labelled with the paper's line numbers.
+    let s22 = b.add_call_site("22", m_retrieve).unwrap(); // t.get(0)
+    let s25 = b.add_call_site("25", m_main).unwrap(); // new Vector()
+    let s26 = b.add_call_site("26", m_main).unwrap(); // v1.add(...)
+    let s27 = b.add_call_site("27", m_main).unwrap(); // new Client(v1)
+    let s28 = b.add_call_site("28", m_main).unwrap(); // new Vector()
+    let s29 = b.add_call_site("29", m_main).unwrap(); // v2.add(...)
+    let s31 = b.add_call_site("31", m_main).unwrap(); // c2.set(v2)
+    let s32 = b.add_call_site("32", m_main).unwrap(); // c1.retrieve()
+    let s33 = b.add_call_site("33", m_main).unwrap(); // c2.retrieve()
+
+    b.add_entry(s25, v1, this_vector).unwrap();
+    b.add_entry(s26, v1, this_add).unwrap();
+    b.add_entry(s26, tmp1, p).unwrap();
+    b.add_entry(s27, c1, this_client).unwrap();
+    b.add_entry(s27, v1, v_client).unwrap();
+    b.add_entry(s28, v2, this_vector).unwrap();
+    b.add_entry(s29, v2, this_add).unwrap();
+    b.add_entry(s29, tmp2, p).unwrap();
+    b.add_entry(s31, c2, this_set).unwrap();
+    b.add_entry(s31, v2, v_set).unwrap();
+    b.add_entry(s32, c1, this_retrieve).unwrap();
+    b.add_entry(s33, c2, this_retrieve).unwrap();
+    b.add_entry(s22, t_retrieve, this_get).unwrap();
+    b.add_exit(s22, ret_get, ret_retrieve).unwrap();
+    b.add_exit(s32, ret_retrieve, s1).unwrap();
+    b.add_exit(s33, ret_retrieve, s2).unwrap();
+
+    let info = ProgramInfo {
+        casts: Vec::new(),
+        derefs: vec![
+            DerefSite {
+                base: s1,
+                location: "Main.main:32".to_owned(),
+            },
+            DerefSite {
+                base: s2,
+                location: "Main.main:33".to_owned(),
+            },
+        ],
+        factories: Vec::new(),
+        entry: Some(m_main),
+    };
+
+    Motivating {
+        pag: b.finish(),
+        info,
+        s1,
+        s2,
+    }
+}
+
+/// The motivating example wrapped as a [`Workload`].
+pub fn motivating_workload() -> Workload {
+    let m = motivating_pag();
+    Workload {
+        name: "motivating".to_owned(),
+        pag: m.pag,
+        info: m.info,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_pag_is_valid_and_sized_right() {
+        let m = motivating_pag();
+        assert!(dynsum_pag::validate(&m.pag).is_empty());
+        assert_eq!(m.pag.num_methods(), 7);
+        assert_eq!(m.pag.num_objs(), 7); // o5 + o25..o30
+        // 7 new + 4 store + 4 load + 12 entry + 3 exit + 0 assign.
+        assert_eq!(m.pag.stats().new_edges, 7);
+        assert_eq!(m.pag.stats().store_edges, 4);
+        assert_eq!(m.pag.stats().load_edges, 4);
+        assert_eq!(m.pag.stats().entry_edges, 13);
+        assert_eq!(m.pag.stats().exit_edges, 3);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let m = motivating_pag();
+        for name in [
+            "this_add", "t_add", "p", "this_Vector", "t_Vector", "this_get", "t_get",
+            "ret_get", "this_retrieve", "t_retrieve", "ret_retrieve", "this_Client",
+            "v_Client", "this_set", "v_set", "v1", "v2", "c1", "c2", "tmp1", "tmp2",
+            "s1", "s2",
+        ] {
+            assert!(m.pag.find_var(name).is_some(), "missing {name}");
+        }
+        for label in ["o5", "o25", "o26", "o27", "o28", "o29", "o30"] {
+            assert!(m.pag.find_obj(label).is_some(), "missing {label}");
+        }
+        assert!(m.pag.find_call_site("22").is_some());
+        assert!(m.pag.find_call_site("33").is_some());
+    }
+
+    #[test]
+    fn source_form_compiles() {
+        let c = dynsum_frontend::compile(MOTIVATING_SOURCE).unwrap();
+        assert!(dynsum_pag::validate(&c.pag).is_empty());
+        assert_eq!(c.pag.num_methods(), 7);
+    }
+}

@@ -1,0 +1,80 @@
+//! # dynsum — on-demand dynamic summary-based points-to analysis
+//!
+//! A from-scratch Rust reproduction of *On-Demand Dynamic Summary-based
+//! Points-to Analysis* (Lei Shang, Xinwei Xie, Jingling Xue — CGO 2012):
+//! context-sensitive, field-sensitive, demand-driven points-to analysis
+//! formulated as CFL-reachability over Pointer Assignment Graphs,
+//! accelerated by context-independent method summaries computed
+//! dynamically by a Partial Points-To Analysis (PPTA).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`pag`] | `dynsum-pag` | Pointer Assignment Graphs, class hierarchy, text format |
+//! | [`cfl`] | `dynsum-cfl` | interned stacks, budgets, traces, query results |
+//! | [`frontend`] | `dynsum-frontend` | Java-subset compiler → PAG |
+//! | [`andersen`] | `dynsum-andersen` | exhaustive inclusion-based oracle |
+//! | [`analysis`] | `dynsum-core` | NOREFINE, REFINEPTS, **DYNSUM**, STASUM |
+//! | [`clients`] | `dynsum-clients` | SafeCast, NullDeref, FactoryM |
+//! | [`workloads`] | `dynsum-workloads` | Table 3 profiles, generator, Figure 2 |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ## Example: source to points-to set
+//!
+//! ```
+//! use dynsum::{compile, DemandPointsTo, DynSum};
+//!
+//! let program = "
+//!     class Box {
+//!         Object item;
+//!         void put(Object x) { this.item = x; }
+//!         Object take() { return this.item; }
+//!     }
+//!     class Main {
+//!         static void main() {
+//!             Box b = new Box();
+//!             b.put(new Main());
+//!             Object got = b.take();
+//!         }
+//!     }
+//! ";
+//! let compiled = compile(program)?;
+//! let mut engine = DynSum::new(&compiled.pag);
+//! let got = compiled.pag.find_var("Main.main#got").expect("var exists");
+//! let result = engine.points_to(got);
+//! assert!(result.resolved);
+//! assert_eq!(result.pts.objects().len(), 1);
+//! # Ok::<(), dynsum::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Pointer Assignment Graph representation (`dynsum-pag`).
+pub use dynsum_pag as pag;
+
+/// CFL-reachability machinery (`dynsum-cfl`).
+pub use dynsum_cfl as cfl;
+
+/// Java-subset frontend (`dynsum-frontend`).
+pub use dynsum_frontend as frontend;
+
+/// Andersen-style whole-program analysis (`dynsum-andersen`).
+pub use dynsum_andersen as andersen;
+
+/// The demand-driven engines (`dynsum-core`).
+pub use dynsum_core as analysis;
+
+/// The evaluation clients (`dynsum-clients`).
+pub use dynsum_clients as clients;
+
+/// Benchmark profiles and generators (`dynsum-workloads`).
+pub use dynsum_workloads as workloads;
+
+pub use dynsum_andersen::Andersen;
+pub use dynsum_cfl::{Budget, PointsToSet, QueryResult};
+pub use dynsum_core::{DemandPointsTo, DynSum, EngineConfig, NoRefine, RefinePts, StaSum};
+pub use dynsum_frontend::{compile, compile_with, CallGraphMode, CompileError};
+pub use dynsum_pag::{Pag, PagBuilder};
