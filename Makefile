@@ -1,0 +1,27 @@
+# Convenience aliases; `make verify` is ROADMAP.md's tier-1 command.
+
+CARGO ?= cargo
+
+.PHONY: verify build test bench-check fmt lint clean
+
+verify:
+	$(CARGO) build --release && $(CARGO) test -q
+
+build:
+	$(CARGO) build --workspace --all-targets
+
+test:
+	$(CARGO) test -q
+
+bench-check:
+	$(CARGO) bench --no-run
+
+fmt:
+	$(CARGO) fmt --all
+
+lint:
+	$(CARGO) fmt --check
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+clean:
+	$(CARGO) clean

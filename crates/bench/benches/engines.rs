@@ -22,7 +22,11 @@ fn query_stream(c: &mut Criterion) {
     let workload = opts.workloads().remove(0);
     let mut group = c.benchmark_group("query_stream");
     group.sample_size(10);
-    for kind in [EngineKind::NoRefine, EngineKind::RefinePts, EngineKind::DynSum] {
+    for kind in [
+        EngineKind::NoRefine,
+        EngineKind::RefinePts,
+        EngineKind::DynSum,
+    ] {
         group.bench_function(kind.name(), |b| {
             b.iter_batched(
                 || kind.build(&workload.pag, opts.engine_config()),
@@ -46,7 +50,11 @@ fn single_query(c: &mut Criterion) {
     let workload = opts.workloads().remove(0);
     let var = workload.info.derefs[0].base;
     let mut group = c.benchmark_group("single_query");
-    for kind in [EngineKind::NoRefine, EngineKind::RefinePts, EngineKind::DynSum] {
+    for kind in [
+        EngineKind::NoRefine,
+        EngineKind::RefinePts,
+        EngineKind::DynSum,
+    ] {
         group.bench_function(kind.name(), |b| {
             b.iter_batched(
                 || kind.build(&workload.pag, opts.engine_config()),

@@ -59,5 +59,11 @@ fn text_round_trip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, andersen_solve, stasum_precompute, generator, text_round_trip);
+criterion_group!(
+    benches,
+    andersen_solve,
+    stasum_precompute,
+    generator,
+    text_round_trip
+);
 criterion_main!(benches);

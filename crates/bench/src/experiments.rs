@@ -94,7 +94,13 @@ pub fn table1() -> Table1Output {
 pub fn table2() -> Table {
     let mut t = Table::new(
         "Table 2: strengths and weaknesses of four demand-driven points-to analyses",
-        &["Algorithm", "Full Precision", "Memorization", "Reuse", "On-Demandness"],
+        &[
+            "Algorithm",
+            "Full Precision",
+            "Memorization",
+            "Reuse",
+            "On-Demandness",
+        ],
     );
     t.push_row(vec![
         "NOREFINE".into(),
@@ -135,8 +141,22 @@ pub fn table3(opts: &ExperimentOptions) -> Table {
     let mut t = Table::new(
         &format!("Table 3: benchmark statistics (scale {})", opts.scale),
         &[
-            "Benchmark", "Methods", "O", "V", "G", "new", "assign", "load", "store",
-            "entry", "exit", "aglobal", "Locality", "SafeCast", "NullDeref", "FactoryM",
+            "Benchmark",
+            "Methods",
+            "O",
+            "V",
+            "G",
+            "new",
+            "assign",
+            "load",
+            "store",
+            "entry",
+            "exit",
+            "aglobal",
+            "Locality",
+            "SafeCast",
+            "NullDeref",
+            "FactoryM",
         ],
     );
     for w in opts.workloads() {
@@ -368,11 +388,9 @@ pub fn figure4(opts: &ExperimentOptions, n_batches: usize) -> Vec<BatchSeries> {
         }
         for client in ClientKind::ALL {
             let mut refine = EngineKind::RefinePts.build(&w.pag, config);
-            let refine_batches =
-                run_batches(client, &w.pag, &w.info, refine.as_mut(), n_batches);
+            let refine_batches = run_batches(client, &w.pag, &w.info, refine.as_mut(), n_batches);
             let mut dynsum = EngineKind::DynSum.build(&w.pag, config);
-            let dynsum_batches =
-                run_batches(client, &w.pag, &w.info, dynsum.as_mut(), n_batches);
+            let dynsum_batches = run_batches(client, &w.pag, &w.info, dynsum.as_mut(), n_batches);
             out.push(BatchSeries {
                 benchmark: w.name.clone(),
                 client,
@@ -515,20 +533,19 @@ pub fn ablation(opts: &ExperimentOptions) -> Vec<AblationRow> {
     let mut out = Vec::new();
     let base = opts.engine_config();
     for w in opts.workloads() {
-        let run =
-            |label: &str, config: EngineConfig, out: &mut Vec<AblationRow>| {
-                let mut engine = DynSum::with_config(&w.pag, config);
-                let started = Instant::now();
-                let report = run_client(ClientKind::NullDeref, &w.pag, &w.info, &mut engine);
-                out.push(AblationRow {
-                    label: label.to_owned(),
-                    benchmark: w.name.clone(),
-                    millis: started.elapsed().as_secs_f64() * 1e3,
-                    edges: report.stats.edges_traversed,
-                    unresolved: report.unresolved,
-                    summaries: engine.summary_count(),
-                });
-            };
+        let run = |label: &str, config: EngineConfig, out: &mut Vec<AblationRow>| {
+            let mut engine = DynSum::with_config(&w.pag, config);
+            let started = Instant::now();
+            let report = run_client(ClientKind::NullDeref, &w.pag, &w.info, &mut engine);
+            out.push(AblationRow {
+                label: label.to_owned(),
+                benchmark: w.name.clone(),
+                millis: started.elapsed().as_secs_f64() * 1e3,
+                edges: report.stats.edges_traversed,
+                unresolved: report.unresolved,
+                summaries: engine.summary_count(),
+            });
+        };
         run("cache on (default)", base, &mut out);
         run(
             "cache off",
@@ -561,7 +578,14 @@ pub fn ablation(opts: &ExperimentOptions) -> Vec<AblationRow> {
 pub fn render_ablation(rows: &[AblationRow]) -> String {
     let mut t = Table::new(
         "Ablation (DYNSUM, NullDeref client)",
-        &["Configuration", "Benchmark", "ms", "edges", "unresolved", "summaries"],
+        &[
+            "Configuration",
+            "Benchmark",
+            "ms",
+            "edges",
+            "unresolved",
+            "summaries",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -649,15 +673,15 @@ mod tests {
         for s in &series {
             let norm = s.normalized_edges();
             assert!(norm.len() >= 4);
-            // The curve trends down as the cache warms: the average of
-            // the last half must not exceed the average of the first
-            // half (per-batch jitter is expected at tiny scales).
-            let mid = norm.len() / 2;
-            let head: f64 = norm[..mid].iter().sum::<f64>() / mid as f64;
-            let tail: f64 = norm[mid..].iter().sum::<f64>() / (norm.len() - mid) as f64;
+            // The curve trends down as the cache warms: no warm batch
+            // may exceed the cold first batch (per-batch jitter is
+            // expected at tiny scales, hence the tolerance; the run is
+            // deterministic in the workload seed).
+            let cold = norm[0];
+            let worst_warm = norm[1..].iter().copied().fold(f64::MIN, f64::max);
             assert!(
-                tail <= head + 0.05,
-                "{}/{}: head {head:.2} -> tail {tail:.2} ({norm:?})",
+                worst_warm <= cold + 0.05,
+                "{}/{}: cold {cold:.2} -> worst warm {worst_warm:.2} ({norm:?})",
                 s.benchmark,
                 s.client
             );
@@ -682,7 +706,10 @@ mod tests {
     #[test]
     fn ablation_cache_off_costs_more_edges() {
         let rows = ablation(&tiny());
-        let on = rows.iter().find(|r| r.label.starts_with("cache on")).unwrap();
+        let on = rows
+            .iter()
+            .find(|r| r.label.starts_with("cache on"))
+            .unwrap();
         let off = rows.iter().find(|r| r.label == "cache off").unwrap();
         assert!(off.edges >= on.edges);
         assert_eq!(off.summaries, 0);

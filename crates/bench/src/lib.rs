@@ -26,9 +26,8 @@ mod options;
 mod table;
 
 pub use experiments::{
-    ablation, figure4, figure5, render_ablation, render_figure4, render_figure5, table1,
-    table2, table3, table4, AblationRow, BatchSeries, Figure5Row, Table1Output, Table4Cell,
-    Table4Output,
+    ablation, figure4, figure5, render_ablation, render_figure4, render_figure5, table1, table2,
+    table3, table4, AblationRow, BatchSeries, Figure5Row, Table1Output, Table4Cell, Table4Output,
 };
 pub use options::{EngineKind, ExperimentOptions};
 pub use table::Table;

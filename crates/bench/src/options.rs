@@ -46,17 +46,13 @@ impl ExperimentOptions {
             };
             match flag.as_str() {
                 "--scale" => {
-                    opts.scale = value()?
-                        .parse()
-                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    opts.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 }
                 "--seed" => {
                     opts.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
                 }
                 "--budget" => {
-                    opts.budget = value()?
-                        .parse()
-                        .map_err(|e| format!("bad --budget: {e}"))?;
+                    opts.budget = value()?.parse().map_err(|e| format!("bad --budget: {e}"))?;
                 }
                 "--bench" => {
                     opts.benchmarks = value()?
@@ -108,8 +104,11 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// The three timed engines of Table 4, in the paper's row order.
-    pub const TABLE4: [EngineKind; 3] =
-        [EngineKind::NoRefine, EngineKind::RefinePts, EngineKind::DynSum];
+    pub const TABLE4: [EngineKind; 3] = [
+        EngineKind::NoRefine,
+        EngineKind::RefinePts,
+        EngineKind::DynSum,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -150,8 +149,10 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = ExperimentOptions::parse(args("--scale 0.5 --seed 9 --budget 1000 --bench soot-c,bloat"))
-            .unwrap();
+        let o = ExperimentOptions::parse(args(
+            "--scale 0.5 --seed 9 --budget 1000 --bench soot-c,bloat",
+        ))
+        .unwrap();
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.seed, 9);
         assert_eq!(o.budget, 1000);

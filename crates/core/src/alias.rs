@@ -131,7 +131,13 @@ mod tests {
     fn alias_is_symmetric() {
         let (pag, p, q, r, _) = aliasing_pag();
         let mut e = DynSum::new(&pag);
-        assert_eq!(may_alias(&mut e, p, q).result, may_alias(&mut e, q, p).result);
-        assert_eq!(may_alias(&mut e, p, r).result, may_alias(&mut e, r, p).result);
+        assert_eq!(
+            may_alias(&mut e, p, q).result,
+            may_alias(&mut e, q, p).result
+        );
+        assert_eq!(
+            may_alias(&mut e, p, r).result,
+            may_alias(&mut e, r, p).result
+        );
     }
 }

@@ -117,9 +117,8 @@ impl<'p> DynSum<'p> {
     /// [`invalidate_method`](Self::invalidate_method)).
     pub fn invalidate_methods(&mut self, methods: &[dynsum_pag::MethodId]) -> usize {
         let pag = self.pag;
-        self.cache.evict_where(|&(node, _, _)| {
-            pag.method_of(node).is_some_and(|m| methods.contains(&m))
-        })
+        self.cache
+            .evict_where(|&(node, _, _)| pag.method_of(node).is_some_and(|m| methods.contains(&m)))
     }
 
     /// The engine configuration.
@@ -213,13 +212,7 @@ mod tests {
 
     /// id(p){return p} called from two sites with distinct objects: a
     /// context-sensitive analysis must not mix the results.
-    fn two_callers() -> (
-        Pag,
-        VarId,
-        VarId,
-        dynsum_pag::ObjId,
-        dynsum_pag::ObjId,
-    ) {
+    fn two_callers() -> (Pag, VarId, VarId, dynsum_pag::ObjId, dynsum_pag::ObjId) {
         let mut b = PagBuilder::new();
         let main = b.add_method("main", None).unwrap();
         let id = b.add_method("id", None).unwrap();

@@ -89,12 +89,7 @@ impl Ppta<'_, '_> {
         Ok(self.fields.push(f, g))
     }
 
-    fn go(
-        &mut self,
-        u: NodeId,
-        f: FieldStackId,
-        s: Direction,
-    ) -> Result<(), BudgetExceeded> {
+    fn go(&mut self, u: NodeId, f: FieldStackId, s: Direction) -> Result<(), BudgetExceeded> {
         if !self.visited.insert((u, f, s)) {
             return Ok(());
         }
@@ -182,10 +177,8 @@ impl Ppta<'_, '_> {
                         self.go(e.dst, f2, Direction::S1)?;
                     }
                 }
-                EdgeKind::New
-                | EdgeKind::AssignGlobal
-                | EdgeKind::Entry(_)
-                | EdgeKind::Exit(_) => {}
+                EdgeKind::New | EdgeKind::AssignGlobal | EdgeKind::Entry(_) | EdgeKind::Exit(_) => {
+                }
             }
         }
         for &eid in self.pag.in_edges(u) {
@@ -423,6 +416,9 @@ mod tests {
         let mut fields = StackPool::new();
         let s = run(&pag, &mut fields, r, FieldStackId::EMPTY, Direction::S1);
         assert!(s.objs.is_empty());
-        assert_eq!(s.boundaries, vec![(pag.var_node(r), FieldStackId::EMPTY, Direction::S1)]);
+        assert_eq!(
+            s.boundaries,
+            vec![(pag.var_node(r), FieldStackId::EMPTY, Direction::S1)]
+        );
     }
 }

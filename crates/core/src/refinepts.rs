@@ -189,10 +189,7 @@ mod tests {
         let precise = e.points_to(y);
         let mut e2 = RefinePts::new(&pag);
         let loose = e2.query(y, &|_| true);
-        assert!(precise
-            .pts
-            .objects()
-            .is_subset(&loose.pts.objects()));
+        assert!(precise.pts.objects().is_subset(&loose.pts.objects()));
     }
 
     #[test]

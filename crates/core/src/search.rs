@@ -82,7 +82,12 @@ pub(crate) fn search(
         seen: HashSet::new(),
         wl: Vec::new(),
     };
-    let init = (pag.var_node(start), FieldStackId::EMPTY, Direction::S1, start_ctx);
+    let init = (
+        pag.var_node(start),
+        FieldStackId::EMPTY,
+        Direction::S1,
+        start_ctx,
+    );
     cx.seen.insert(init);
     cx.wl.push(init);
     let complete = cx.drive().is_ok();

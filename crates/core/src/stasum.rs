@@ -122,11 +122,7 @@ impl<'p> StaSum<'p> {
     }
 
     /// Precomputes with explicit configuration and options.
-    pub fn precompute_with(
-        pag: &'p Pag,
-        config: EngineConfig,
-        options: StaSumOptions,
-    ) -> Self {
+    pub fn precompute_with(pag: &'p Pag, config: EngineConfig, options: StaSumOptions) -> Self {
         let mut this = StaSum {
             pag,
             fields: StackPool::new(),
@@ -350,11 +346,7 @@ impl RelPpta<'_, '_> {
         }
     }
 
-    fn rel_push(
-        &mut self,
-        have: FieldStackId,
-        g: FieldId,
-    ) -> Result<FieldStackId, BudgetExceeded> {
+    fn rel_push(&mut self, have: FieldStackId, g: FieldId) -> Result<FieldStackId, BudgetExceeded> {
         if self.fields.depth(have) >= self.max_have_depth {
             return Err(BudgetExceeded);
         }
@@ -580,7 +572,11 @@ mod tests {
         let before = e.summary_count();
         e.points_to(r1);
         e.points_to(r2);
-        assert_eq!(e.summary_count(), before, "STASUM never grows at query time");
+        assert_eq!(
+            e.summary_count(),
+            before,
+            "STASUM never grows at query time"
+        );
     }
 
     #[test]
@@ -593,7 +589,9 @@ mod tests {
         // qualified by need.
         let any_need = e.rel.values().any(|r| {
             r.objs.iter().any(|&(_, need)| !need.is_empty())
-                || r.boundaries.iter().any(|&(_, need, _, _, _)| !need.is_empty())
+                || r.boundaries
+                    .iter()
+                    .any(|&(_, need, _, _, _)| !need.is_empty())
         });
         assert!(any_need, "relative summaries must exercise the need stack");
     }

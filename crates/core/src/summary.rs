@@ -160,7 +160,10 @@ mod tests {
 
         // `p` has a global in-edge only.
         let s1 = Summary::trivial(&pag, np, FieldStackId::EMPTY, Direction::S1);
-        assert_eq!(s1.boundaries, vec![(np, FieldStackId::EMPTY, Direction::S1)]);
+        assert_eq!(
+            s1.boundaries,
+            vec![(np, FieldStackId::EMPTY, Direction::S1)]
+        );
         let s2 = Summary::trivial(&pag, np, FieldStackId::EMPTY, Direction::S2);
         assert!(s2.is_empty());
     }

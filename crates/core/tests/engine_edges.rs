@@ -54,7 +54,10 @@ fn context_cap_aborts_conservatively() {
         ..EngineConfig::default()
     };
     let r = DynSum::with_config(&pag, config).points_to(root);
-    assert!(!r.resolved, "a 24-deep chain cannot fit a 4-deep context cap");
+    assert!(
+        !r.resolved,
+        "a 24-deep chain cannot fit a 4-deep context cap"
+    );
 }
 
 #[test]

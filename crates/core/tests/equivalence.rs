@@ -48,12 +48,27 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
         proptest::collection::vec((idx.clone(), idx.clone(), idx.clone(), idx.clone()), 0..4),
         proptest::collection::vec((any::<bool>(), idx.clone(), idx.clone(), idx.clone()), 0..3),
         proptest::collection::vec(
-            (idx.clone(), idx.clone(), idx.clone(), idx.clone(), idx.clone(), idx),
+            (
+                idx.clone(),
+                idx.clone(),
+                idx.clone(),
+                idx.clone(),
+                idx.clone(),
+                idx,
+            ),
             0..4,
         ),
     )
         .prop_map(
-            |((methods, locals_per, globals, fields), objs, assigns, loads, stores, gassigns, calls)| {
+            |(
+                (methods, locals_per, globals, fields),
+                objs,
+                assigns,
+                loads,
+                stores,
+                gassigns,
+                calls,
+            )| {
                 Spec {
                     methods,
                     locals_per,
@@ -97,9 +112,7 @@ fn build(spec: &Spec) -> (Pag, Vec<VarId>) {
     for (i, &(m, l)) in spec.objs.iter().enumerate() {
         let m = m % spec.methods;
         let l = l % spec.locals_per;
-        let o = b
-            .add_obj(&format!("o{i}"), None, Some(methods[m]))
-            .unwrap();
+        let o = b.add_obj(&format!("o{i}"), None, Some(methods[m])).unwrap();
         b.add_new(o, locals[m][l]).unwrap();
     }
     for &(m, s, d) in &spec.assigns {

@@ -322,9 +322,6 @@ mod tests {
     fn expr_span_accessor() {
         let s = Span::new(1, 2, 3, 4);
         assert_eq!(Expr::This { span: s }.span(), s);
-        assert_eq!(
-            Expr::Int { value: 1, span: s }.span(),
-            s
-        );
+        assert_eq!(Expr::Int { value: 1, span: s }.span(), s);
     }
 }

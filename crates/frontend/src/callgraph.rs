@@ -177,10 +177,7 @@ fn add_call_edges(
             .collect()
     };
     for (i, arg) in call.args.iter().enumerate() {
-        if let (Some(actual), Some(formal)) = (
-            arg,
-            lowered.syms.builder.find_var(&params[i]),
-        ) {
+        if let (Some(actual), Some(formal)) = (arg, lowered.syms.builder.find_var(&params[i])) {
             lowered
                 .syms
                 .builder
@@ -234,10 +231,10 @@ fn mark_recursion(
 
     for (site, tgts) in targets {
         let caller = site_caller[site];
-        let recursive = tgts.iter().any(|t| scc[t.index()] == scc[caller.index()]
-            // Direct self-loops are their own SCC in Tarjan only when
-            // the edge exists, which it does here; same-component check
-            // covers them.
+        let recursive = tgts.iter().any(
+            |t| scc[t.index()] == scc[caller.index()], // Direct self-loops are their own SCC in Tarjan only when
+                                                       // the edge exists, which it does here; same-component check
+                                                       // covers them.
         );
         if recursive {
             lowered

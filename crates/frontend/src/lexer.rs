@@ -218,7 +218,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn ident(&mut self, start: usize) -> TokenKind {
-        while matches!(self.peek(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         match &self.src[start..self.pos] {

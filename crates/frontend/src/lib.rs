@@ -90,10 +90,7 @@ pub fn compile(source: &str) -> Result<CompiledProgram, CompileError> {
 /// # Errors
 ///
 /// Returns the first [`CompileError`] (lexical, syntactic or semantic).
-pub fn compile_with(
-    source: &str,
-    mode: CallGraphMode,
-) -> Result<CompiledProgram, CompileError> {
+pub fn compile_with(source: &str, mode: CallGraphMode) -> Result<CompiledProgram, CompileError> {
     let tokens = lexer::lex(source)?;
     let program = parser::parse(tokens)?;
     let syms = symbols::Symbols::declare(&program)?;

@@ -131,10 +131,7 @@ struct MethodCx {
 
 impl MethodCx {
     fn lookup(&self, name: &str) -> Option<(VarId, Ty)> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 }
 
@@ -160,11 +157,7 @@ impl Lowerer {
             .map_err(|e| Self::err(span, e.to_string()))
     }
 
-    fn fresh_site(
-        &mut self,
-        cx: &MethodCx,
-        span: Span,
-    ) -> Result<CallSiteId, CompileError> {
+    fn fresh_site(&mut self, cx: &MethodCx, span: Span) -> Result<CallSiteId, CompileError> {
         let label = format!("{}@{}", self.site_counter, span);
         self.site_counter += 1;
         self.syms
@@ -276,7 +269,10 @@ impl Lowerer {
                     )
                     .map_err(|e| Self::err(*span, e.to_string()))?;
                 self.temp_counter += 1;
-                cx.scopes.last_mut().unwrap().insert(name.clone(), (var, rty));
+                cx.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(name.clone(), (var, rty));
                 if let Some(e) = init {
                     let v = self.lower_expr(cx, e)?;
                     self.assign_into(cx, var, v, *span)?;
@@ -352,9 +348,7 @@ impl Lowerer {
                     let v = self.lower_expr(cx, value)?;
                     return self.assign_into(cx, var, v, span);
                 }
-                if cx.this.is_some()
-                    && self.syms.instance_field(cx.owner, name).is_some()
-                {
+                if cx.this.is_some() && self.syms.instance_field(cx.owner, name).is_some() {
                     let this = cx.this.unwrap();
                     let field = self.syms.builder.field(name);
                     let v = self.lower_expr(cx, value)?;
@@ -452,12 +446,7 @@ impl Lowerer {
 
     /// When `base.field` is really `Class.static_field`, returns the
     /// global variable.
-    fn try_static_field(
-        &mut self,
-        cx: &MethodCx,
-        base: &Expr,
-        field: &str,
-    ) -> Option<(VarId, Ty)> {
+    fn try_static_field(&mut self, cx: &MethodCx, base: &Expr, field: &str) -> Option<(VarId, Ty)> {
         let Expr::Name { name, .. } = base else {
             return None;
         };
@@ -489,7 +478,10 @@ impl Lowerer {
             }
             Expr::This { span } => match cx.this {
                 Some(v) => Ok(Some((v, Some(cx.owner)))),
-                None => Err(Self::err(*span, "`this` is not available in a static method")),
+                None => Err(Self::err(
+                    *span,
+                    "`this` is not available in a static method",
+                )),
             },
             Expr::Null { span } => {
                 let label = format!("null{}@{}", self.obj_counter, span);
@@ -553,9 +545,7 @@ impl Lowerer {
                 } else {
                     match self.syms.classes.get(elem) {
                         Some(&c) => Some(c),
-                        None => {
-                            return Err(Self::err(*span, format!("unknown class `{elem}`")))
-                        }
+                        None => return Err(Self::err(*span, format!("unknown class `{elem}`"))),
                     }
                 };
                 let arr_class = self.syms.array_class(elem, elem_ty, *span)?;

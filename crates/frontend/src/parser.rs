@@ -57,7 +57,11 @@ impl Parser {
         } else {
             Err(CompileError::new(
                 self.span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -122,7 +126,10 @@ impl Parser {
         if let TokenKind::Ident(n) = self.peek() {
             if n == &class.name && matches!(self.peek_at(1), TokenKind::LParen) {
                 if is_static {
-                    return Err(CompileError::new(self.span(), "constructors cannot be static"));
+                    return Err(CompileError::new(
+                        self.span(),
+                        "constructors cannot be static",
+                    ));
                 }
                 let span = self.span();
                 let (name, _) = self.expect_ident("constructor name")?;
@@ -162,9 +169,8 @@ impl Parser {
                 span,
             });
         } else {
-            let ty = return_type.ok_or_else(|| {
-                CompileError::new(span, "fields cannot have type `void`")
-            })?;
+            let ty = return_type
+                .ok_or_else(|| CompileError::new(span, "fields cannot have type `void`"))?;
             self.expect(TokenKind::Semi)?;
             let field = FieldDecl { name, ty, span };
             if is_static {
@@ -529,9 +535,8 @@ impl Parser {
                 // Cast heuristic: `(T) e` / `(T[]) e` when what follows the
                 // closing paren can start an operand; otherwise grouping.
                 if let TokenKind::Ident(_) = self.peek_at(1) {
-                    let is_array =
-                        matches!(self.peek_at(2), TokenKind::LBracket)
-                            && matches!(self.peek_at(3), TokenKind::RBracket);
+                    let is_array = matches!(self.peek_at(2), TokenKind::LBracket)
+                        && matches!(self.peek_at(3), TokenKind::RBracket);
                     let close_at = if is_array { 4 } else { 2 };
                     if matches!(self.peek_at(close_at), TokenKind::RParen) {
                         let save = self.pos;
@@ -648,17 +653,34 @@ mod tests {
                Object[] a = new Object[8]; a[i] = v.get(i); return a[0]; } }",
         );
         let body = &p.classes[0].methods[0].body;
-        assert!(matches!(&body[1], Stmt::Assign { target: Expr::Index { .. }, .. }));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign {
+                target: Expr::Index { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_static_calls_and_fields() {
-        let p = parse_src(
-            "class M { void m() { Object t = Registry.lookup(); Registry.cache = t; } }",
-        );
+        let p =
+            parse_src("class M { void m() { Object t = Registry.lookup(); Registry.cache = t; } }");
         let body = &p.classes[0].methods[0].body;
-        assert!(matches!(&body[0], Stmt::VarDecl { init: Some(Expr::Call { base: Some(_), .. }), .. }));
-        assert!(matches!(&body[1], Stmt::Assign { target: Expr::Field { .. }, .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::VarDecl {
+                init: Some(Expr::Call { base: Some(_), .. }),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign {
+                target: Expr::Field { .. },
+                ..
+            }
+        ));
     }
 
     #[test]

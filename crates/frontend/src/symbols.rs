@@ -378,7 +378,10 @@ mod tests {
     #[test]
     fn duplicate_methods_rejected() {
         let p = parse(lex("class A { void m() {} void m() {} }").unwrap()).unwrap();
-        assert!(Symbols::declare(&p).unwrap_err().message.contains("duplicate method"));
+        assert!(Symbols::declare(&p)
+            .unwrap_err()
+            .message
+            .contains("duplicate method"));
     }
 
     #[test]

@@ -155,11 +155,7 @@ fn recursion_marked_on_self_calls() {
          class Main { static void main() { R r = new R(); Object o = r.walk(new Main()); } }",
     )
     .unwrap();
-    let rec_sites = c
-        .pag
-        .call_sites()
-        .filter(|(_, s)| s.recursive)
-        .count();
+    let rec_sites = c.pag.call_sites().filter(|(_, s)| s.recursive).count();
     assert_eq!(rec_sites, 1, "exactly the self-call is recursive");
 }
 

@@ -41,9 +41,7 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
         (idx.clone(), idx.clone()).prop_map(|(a, b)| Stmt::Cast(a, b)),
         Just(Stmt::Null),
     ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        inner.prop_map(|s| Stmt::If(Box::new(s)))
-    })
+    leaf.prop_recursive(2, 8, 2, |inner| inner.prop_map(|s| Stmt::If(Box::new(s))))
 }
 
 /// Renders a program: `n_classes` uniform container classes plus a main
@@ -145,7 +143,15 @@ fn render(n_classes: usize, stmts: &[Stmt]) -> String {
             }
             Stmt::If(inner) => {
                 src.push_str(&format!("{pad}if (1 < 2) {{\n"));
-                emit(inner, src, containers, objects, counter, n_classes, depth + 1);
+                emit(
+                    inner,
+                    src,
+                    containers,
+                    objects,
+                    counter,
+                    n_classes,
+                    depth + 1,
+                );
                 src.push_str(&format!("{pad}}}\n"));
             }
             Stmt::Null => {
@@ -160,7 +166,15 @@ fn render(n_classes: usize, stmts: &[Stmt]) -> String {
     }
 
     for s in stmts {
-        emit(s, &mut src, &mut containers, &mut objects, &mut counter, n_classes, 0);
+        emit(
+            s,
+            &mut src,
+            &mut containers,
+            &mut objects,
+            &mut counter,
+            n_classes,
+            0,
+        );
     }
     src.push_str("  }\n}\n");
     src

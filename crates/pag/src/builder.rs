@@ -406,14 +406,20 @@ impl PagBuilder {
     ) -> Result<MethodId, BuildError> {
         let ia = self.check_var(a)?;
         let ib = self.check_var(b)?;
-        let ma = ia.kind.method().ok_or_else(|| BuildError::GlobalInLocalEdge {
-            kind,
-            var: ia.name.clone(),
-        })?;
-        let mb = ib.kind.method().ok_or_else(|| BuildError::GlobalInLocalEdge {
-            kind,
-            var: ib.name.clone(),
-        })?;
+        let ma = ia
+            .kind
+            .method()
+            .ok_or_else(|| BuildError::GlobalInLocalEdge {
+                kind,
+                var: ia.name.clone(),
+            })?;
+        let mb = ib
+            .kind
+            .method()
+            .ok_or_else(|| BuildError::GlobalInLocalEdge {
+                kind,
+                var: ib.name.clone(),
+            })?;
         if ma != mb {
             return Err(BuildError::CrossMethodLocal {
                 kind,
@@ -444,10 +450,13 @@ impl PagBuilder {
             .objs
             .get(obj.index())
             .ok_or_else(|| BuildError::UnknownId(format!("{obj}")))?;
-        let vm = vi.kind.method().ok_or_else(|| BuildError::GlobalInLocalEdge {
-            kind: "new",
-            var: vi.name.clone(),
-        })?;
+        let vm = vi
+            .kind
+            .method()
+            .ok_or_else(|| BuildError::GlobalInLocalEdge {
+                kind: "new",
+                var: vi.name.clone(),
+            })?;
         if let Some(om) = oi.alloc_method {
             if om != vm {
                 return Err(BuildError::NewAcrossMethods {
@@ -508,7 +517,11 @@ impl PagBuilder {
     /// Fails unless both variables are locals of one method.
     pub fn add_store(&mut self, field: FieldId, src: VarId, base: VarId) -> Result<(), BuildError> {
         self.check_local_pair("store", src, base)?;
-        self.push_edge(NodeRef::Var(src), NodeRef::Var(base), EdgeKind::Store(field));
+        self.push_edge(
+            NodeRef::Var(src),
+            NodeRef::Var(base),
+            EdgeKind::Store(field),
+        );
         Ok(())
     }
 
@@ -666,7 +679,11 @@ mod tests {
         let kinds: Vec<_> = pag.edges().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
-            vec![EdgeKind::Assign, EdgeKind::AssignGlobal, EdgeKind::AssignGlobal]
+            vec![
+                EdgeKind::Assign,
+                EdgeKind::AssignGlobal,
+                EdgeKind::AssignGlobal
+            ]
         );
     }
 

@@ -100,7 +100,11 @@ pub fn to_dot(pag: &Pag) -> String {
             EdgeKind::Entry(s) => format!("entry{}", pag.call_site(s).label),
             EdgeKind::Exit(s) => format!("exit{}", pag.call_site(s).label),
         };
-        let style = if e.kind.is_global() { " style=dashed" } else { "" };
+        let style = if e.kind.is_global() {
+            " style=dashed"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  {} -> {} [label=\"{label}\"{style}];",

@@ -146,7 +146,11 @@ mod tests {
             assert!(kind.is_local(), "{kind:?} should be local");
             assert!(!kind.is_global());
         }
-        for kind in [EdgeKind::AssignGlobal, EdgeKind::Entry(i), EdgeKind::Exit(i)] {
+        for kind in [
+            EdgeKind::AssignGlobal,
+            EdgeKind::Entry(i),
+            EdgeKind::Exit(i),
+        ] {
             assert!(kind.is_global(), "{kind:?} should be global");
             assert!(!kind.is_local());
         }

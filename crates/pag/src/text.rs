@@ -128,7 +128,12 @@ pub fn write_pag(pag: &Pag) -> String {
         out.push('\n');
     }
     for (_, s) in pag.call_sites() {
-        let _ = write!(out, "callsite {} method {}", s.label, pag.method(s.caller).name);
+        let _ = write!(
+            out,
+            "callsite {} method {}",
+            s.label,
+            pag.method(s.caller).name
+        );
         if s.recursive {
             out.push_str(" recursive");
         }
@@ -218,7 +223,8 @@ pub fn parse_pag(input: &str) -> Result<Pag, ParseTextError> {
         objs: HashMap::new(),
         sites: HashMap::new(),
     };
-    env.classes.insert("Object".to_owned(), ClassId::from_raw(0));
+    env.classes
+        .insert("Object".to_owned(), ClassId::from_raw(0));
 
     let mut saw_header = false;
     for (idx, raw) in input.lines().enumerate() {
@@ -270,7 +276,9 @@ pub fn parse_pag(input: &str) -> Result<Pag, ParseTextError> {
                     ["method", name, "class", c] => (*name, Some(env.class(c, lineno)?)),
                     _ => return Err(err(lineno, "malformed method declaration")),
                 };
-                let id = b.add_method(name, class).map_err(|e| build_err(lineno, e))?;
+                let id = b
+                    .add_method(name, class)
+                    .map_err(|e| build_err(lineno, e))?;
                 env.methods.insert(name.to_owned(), id);
             }
             "global" => {
@@ -319,9 +327,7 @@ pub fn parse_pag(input: &str) -> Result<Pag, ParseTextError> {
                             method = Some(env.method(m, lineno)?);
                             i += 2;
                         }
-                        other => {
-                            return Err(err(lineno, format!("unexpected token `{other}`")))
-                        }
+                        other => return Err(err(lineno, format!("unexpected token `{other}`"))),
                     }
                 }
                 let id = if is_null {
@@ -344,7 +350,8 @@ pub fn parse_pag(input: &str) -> Result<Pag, ParseTextError> {
                     .add_call_site(label, method)
                     .map_err(|e| build_err(lineno, e))?;
                 if recursive {
-                    b.set_recursive(id, true).map_err(|e| build_err(lineno, e))?;
+                    b.set_recursive(id, true)
+                        .map_err(|e| build_err(lineno, e))?;
                 }
                 env.sites.insert(label.to_owned(), id);
             }
@@ -378,7 +385,8 @@ pub fn parse_pag(input: &str) -> Result<Pag, ParseTextError> {
                     let f = b.field(field);
                     let src = env.var(src, lineno)?;
                     let base = env.var(base, lineno)?;
-                    b.add_store(f, src, base).map_err(|e| build_err(lineno, e))?;
+                    b.add_store(f, src, base)
+                        .map_err(|e| build_err(lineno, e))?;
                 }
                 _ => return Err(err(lineno, "malformed store edge")),
             },
@@ -510,7 +518,8 @@ exit 7 t v
 
     #[test]
     fn build_errors_carry_line_numbers() {
-        let src = "pag v1\nmethod m1\nmethod m2\nlocal a method m1\nlocal b method m2\nassign a b\n";
+        let src =
+            "pag v1\nmethod m1\nmethod m2\nlocal a method m1\nlocal b method m2\nassign a b\n";
         let e = parse_pag(src).unwrap_err();
         assert_eq!(e.line, 6);
         assert!(e.message.contains("crosses method"));

@@ -64,7 +64,10 @@ impl std::fmt::Display for Violation {
                 write!(f, "edge #{edge}: object endpoint on non-new edge")
             }
             Violation::CallEdgeWrongCaller { edge } => {
-                write!(f, "edge #{edge}: caller-side variable not in calling method")
+                write!(
+                    f,
+                    "edge #{edge}: caller-side variable not in calling method"
+                )
             }
             Violation::GlobalOnLocalAssign { edge } => {
                 write!(f, "edge #{edge}: local assign touches a global")
@@ -98,20 +101,18 @@ pub fn validate(pag: &Pag) -> Vec<Violation> {
                 }
                 _ => out.push(Violation::MalformedNewEdge { edge: i }),
             },
-            EdgeKind::Assign | EdgeKind::Load(_) | EdgeKind::Store(_) => {
-                match (src, dst) {
-                    (NodeRef::Var(s), NodeRef::Var(d)) => {
-                        let ms = pag.var(s).kind.method();
-                        let md = pag.var(d).kind.method();
-                        if ms.is_none() || md.is_none() {
-                            out.push(Violation::GlobalOnLocalAssign { edge: i });
-                        } else if ms != md {
-                            out.push(Violation::LocalEdgeCrossesMethods { edge: i });
-                        }
+            EdgeKind::Assign | EdgeKind::Load(_) | EdgeKind::Store(_) => match (src, dst) {
+                (NodeRef::Var(s), NodeRef::Var(d)) => {
+                    let ms = pag.var(s).kind.method();
+                    let md = pag.var(d).kind.method();
+                    if ms.is_none() || md.is_none() {
+                        out.push(Violation::GlobalOnLocalAssign { edge: i });
+                    } else if ms != md {
+                        out.push(Violation::LocalEdgeCrossesMethods { edge: i });
                     }
-                    _ => out.push(Violation::ObjectInNonNewEdge { edge: i }),
                 }
-            }
+                _ => out.push(Violation::ObjectInNonNewEdge { edge: i }),
+            },
             EdgeKind::AssignGlobal => {
                 if src.as_var().is_none() || dst.as_var().is_none() {
                     out.push(Violation::ObjectInNonNewEdge { edge: i });

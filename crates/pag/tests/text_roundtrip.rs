@@ -31,12 +31,28 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
         proptest::collection::vec((idx.clone(), idx.clone(), idx.clone(), idx.clone()), 0..5),
         proptest::collection::vec((any::<bool>(), idx.clone(), idx.clone(), idx.clone()), 0..4),
         proptest::collection::vec(
-            (idx.clone(), idx.clone(), idx.clone(), idx.clone(), idx.clone(), idx, any::<bool>()),
+            (
+                idx.clone(),
+                idx.clone(),
+                idx.clone(),
+                idx.clone(),
+                idx.clone(),
+                idx,
+                any::<bool>(),
+            ),
             0..4,
         ),
     )
         .prop_map(
-            |((methods, locals_per, globals, classes, fields), objs, assigns, loads, stores, gassigns, calls)| Spec {
+            |(
+                (methods, locals_per, globals, classes, fields),
+                objs,
+                assigns,
+                loads,
+                stores,
+                gassigns,
+                calls,
+            )| Spec {
                 methods,
                 locals_per,
                 globals,
@@ -63,17 +79,12 @@ fn build(spec: &Spec) -> Pag {
     let mut locals: Vec<Vec<VarId>> = Vec::new();
     for m in 0..spec.methods {
         let class = classes[m % classes.len()];
-        let mid = b
-            .add_method(&format!("m{m}"), Some(class))
-            .unwrap();
+        let mid = b.add_method(&format!("m{m}"), Some(class)).unwrap();
         methods.push(mid);
         let mut ls = Vec::new();
         for l in 0..spec.locals_per {
             let ty = classes[(m + l) % classes.len()];
-            ls.push(
-                b.add_local(&format!("v_{m}_{l}"), mid, Some(ty))
-                    .unwrap(),
-            );
+            ls.push(b.add_local(&format!("v_{m}_{l}"), mid, Some(ty)).unwrap());
         }
         locals.push(ls);
     }

@@ -17,7 +17,8 @@ pub struct CorpusProgram {
 /// context-sensitivity litmus test.
 pub const BOXES: CorpusProgram = CorpusProgram {
     name: "boxes",
-    description: "two containers with distinct payloads; context-sensitive analyses keep them apart",
+    description:
+        "two containers with distinct payloads; context-sensitive analyses keep them apart",
     source: r#"
 class Box {
     Object item;

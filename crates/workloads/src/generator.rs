@@ -172,13 +172,7 @@ impl<'p> Gen<'p> {
 
     /// Appends a `len`-long assign chain starting at `src`, returning
     /// the final variable. Consumes local and assign quota.
-    fn chain_locals(
-        &mut self,
-        m: MethodId,
-        prefix: &str,
-        src: VarId,
-        len: usize,
-    ) -> VarId {
+    fn chain_locals(&mut self, m: MethodId, prefix: &str, src: VarId, len: usize) -> VarId {
         let mut cur = src;
         for k in 0..len {
             let v = self.b.add_local(&format!("{prefix}{k}"), m, None).unwrap();
@@ -197,10 +191,7 @@ impl<'p> Gen<'p> {
         self.setup_factories();
 
         let mut app_index = 0usize;
-        while (self.q.casts > 0
-            || self.q.derefs > 0
-            || self.q.objs > 8
-            || self.q.entry > 4)
+        while (self.q.casts > 0 || self.q.derefs > 0 || self.q.objs > 8 || self.q.entry > 4)
             && app_index < 200_000
         {
             self.app_method(app_index);
@@ -260,12 +251,18 @@ impl<'p> Gen<'p> {
             let slot = self.slots[i % self.slots.len()];
             if i % 2 == 1 {
                 // Deep container (Vector-like, Figure 2).
-                let m_init = self.b.add_method(&format!("C{i}.init"), Some(class)).unwrap();
+                let m_init = self
+                    .b
+                    .add_method(&format!("C{i}.init"), Some(class))
+                    .unwrap();
                 let this_i = self
                     .b
                     .add_local(&format!("C{i}.init#this"), m_init, Some(class))
                     .unwrap();
-                let t_i = self.b.add_local(&format!("C{i}.init#t"), m_init, None).unwrap();
+                let t_i = self
+                    .b
+                    .add_local(&format!("C{i}.init#t"), m_init, None)
+                    .unwrap();
                 let oarr = self
                     .b
                     .add_obj(&format!("oarr{i}"), None, Some(m_init))
@@ -276,18 +273,27 @@ impl<'p> Gen<'p> {
                 self.q.locals -= 2;
                 self.q.store -= 1;
 
-                let m_add = self.b.add_method(&format!("C{i}.add"), Some(class)).unwrap();
+                let m_add = self
+                    .b
+                    .add_method(&format!("C{i}.add"), Some(class))
+                    .unwrap();
                 let this_a = self
                     .b
                     .add_local(&format!("C{i}.add#this"), m_add, Some(class))
                     .unwrap();
-                let p_a = self.b.add_local(&format!("C{i}.add#p"), m_add, None).unwrap();
+                let p_a = self
+                    .b
+                    .add_local(&format!("C{i}.add#p"), m_add, None)
+                    .unwrap();
                 // Real library methods are not two-liners: route the
                 // payload and the backing array through local chains so
                 // each summary covers real work (this is what makes
                 // summary reuse worth anything).
                 let p_end = self.chain_locals(m_add, &format!("C{i}.add#pc"), p_a, 3);
-                let t_a = self.b.add_local(&format!("C{i}.add#t"), m_add, None).unwrap();
+                let t_a = self
+                    .b
+                    .add_local(&format!("C{i}.add#t"), m_add, None)
+                    .unwrap();
                 self.b.add_load(self.elems, this_a, t_a).unwrap();
                 let t_end = self.chain_locals(m_add, &format!("C{i}.add#tc"), t_a, 2);
                 self.b.add_store(self.arr, p_end, t_end).unwrap();
@@ -295,14 +301,26 @@ impl<'p> Gen<'p> {
                 self.q.load -= 1;
                 self.q.store -= 1;
 
-                let m_get = self.b.add_method(&format!("C{i}.get"), Some(class)).unwrap();
+                let m_get = self
+                    .b
+                    .add_method(&format!("C{i}.get"), Some(class))
+                    .unwrap();
                 let this_g = self
                     .b
                     .add_local(&format!("C{i}.get#this"), m_get, Some(class))
                     .unwrap();
-                let t_g = self.b.add_local(&format!("C{i}.get#t"), m_get, None).unwrap();
-                let mid_g = self.b.add_local(&format!("C{i}.get#mid"), m_get, None).unwrap();
-                let r_g = self.b.add_local(&format!("C{i}.get#ret"), m_get, None).unwrap();
+                let t_g = self
+                    .b
+                    .add_local(&format!("C{i}.get#t"), m_get, None)
+                    .unwrap();
+                let mid_g = self
+                    .b
+                    .add_local(&format!("C{i}.get#mid"), m_get, None)
+                    .unwrap();
+                let r_g = self
+                    .b
+                    .add_local(&format!("C{i}.get#ret"), m_get, None)
+                    .unwrap();
                 self.b.add_load(self.elems, this_g, t_g).unwrap();
                 let t_end = self.chain_locals(m_get, &format!("C{i}.get#tc"), t_g, 2);
                 self.b.add_load(self.arr, t_end, mid_g).unwrap();
@@ -313,13 +331,22 @@ impl<'p> Gen<'p> {
                 self.q.assign -= 1;
 
                 // clear(this) { t = this.elems; t[*] = null }
-                let m_clear = self.b.add_method(&format!("C{i}.clear"), Some(class)).unwrap();
+                let m_clear = self
+                    .b
+                    .add_method(&format!("C{i}.clear"), Some(class))
+                    .unwrap();
                 let this_c = self
                     .b
                     .add_local(&format!("C{i}.clear#this"), m_clear, Some(class))
                     .unwrap();
-                let t_c = self.b.add_local(&format!("C{i}.clear#t"), m_clear, None).unwrap();
-                let nl = self.b.add_local(&format!("C{i}.clear#nl"), m_clear, None).unwrap();
+                let t_c = self
+                    .b
+                    .add_local(&format!("C{i}.clear#t"), m_clear, None)
+                    .unwrap();
+                let nl = self
+                    .b
+                    .add_local(&format!("C{i}.clear#nl"), m_clear, None)
+                    .unwrap();
                 let on = self
                     .b
                     .add_null_obj(&format!("onull_clear{i}"), Some(m_clear))
@@ -343,24 +370,39 @@ impl<'p> Gen<'p> {
                 });
             } else {
                 // Shallow container (Box-like).
-                let m_put = self.b.add_method(&format!("C{i}.put"), Some(class)).unwrap();
+                let m_put = self
+                    .b
+                    .add_method(&format!("C{i}.put"), Some(class))
+                    .unwrap();
                 let this_p = self
                     .b
                     .add_local(&format!("C{i}.put#this"), m_put, Some(class))
                     .unwrap();
-                let p_p = self.b.add_local(&format!("C{i}.put#p"), m_put, None).unwrap();
+                let p_p = self
+                    .b
+                    .add_local(&format!("C{i}.put#p"), m_put, None)
+                    .unwrap();
                 let p_end = self.chain_locals(m_put, &format!("C{i}.put#pc"), p_p, 4);
                 self.b.add_store(slot, p_end, this_p).unwrap();
                 self.q.locals -= 2;
                 self.q.store -= 1;
 
-                let m_take = self.b.add_method(&format!("C{i}.take"), Some(class)).unwrap();
+                let m_take = self
+                    .b
+                    .add_method(&format!("C{i}.take"), Some(class))
+                    .unwrap();
                 let this_t = self
                     .b
                     .add_local(&format!("C{i}.take#this"), m_take, Some(class))
                     .unwrap();
-                let mid_t = self.b.add_local(&format!("C{i}.take#mid"), m_take, None).unwrap();
-                let r_t = self.b.add_local(&format!("C{i}.take#ret"), m_take, None).unwrap();
+                let mid_t = self
+                    .b
+                    .add_local(&format!("C{i}.take#mid"), m_take, None)
+                    .unwrap();
+                let r_t = self
+                    .b
+                    .add_local(&format!("C{i}.take#ret"), m_take, None)
+                    .unwrap();
                 self.b.add_load(slot, this_t, mid_t).unwrap();
                 let mid_end = self.chain_locals(m_take, &format!("C{i}.take#mc"), mid_t, 4);
                 self.b.add_assign(mid_end, r_t).unwrap();
@@ -369,12 +411,18 @@ impl<'p> Gen<'p> {
                 self.q.assign -= 1;
 
                 // clear(this) { this.slot = null }
-                let m_clear = self.b.add_method(&format!("C{i}.clear"), Some(class)).unwrap();
+                let m_clear = self
+                    .b
+                    .add_method(&format!("C{i}.clear"), Some(class))
+                    .unwrap();
                 let this_c = self
                     .b
                     .add_local(&format!("C{i}.clear#this"), m_clear, Some(class))
                     .unwrap();
-                let nl = self.b.add_local(&format!("C{i}.clear#nl"), m_clear, None).unwrap();
+                let nl = self
+                    .b
+                    .add_local(&format!("C{i}.clear#nl"), m_clear, None)
+                    .unwrap();
                 let on = self
                     .b
                     .add_null_obj(&format!("onull_clear{i}"), Some(m_clear))
@@ -409,9 +457,18 @@ impl<'p> Gen<'p> {
         let mut helpers: Vec<(VarId, VarId)> = Vec::new();
         for h in 0..n_helpers {
             let m = self.b.add_method(&format!("validate{h}"), None).unwrap();
-            let v = self.b.add_local(&format!("validate{h}#v"), m, None).unwrap();
-            let mid = self.b.add_local(&format!("validate{h}#mid"), m, None).unwrap();
-            let r = self.b.add_local(&format!("validate{h}#ret"), m, None).unwrap();
+            let v = self
+                .b
+                .add_local(&format!("validate{h}#v"), m, None)
+                .unwrap();
+            let mid = self
+                .b
+                .add_local(&format!("validate{h}#mid"), m, None)
+                .unwrap();
+            let r = self
+                .b
+                .add_local(&format!("validate{h}#ret"), m, None)
+                .unwrap();
             self.b.add_assign(v, mid).unwrap();
             self.b.add_assign(mid, r).unwrap();
             self.q.locals -= 3;
@@ -446,7 +503,9 @@ impl<'p> Gen<'p> {
             self.q.entry -= 1;
             self.q.exit -= 1;
             if self.q.factories > 0 {
-                self.info.factories.push(FactoryCandidate { method: m, ret });
+                self.info
+                    .factories
+                    .push(FactoryCandidate { method: m, ret });
                 self.q.factories -= 1;
             }
             self.factory_rets.push(ret);
@@ -645,7 +704,8 @@ impl<'p> Gen<'p> {
 
         // Occasionally call an earlier app method (deeper call chains).
         if !self.app_callables.is_empty() && self.rng.gen_bool(0.25) {
-            let (aparam, aret) = self.app_callables[self.rng.gen_range(0..self.app_callables.len())];
+            let (aparam, aret) =
+                self.app_callables[self.rng.gen_range(0..self.app_callables.len())];
             let w2 = self.b.add_local(&format!("{name}#w2"), m, None).unwrap();
             let site4 = self.fresh("s");
             let site4 = self.b.add_call_site(&site4, m).unwrap();
@@ -915,7 +975,13 @@ mod tests {
     #[test]
     fn locality_tracks_profile() {
         for p in &PROFILES {
-            let w = generate(p, &GeneratorOptions { scale: 0.02, seed: 1 });
+            let w = generate(
+                p,
+                &GeneratorOptions {
+                    scale: 0.02,
+                    seed: 1,
+                },
+            );
             let got = w.pag.stats().locality();
             let want = p.locality();
             assert!(
@@ -931,7 +997,13 @@ mod tests {
     #[test]
     fn edge_ratios_track_profile() {
         let p = &PROFILES[0]; // jack
-        let w = generate(p, &GeneratorOptions { scale: 0.05, seed: 3 });
+        let w = generate(
+            p,
+            &GeneratorOptions {
+                scale: 0.05,
+                seed: 3,
+            },
+        );
         let s = w.pag.stats();
         let ratio = |a: usize, b: u64| a as f64 / ((b as f64) * 0.05);
         // Within 2x on every class of edge (the generator prioritizes
@@ -964,7 +1036,13 @@ mod tests {
     #[test]
     fn plants_null_objects_and_recursive_sites() {
         let p = &PROFILES[3];
-        let w = generate(p, &GeneratorOptions { scale: 0.05, seed: 2 });
+        let w = generate(
+            p,
+            &GeneratorOptions {
+                scale: 0.05,
+                seed: 2,
+            },
+        );
         assert!(w.pag.objs().any(|(_, o)| o.is_null));
         assert!(w.pag.call_sites().any(|(_, s)| s.recursive));
     }

@@ -92,8 +92,12 @@ pub fn motivating_pag() -> Motivating {
     let m_main = b.add_method("Main.main", None).unwrap();
 
     // Vector.<init>: t = new Object[8]; this.elems = t;
-    let this_vector = b.add_local("this_Vector", m_vector_init, Some(vector)).unwrap();
-    let t_vector = b.add_local("t_Vector", m_vector_init, Some(objarr)).unwrap();
+    let this_vector = b
+        .add_local("this_Vector", m_vector_init, Some(vector))
+        .unwrap();
+    let t_vector = b
+        .add_local("t_Vector", m_vector_init, Some(objarr))
+        .unwrap();
     let o5 = b.add_obj("o5", Some(objarr), Some(m_vector_init)).unwrap();
     b.add_new(o5, t_vector).unwrap();
     b.add_store(elems, t_vector, this_vector).unwrap();
@@ -116,8 +120,12 @@ pub fn motivating_pag() -> Motivating {
     // the paper's line 16; the figure routes both c1's and c2's vector
     // through `set` / ctor stores — we model the stores exactly as the
     // figure draws them: v_Client into this_Client, v_set into this_set.)
-    let this_client = b.add_local("this_Client", m_client_init, Some(client)).unwrap();
-    let v_client = b.add_local("v_Client", m_client_init, Some(vector)).unwrap();
+    let this_client = b
+        .add_local("this_Client", m_client_init, Some(client))
+        .unwrap();
+    let v_client = b
+        .add_local("v_Client", m_client_init, Some(vector))
+        .unwrap();
     b.add_store(vec_f, v_client, this_client).unwrap();
 
     // Client.set(v): this.vec = v;
@@ -126,7 +134,9 @@ pub fn motivating_pag() -> Motivating {
     b.add_store(vec_f, v_set, this_set).unwrap();
 
     // Client.retrieve(): t = this.vec; return t.get(0);
-    let this_retrieve = b.add_local("this_retrieve", m_retrieve, Some(client)).unwrap();
+    let this_retrieve = b
+        .add_local("this_retrieve", m_retrieve, Some(client))
+        .unwrap();
     let t_retrieve = b.add_local("t_retrieve", m_retrieve, Some(vector)).unwrap();
     let ret_retrieve = b.add_local("ret_retrieve", m_retrieve, None).unwrap();
     b.add_load(vec_f, this_retrieve, t_retrieve).unwrap();
@@ -226,7 +236,7 @@ mod tests {
         assert!(dynsum_pag::validate(&m.pag).is_empty());
         assert_eq!(m.pag.num_methods(), 7);
         assert_eq!(m.pag.num_objs(), 7); // o5 + o25..o30
-        // 7 new + 4 store + 4 load + 12 entry + 3 exit + 0 assign.
+                                         // 7 new + 4 store + 4 load + 12 entry + 3 exit + 0 assign.
         assert_eq!(m.pag.stats().new_edges, 7);
         assert_eq!(m.pag.stats().store_edges, 4);
         assert_eq!(m.pag.stats().load_edges, 4);
@@ -238,10 +248,29 @@ mod tests {
     fn names_match_the_paper() {
         let m = motivating_pag();
         for name in [
-            "this_add", "t_add", "p", "this_Vector", "t_Vector", "this_get", "t_get",
-            "ret_get", "this_retrieve", "t_retrieve", "ret_retrieve", "this_Client",
-            "v_Client", "this_set", "v_set", "v1", "v2", "c1", "c2", "tmp1", "tmp2",
-            "s1", "s2",
+            "this_add",
+            "t_add",
+            "p",
+            "this_Vector",
+            "t_Vector",
+            "this_get",
+            "t_get",
+            "ret_get",
+            "this_retrieve",
+            "t_retrieve",
+            "ret_retrieve",
+            "this_Client",
+            "v_Client",
+            "this_set",
+            "v_set",
+            "v1",
+            "v2",
+            "c1",
+            "c2",
+            "tmp1",
+            "tmp2",
+            "s1",
+            "s2",
         ] {
             assert!(m.pag.find_var(name).is_some(), "missing {name}");
         }

@@ -94,24 +94,132 @@ macro_rules! profile {
 
 /// The nine benchmarks of Table 3, in the paper's order.
 pub const PROFILES: [BenchmarkProfile; 9] = [
-    profile!("jack",    g = 0.5, o = 16.6, v = 207.9, assign = 328.1, load = 25.1, store = 8.8,
-             entry = 39.9, exit = 12.8, ag = 2.4, q = (134, 356, 127), loc = 87.3),
-    profile!("javac",   g = 1.1, o = 17.2, v = 216.1, assign = 367.4, load = 26.8, store = 9.1,
-             entry = 42.4, exit = 13.3, ag = 0.5, q = (307, 2897, 231), loc = 88.2),
-    profile!("soot-c",  g = 3.4, o = 9.4, v = 104.8, assign = 195.1, load = 13.3, store = 4.2,
-             entry = 19.3, exit = 6.4, ag = 0.7, q = (906, 2290, 619), loc = 89.4),
-    profile!("bloat",   g = 2.2, o = 10.3, v = 115.2, assign = 217.2, load = 14.5, store = 4.6,
-             entry = 20.6, exit = 6.1, ag = 1.0, q = (1217, 3469, 613), loc = 89.9),
-    profile!("jython",  g = 3.2, o = 9.5, v = 109.0, assign = 168.4, load = 14.4, store = 4.2,
-             entry = 19.5, exit = 7.1, ag = 1.3, q = (464, 3351, 214), loc = 87.6),
-    profile!("avrora",  g = 1.6, o = 4.5, v = 45.1, assign = 38.1, load = 6.0, store = 2.9,
-             entry = 9.7, exit = 2.9, ag = 0.3, q = (1130, 4689, 334), loc = 80.0),
-    profile!("batik",   g = 2.3, o = 10.8, v = 118.1, assign = 119.7, load = 13.4, store = 5.3,
-             entry = 24.8, exit = 7.8, ag = 0.6, q = (2748, 5738, 769), loc = 81.8),
-    profile!("luindex", g = 1.0, o = 4.4, v = 48.2, assign = 42.6, load = 6.9, store = 2.3,
-             entry = 9.1, exit = 3.0, ag = 0.5, q = (1666, 4899, 657), loc = 81.7),
-    profile!("xalan",   g = 2.5, o = 6.6, v = 75.8, assign = 76.4, load = 14.1, store = 4.4,
-             entry = 15.7, exit = 4.0, ag = 0.2, q = (4090, 10872, 1290), loc = 83.6),
+    profile!(
+        "jack",
+        g = 0.5,
+        o = 16.6,
+        v = 207.9,
+        assign = 328.1,
+        load = 25.1,
+        store = 8.8,
+        entry = 39.9,
+        exit = 12.8,
+        ag = 2.4,
+        q = (134, 356, 127),
+        loc = 87.3
+    ),
+    profile!(
+        "javac",
+        g = 1.1,
+        o = 17.2,
+        v = 216.1,
+        assign = 367.4,
+        load = 26.8,
+        store = 9.1,
+        entry = 42.4,
+        exit = 13.3,
+        ag = 0.5,
+        q = (307, 2897, 231),
+        loc = 88.2
+    ),
+    profile!(
+        "soot-c",
+        g = 3.4,
+        o = 9.4,
+        v = 104.8,
+        assign = 195.1,
+        load = 13.3,
+        store = 4.2,
+        entry = 19.3,
+        exit = 6.4,
+        ag = 0.7,
+        q = (906, 2290, 619),
+        loc = 89.4
+    ),
+    profile!(
+        "bloat",
+        g = 2.2,
+        o = 10.3,
+        v = 115.2,
+        assign = 217.2,
+        load = 14.5,
+        store = 4.6,
+        entry = 20.6,
+        exit = 6.1,
+        ag = 1.0,
+        q = (1217, 3469, 613),
+        loc = 89.9
+    ),
+    profile!(
+        "jython",
+        g = 3.2,
+        o = 9.5,
+        v = 109.0,
+        assign = 168.4,
+        load = 14.4,
+        store = 4.2,
+        entry = 19.5,
+        exit = 7.1,
+        ag = 1.3,
+        q = (464, 3351, 214),
+        loc = 87.6
+    ),
+    profile!(
+        "avrora",
+        g = 1.6,
+        o = 4.5,
+        v = 45.1,
+        assign = 38.1,
+        load = 6.0,
+        store = 2.9,
+        entry = 9.7,
+        exit = 2.9,
+        ag = 0.3,
+        q = (1130, 4689, 334),
+        loc = 80.0
+    ),
+    profile!(
+        "batik",
+        g = 2.3,
+        o = 10.8,
+        v = 118.1,
+        assign = 119.7,
+        load = 13.4,
+        store = 5.3,
+        entry = 24.8,
+        exit = 7.8,
+        ag = 0.6,
+        q = (2748, 5738, 769),
+        loc = 81.8
+    ),
+    profile!(
+        "luindex",
+        g = 1.0,
+        o = 4.4,
+        v = 48.2,
+        assign = 42.6,
+        load = 6.9,
+        store = 2.3,
+        entry = 9.1,
+        exit = 3.0,
+        ag = 0.5,
+        q = (1666, 4899, 657),
+        loc = 81.7
+    ),
+    profile!(
+        "xalan",
+        g = 2.5,
+        o = 6.6,
+        v = 75.8,
+        assign = 76.4,
+        load = 14.1,
+        store = 4.4,
+        entry = 15.7,
+        exit = 4.0,
+        ag = 0.2,
+        q = (4090, 10872, 1290),
+        loc = 83.6
+    ),
 ];
 
 /// The three benchmarks selected for the scalability studies (Figures 4
@@ -141,7 +249,9 @@ mod tests {
         let names: Vec<_> = PROFILES.iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["jack", "javac", "soot-c", "bloat", "jython", "avrora", "batik", "luindex", "xalan"]
+            vec![
+                "jack", "javac", "soot-c", "bloat", "jython", "avrora", "batik", "luindex", "xalan"
+            ]
         );
     }
 

@@ -32,8 +32,7 @@ fn main() {
             let mut refine = RefinePts::with_config(&w.pag, config);
             let rd = run_client(client, &w.pag, &w.info, &mut dynsum);
             let rr = run_client(client, &w.pag, &w.info, &mut refine);
-            let speedup =
-                rr.stats.edges_traversed as f64 / rd.stats.edges_traversed.max(1) as f64;
+            let speedup = rr.stats.edges_traversed as f64 / rd.stats.edges_traversed.max(1) as f64;
             speedups.push(format!("{speedup:.2}x"));
         }
         println!(

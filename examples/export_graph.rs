@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Text interchange format: line-oriented, diffable, re-parseable.
     let text = write_pag(&compiled.pag);
-    println!("--- text export (first 20 lines of {} total) ---", text.lines().count());
+    println!(
+        "--- text export (first 20 lines of {} total) ---",
+        text.lines().count()
+    );
     for line in text.lines().take(20) {
         println!("{line}");
     }
@@ -32,10 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let o1 = e1.points_to(v).pts.objects();
     let o2 = e2.points_to(v_back).pts.objects();
     assert_eq!(o1.len(), o2.len());
-    println!("analysis agrees on the re-imported graph ({} objects)", o1.len());
+    println!(
+        "analysis agrees on the re-imported graph ({} objects)",
+        o1.len()
+    );
 
     // DOT export for visual inspection (paper's Figure 2 style).
     let dot = dynsum_pag::to_dot(&compiled.pag);
-    println!("\n--- DOT export: {} lines (render with `dot -Tsvg`) ---", dot.lines().count());
+    println!(
+        "\n--- DOT export: {} lines (render with `dot -Tsvg`) ---",
+        dot.lines().count()
+    );
     Ok(())
 }

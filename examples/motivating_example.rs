@@ -22,9 +22,18 @@ fn main() {
     // Query s1 (paper: 23 steps, answer {o26}).
     let r1 = engine.points_to(m.s1);
     let t1 = engine.take_trace().expect("tracing on");
-    println!("\n-- pointsTo(s1): {} driver steps, {} edges --", t1.len(), r1.stats.edges_traversed);
+    println!(
+        "\n-- pointsTo(s1): {} driver steps, {} edges --",
+        t1.len(),
+        r1.stats.edges_traversed
+    );
     print!("{}", t1.render(&m.pag));
-    let objs1: Vec<_> = r1.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
+    let objs1: Vec<_> = r1
+        .pts
+        .objects()
+        .into_iter()
+        .map(|o| m.pag.obj(o).label.clone())
+        .collect();
     println!("pts(s1) = {{{}}}   (paper: {{o26}})", objs1.join(", "));
 
     // Query s2 (paper: 15 steps thanks to reuse, answer {o29}).
@@ -37,7 +46,12 @@ fn main() {
         t2.reuse_count()
     );
     print!("{}", t2.render(&m.pag));
-    let objs2: Vec<_> = r2.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
+    let objs2: Vec<_> = r2
+        .pts
+        .objects()
+        .into_iter()
+        .map(|o| m.pag.obj(o).label.clone())
+        .collect();
     println!("pts(s2) = {{{}}}   (paper: {{o29}})", objs2.join(", "));
 
     println!(

@@ -140,8 +140,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 
 /// Loads a program from source (`.java`-ish) or graph (`.pag`) form.
 fn load(path: &str, callgraph: CallGraphMode) -> Result<(Pag, ProgramInfo), String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".pag") {
         let pag = parse_pag(&content).map_err(|e| format!("{path}: {e}"))?;
         Ok((pag, ProgramInfo::default()))
@@ -207,9 +206,9 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
     let mut engine = build_engine(&flags.engine, &pag, flags.budget)?;
     let mut out = String::new();
     for name in &flags.vars {
-        let var = pag
-            .find_var(name)
-            .ok_or_else(|| format!("no variable named `{name}` (names look like `Class.method#var`)"))?;
+        let var = pag.find_var(name).ok_or_else(|| {
+            format!("no variable named `{name}` (names look like `Class.method#var`)")
+        })?;
         let r = engine.points_to(var);
         let labels: Vec<String> = r
             .pts
@@ -221,7 +220,11 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
             out,
             "pointsTo({name}) = {{{}}}{} [{} edges, {} cache hits]",
             labels.join(", "),
-            if r.resolved { "" } else { "  (budget exceeded: partial)" },
+            if r.resolved {
+                ""
+            } else {
+                "  (budget exceeded: partial)"
+            },
             r.stats.edges_traversed,
             r.stats.cache_hits
         );
@@ -273,8 +276,7 @@ fn cmd_clients(args: &[String]) -> Result<String, String> {
 fn cmd_fmt(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let file = flags.file.ok_or("missing input file")?;
-    let content =
-        std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let content = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let tokens = dynsum::frontend::lex(&content).map_err(|e| e.render(&content))?;
     let program = dynsum::frontend::parse(tokens).map_err(|e| e.render(&content))?;
     Ok(dynsum::frontend::pretty::print_program(&program))
@@ -358,10 +360,18 @@ mod tests {
         let f = write_temp("q.java", PROGRAM);
         for engine in ["dynsum", "norefine", "refinepts", "stasum"] {
             let out = run(&sv(&[
-                "query", &f, "--var", "Main.main#got", "--engine", engine,
+                "query",
+                &f,
+                "--var",
+                "Main.main#got",
+                "--engine",
+                engine,
             ]))
             .unwrap();
-            assert!(out.contains("pointsTo(Main.main#got) = {o"), "{engine}: {out}");
+            assert!(
+                out.contains("pointsTo(Main.main#got) = {o"),
+                "{engine}: {out}"
+            );
         }
     }
 
@@ -369,7 +379,11 @@ mod tests {
     fn alias_command_works() {
         let f = write_temp("a.java", PROGRAM);
         let out = run(&sv(&[
-            "alias", &f, "--var", "Main.main#got", "Main.main#alias1",
+            "alias",
+            &f,
+            "--var",
+            "Main.main#got",
+            "Main.main#alias1",
         ]))
         .unwrap();
         assert!(out.contains("May"), "{out}");

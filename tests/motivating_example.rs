@@ -11,10 +11,20 @@ fn hand_built_pag_gives_paper_answers() {
     let mut engine = DynSum::new(&m.pag);
     let r1 = engine.points_to(m.s1);
     assert!(r1.resolved);
-    let objs1: Vec<_> = r1.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
+    let objs1: Vec<_> = r1
+        .pts
+        .objects()
+        .into_iter()
+        .map(|o| m.pag.obj(o).label.clone())
+        .collect();
     assert_eq!(objs1, vec!["o26"], "pts(s1) must be {{o26}} (§3.4)");
     let r2 = engine.points_to(m.s2);
-    let objs2: Vec<_> = r2.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
+    let objs2: Vec<_> = r2
+        .pts
+        .objects()
+        .into_iter()
+        .map(|o| m.pag.obj(o).label.clone())
+        .collect();
     assert_eq!(objs2, vec!["o29"], "pts(s2) must be {{o29}} (§3.4)");
 }
 
@@ -28,7 +38,10 @@ fn summary_reuse_makes_s2_cheaper() {
     let r2 = engine.points_to(m.s2);
     let t2 = engine.take_trace().unwrap();
     assert_eq!(t1.reuse_count(), 0, "first query computes everything fresh");
-    assert!(t2.reuse_count() >= 3, "Table 1 marks several reuse steps for s2");
+    assert!(
+        t2.reuse_count() >= 3,
+        "Table 1 marks several reuse steps for s2"
+    );
     assert!(
         r2.stats.edges_traversed < r1.stats.edges_traversed,
         "s2 ({}) must be cheaper than s1 ({})",
@@ -45,8 +58,18 @@ fn all_engines_agree_on_the_motivating_queries() {
         let r1 = engine.points_to(m.s1);
         let r2 = engine.points_to(m.s2);
         assert!(r1.resolved && r2.resolved, "{name} must resolve");
-        let o1: Vec<_> = r1.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
-        let o2: Vec<_> = r2.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
+        let o1: Vec<_> = r1
+            .pts
+            .objects()
+            .into_iter()
+            .map(|o| m.pag.obj(o).label.clone())
+            .collect();
+        let o2: Vec<_> = r2
+            .pts
+            .objects()
+            .into_iter()
+            .map(|o| m.pag.obj(o).label.clone())
+            .collect();
         assert_eq!(o1, vec!["o26"], "{name} pts(s1)");
         assert_eq!(o2, vec!["o29"], "{name} pts(s2)");
     };
@@ -76,7 +99,12 @@ fn field_based_first_pass_conflates_s1_and_s2() {
     let m = motivating_pag();
     let mut engine = RefinePts::new(&m.pag);
     let r = engine.query(m.s1, &|_| true);
-    let objs: Vec<_> = r.pts.objects().into_iter().map(|o| m.pag.obj(o).label.clone()).collect();
+    let objs: Vec<_> = r
+        .pts
+        .objects()
+        .into_iter()
+        .map(|o| m.pag.obj(o).label.clone())
+        .collect();
     assert_eq!(
         objs,
         vec!["o26", "o29"],

@@ -42,7 +42,11 @@ fn shapes_dispatch_follows_receivers() {
     // s = new Circle(); c = s.clone2(): only Circle.clone2 runs, so the
     // result is the Circle allocation inside it.
     let cloned = labels(&c.pag, &mut engine, "Main.main#c");
-    assert_eq!(cloned.len(), 1, "on-the-fly call graph dispatches to Circle only: {cloned:?}");
+    assert_eq!(
+        cloned.len(),
+        1,
+        "on-the-fly call graph dispatches to Circle only: {cloned:?}"
+    );
 }
 
 #[test]
@@ -106,8 +110,8 @@ fn exported_graphs_answer_identically() {
     for program in &corpus::ALL {
         let c = compile(program.source).unwrap();
         let text = dynsum::pag::text::write_pag(&c.pag);
-        let back = dynsum::pag::text::parse_pag(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        let back =
+            dynsum::pag::text::parse_pag(&text).unwrap_or_else(|e| panic!("{}: {e}", program.name));
         let mut e1 = DynSum::new(&c.pag);
         let mut e2 = DynSum::new(&back);
         for (v, info) in c.pag.vars() {
@@ -116,8 +120,18 @@ fn exported_graphs_answer_identically() {
             let r2 = e2.points_to(v2);
             assert_eq!(r1.resolved, r2.resolved);
             // Object identity is preserved by label.
-            let l1: Vec<_> = r1.pts.objects().into_iter().map(|o| c.pag.obj(o).label.clone()).collect();
-            let l2: Vec<_> = r2.pts.objects().into_iter().map(|o| back.obj(o).label.clone()).collect();
+            let l1: Vec<_> = r1
+                .pts
+                .objects()
+                .into_iter()
+                .map(|o| c.pag.obj(o).label.clone())
+                .collect();
+            let l2: Vec<_> = r2
+                .pts
+                .objects()
+                .into_iter()
+                .map(|o| back.obj(o).label.clone())
+                .collect();
             assert_eq!(l1, l2, "{}: {}", program.name, info.name);
         }
     }

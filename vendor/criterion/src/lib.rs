@@ -1,0 +1,199 @@
+//! Minimal, dependency-free stand-in for the parts of the `criterion`
+//! crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the benches
+//! link against this vendored shim. It keeps criterion's surface —
+//! [`Criterion`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! benchmark groups, the [`criterion_group!`]/[`criterion_main!`]
+//! macros — but replaces the statistics engine with a simple
+//! time-boxed mean: each benchmark warms up once, then runs for a
+//! bounded number of iterations (or wall-clock budget) and prints the
+//! mean time per iteration. Good enough to compare engine variants
+//! locally; not a rigorous measurement harness.
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("push", |b| b.iter(|| (0..100).sum::<u64>()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. This shim runs one routine
+/// call per setup regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Upper bound on measured iterations.
+    max_iters: u64,
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+    /// Measured mean, if the closure ran.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(max_iters: u64, budget: Duration) -> Self {
+        Bencher {
+            max_iters,
+            budget,
+            mean: None,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while iters < self.max_iters && started.elapsed() < self.budget {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while iters < self.max_iters && started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report flushing is immediate in this shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher::new(sample_size as u64, Duration::from_millis(500));
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench: {id:<40} {mean:>12.2?}/iter"),
+        None => println!("bench: {id:<40} (no measurement)"),
+    }
+}
+
+/// Declares a runnable group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}
