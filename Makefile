@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-check fmt lint clean
+.PHONY: verify build test bench-check bench-report fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -15,6 +15,10 @@ test:
 
 bench-check:
 	$(CARGO) bench --no-run
+
+# Records the perf trajectory point: medium profile -> BENCH_report.json.
+bench-report:
+	$(CARGO) run --release -p dynsum-bench --bin perf_report -- --profile medium
 
 fmt:
 	$(CARGO) fmt --all

@@ -1,0 +1,123 @@
+//! Writes `BENCH_report.json`: the per-engine performance snapshot
+//! (wall time, deterministic edge work, cache hit rates, DYNSUM batch
+//! throughput) that records the repo's perf trajectory from PR to PR.
+//!
+//! ```text
+//! perf_report [--profile small|medium] [--out PATH] [--scale F]
+//!             [--seed N] [--budget N] [--bench a,b]
+//! ```
+//!
+//! `--profile` picks a named workload size (default `medium`); the
+//! explicit generator flags override its choices and mark the report
+//! `custom`.
+
+use dynsum_bench::{perf_report, render_perf_json, PerfProfile};
+
+fn main() {
+    let mut out_path = "BENCH_report.json".to_owned();
+    let mut profile = PerfProfile::Medium;
+    // Explicit generator overrides, applied on top of the profile only
+    // when the flag actually appeared (an override equal to a default
+    // still counts).
+    let mut scale: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut budget: Option<u64> = None;
+    let mut benchmarks: Option<Vec<String>> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        match flag.as_str() {
+            "--profile" => {
+                let v = value("--profile");
+                profile = PerfProfile::parse(&v)
+                    .unwrap_or_else(|| usage(&format!("unknown profile `{v}`")));
+            }
+            "--out" => out_path = value("--out"),
+            "--scale" => {
+                scale = Some(
+                    value("--scale")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --scale: {e}"))),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    value("--seed")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --seed: {e}"))),
+                )
+            }
+            "--budget" => {
+                budget = Some(
+                    value("--budget")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --budget: {e}"))),
+                )
+            }
+            "--bench" => {
+                benchmarks = Some(
+                    value("--bench")
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let custom = scale.is_some() || seed.is_some() || budget.is_some() || benchmarks.is_some();
+    let mut opts = profile.options();
+    if let Some(s) = scale {
+        opts.scale = s;
+    }
+    if let Some(s) = seed {
+        opts.seed = s;
+    }
+    if let Some(b) = budget {
+        opts.budget = b;
+    }
+    if let Some(b) = benchmarks {
+        opts.benchmarks = b;
+    }
+
+    let name = if custom { "custom" } else { profile.name() };
+    eprintln!(
+        "perf_report: profile {name}, scale {}, benchmarks {:?}",
+        opts.scale, opts.benchmarks
+    );
+    let report = perf_report(name, &opts);
+    let json = render_perf_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    for e in &report.engines {
+        eprintln!(
+            "  {:<10} {:>10.1} ms  {:>12} edges  hit rate {:>5.1}%  {:>8.1} q/s",
+            e.engine,
+            e.wall_ms,
+            e.edges_traversed,
+            e.cache_hit_rate() * 100.0,
+            e.queries_per_sec()
+        );
+    }
+    eprintln!(
+        "  DYNSUM batched NullDeref throughput: {:.1} queries/sec",
+        report.dynsum_batch_throughput_qps
+    );
+    eprintln!("wrote {out_path}");
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!(
+        "{err}\nusage: perf_report [--profile small|medium] [--out PATH] \
+         [--scale F] [--seed N] [--budget N] [--bench a,b]"
+    );
+    std::process::exit(2);
+}

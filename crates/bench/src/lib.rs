@@ -12,6 +12,7 @@
 //! | `figure4` | Figure 4 — per-batch DYNSUM time normalized to REFINEPTS |
 //! | `figure5` | Figure 5 — cumulative DYNSUM summaries as % of STASUM |
 //! | `ablation`| extra: cache on/off, context sensitivity, budget sweeps |
+//! | `perf_report` | extra: engine perf snapshot → `BENCH_report.json` |
 //!
 //! Every binary accepts `--scale <f>` (default 0.02), `--seed <n>`,
 //! `--budget <n>` (default 75000) and `--bench <name,...>`; the same
@@ -23,6 +24,7 @@
 
 mod experiments;
 mod options;
+mod perf;
 mod table;
 
 pub use experiments::{
@@ -30,4 +32,8 @@ pub use experiments::{
     table3, table4, AblationRow, BatchSeries, Figure5Row, Table1Output, Table4Cell, Table4Output,
 };
 pub use options::{EngineKind, ExperimentOptions};
+pub use perf::{
+    perf_report, render_perf_json, BatchPerf, EnginePerf, PerfProfile, PerfReport, PERF_BATCHES,
+    PERF_ENGINES,
+};
 pub use table::Table;

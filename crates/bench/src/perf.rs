@@ -1,0 +1,372 @@
+//! The `perf_report` experiment: a machine-readable engine performance
+//! snapshot, recorded as `BENCH_report.json` from every PR onward.
+//!
+//! Unlike the table/figure experiments (which reproduce the paper), this
+//! one exists to track the *implementation's* performance trajectory:
+//! per-engine wall time, deterministic edge work, cache hit rates, and —
+//! the headline number — DYNSUM's batch query throughput on the medium
+//! generated workload. CI runs the small profile on every push; `make
+//! bench-report` runs the medium one locally.
+
+use std::time::Instant;
+
+use dynsum_clients::{run_batches, run_client, ClientKind};
+use dynsum_workloads::SCALABILITY_BENCHMARKS;
+
+use crate::options::{EngineKind, ExperimentOptions};
+
+/// Named workload sizes for the perf report.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum PerfProfile {
+    /// Tiny, CI-friendly: `soot-c` at scale 0.01 (seconds).
+    Small,
+    /// The recorded trajectory point: the three scalability benchmarks
+    /// at scale 0.5 (single-digit seconds).
+    Medium,
+}
+
+impl PerfProfile {
+    /// Profile name as recorded in the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            PerfProfile::Small => "small",
+            PerfProfile::Medium => "medium",
+        }
+    }
+
+    /// Parses a profile name.
+    pub fn parse(s: &str) -> Option<PerfProfile> {
+        match s {
+            "small" => Some(PerfProfile::Small),
+            "medium" => Some(PerfProfile::Medium),
+            _ => None,
+        }
+    }
+
+    /// The experiment options this profile implies.
+    pub fn options(self) -> ExperimentOptions {
+        match self {
+            PerfProfile::Small => ExperimentOptions {
+                scale: 0.01,
+                benchmarks: vec!["soot-c".to_owned()],
+                ..ExperimentOptions::default()
+            },
+            PerfProfile::Medium => ExperimentOptions {
+                scale: 0.5,
+                benchmarks: SCALABILITY_BENCHMARKS
+                    .iter()
+                    .map(|s| (*s).to_owned())
+                    .collect(),
+                ..ExperimentOptions::default()
+            },
+        }
+    }
+}
+
+/// Aggregated measurements for one engine across every selected
+/// benchmark × client stream (fresh engine per stream, cross-query state
+/// persisting within it — the Table 4 setup).
+#[derive(Debug, Clone)]
+pub struct EnginePerf {
+    /// Engine name (`"DYNSUM"`, …).
+    pub engine: String,
+    /// Engine construction time (includes STASUM's precomputation).
+    pub setup_ms: f64,
+    /// Wall-clock milliseconds over all query streams.
+    pub wall_ms: f64,
+    /// PAG edges traversed (deterministic work metric).
+    pub edges_traversed: u64,
+    /// Summary/memo cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Queries issued.
+    pub queries: usize,
+    /// Queries that blew the budget.
+    pub unresolved: usize,
+}
+
+impl EnginePerf {
+    /// Cache hits over all lookups (0.0 when the engine never looked).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Queries answered per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 * 1e3 / self.wall_ms
+        }
+    }
+}
+
+/// One DYNSUM batch measurement (cache persists across batches).
+#[derive(Debug, Clone)]
+pub struct BatchPerf {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Per-batch wall milliseconds.
+    pub batch_ms: Vec<f64>,
+    /// Per-batch query counts.
+    pub batch_queries: Vec<usize>,
+}
+
+/// The full perf report.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Profile name (`"small"` / `"medium"` / `"custom"`).
+    pub profile: String,
+    /// Generator scale.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Per-query budget.
+    pub budget: u64,
+    /// Benchmarks measured.
+    pub benchmarks: Vec<String>,
+    /// Per-engine aggregates, in a fixed order.
+    pub engines: Vec<EnginePerf>,
+    /// DYNSUM batch series (NullDeref, 10 batches) per benchmark.
+    pub dynsum_batches: Vec<BatchPerf>,
+    /// The headline metric: DYNSUM queries/sec over the batched
+    /// NullDeref streams (cache warm after the first batch).
+    pub dynsum_batch_throughput_qps: f64,
+}
+
+/// Number of batches in the throughput measurement (§5.3 uses 10).
+pub const PERF_BATCHES: usize = 10;
+
+/// The engines measured, in report order.
+pub const PERF_ENGINES: [EngineKind; 4] = [
+    EngineKind::NoRefine,
+    EngineKind::RefinePts,
+    EngineKind::DynSum,
+    EngineKind::StaSum,
+];
+
+/// Runs the perf experiment for the given options.
+pub fn perf_report(profile_name: &str, opts: &ExperimentOptions) -> PerfReport {
+    let config = opts.engine_config();
+    let workloads = opts.workloads();
+
+    let mut engines = Vec::new();
+    for kind in PERF_ENGINES {
+        let mut perf = EnginePerf {
+            engine: kind.name().to_owned(),
+            setup_ms: 0.0,
+            wall_ms: 0.0,
+            edges_traversed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            queries: 0,
+            unresolved: 0,
+        };
+        for w in &workloads {
+            for client in ClientKind::ALL {
+                let setup_started = Instant::now();
+                let mut engine = kind.build(&w.pag, config);
+                perf.setup_ms += setup_started.elapsed().as_secs_f64() * 1e3;
+                let report = run_client(client, &w.pag, &w.info, engine.as_mut());
+                perf.wall_ms += report.elapsed.as_secs_f64() * 1e3;
+                perf.edges_traversed += report.stats.edges_traversed;
+                perf.cache_hits += report.stats.cache_hits;
+                perf.cache_misses += report.stats.cache_misses;
+                perf.queries += report.queries;
+                perf.unresolved += report.unresolved;
+            }
+        }
+        engines.push(perf);
+    }
+
+    // The batched throughput run: one persistent DYNSUM engine per
+    // benchmark, NullDeref stream split into 10 batches.
+    let mut dynsum_batches = Vec::new();
+    let mut total_queries = 0usize;
+    let mut total_secs = 0.0f64;
+    for w in &workloads {
+        let mut engine = EngineKind::DynSum.build(&w.pag, config);
+        let batches = run_batches(
+            ClientKind::NullDeref,
+            &w.pag,
+            &w.info,
+            engine.as_mut(),
+            PERF_BATCHES,
+        );
+        let batch_ms: Vec<f64> = batches
+            .iter()
+            .map(|b| b.report.elapsed.as_secs_f64() * 1e3)
+            .collect();
+        let batch_queries: Vec<usize> = batches.iter().map(|b| b.report.queries).collect();
+        total_queries += batch_queries.iter().sum::<usize>();
+        total_secs += batch_ms.iter().sum::<f64>() / 1e3;
+        dynsum_batches.push(BatchPerf {
+            benchmark: w.name.clone(),
+            batch_ms,
+            batch_queries,
+        });
+    }
+    let dynsum_batch_throughput_qps = if total_secs > 0.0 {
+        total_queries as f64 / total_secs
+    } else {
+        0.0
+    };
+
+    PerfReport {
+        profile: profile_name.to_owned(),
+        scale: opts.scale,
+        seed: opts.seed,
+        budget: opts.budget,
+        benchmarks: workloads.iter().map(|w| w.name.clone()).collect(),
+        engines,
+        dynsum_batches,
+        dynsum_batch_throughput_qps,
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the report as pretty-printed JSON (no external crates: the
+/// workspace is offline, so the writer is hand-rolled).
+pub fn render_perf_json(r: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"profile\": {},\n", json_str(&r.profile)));
+    out.push_str(&format!("  \"scale\": {},\n", json_f64(r.scale)));
+    out.push_str(&format!("  \"seed\": {},\n", r.seed));
+    out.push_str(&format!("  \"budget\": {},\n", r.budget));
+    let benches: Vec<String> = r.benchmarks.iter().map(|b| json_str(b)).collect();
+    out.push_str(&format!("  \"benchmarks\": [{}],\n", benches.join(", ")));
+    out.push_str("  \"engines\": [\n");
+    for (i, e) in r.engines.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"engine\": {},\n", json_str(&e.engine)));
+        out.push_str(&format!("      \"setup_ms\": {},\n", json_f64(e.setup_ms)));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(e.wall_ms)));
+        out.push_str(&format!(
+            "      \"edges_traversed\": {},\n",
+            e.edges_traversed
+        ));
+        out.push_str(&format!("      \"cache_hits\": {},\n", e.cache_hits));
+        out.push_str(&format!("      \"cache_misses\": {},\n", e.cache_misses));
+        out.push_str(&format!(
+            "      \"cache_hit_rate\": {},\n",
+            json_f64(e.cache_hit_rate())
+        ));
+        out.push_str(&format!("      \"queries\": {},\n", e.queries));
+        out.push_str(&format!("      \"unresolved\": {},\n", e.unresolved));
+        out.push_str(&format!(
+            "      \"queries_per_sec\": {}\n",
+            json_f64(e.queries_per_sec())
+        ));
+        out.push_str(if i + 1 == r.engines.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"dynsum_batches\": [\n");
+    for (i, b) in r.dynsum_batches.iter().enumerate() {
+        let ms: Vec<String> = b.batch_ms.iter().map(|&m| json_f64(m)).collect();
+        let qs: Vec<String> = b.batch_queries.iter().map(|q| q.to_string()).collect();
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"benchmark\": {},\n",
+            json_str(&b.benchmark)
+        ));
+        out.push_str(&format!("      \"batch_ms\": [{}],\n", ms.join(", ")));
+        out.push_str(&format!("      \"batch_queries\": [{}]\n", qs.join(", ")));
+        out.push_str(if i + 1 == r.dynsum_batches.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"dynsum_batch_throughput_qps\": {}\n",
+        json_f64(r.dynsum_batch_throughput_qps)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_json_render() {
+        let opts = ExperimentOptions {
+            scale: 0.005,
+            benchmarks: vec!["luindex".to_owned()],
+            ..ExperimentOptions::default()
+        };
+        let r = perf_report("custom", &opts);
+        assert_eq!(r.engines.len(), 4);
+        assert_eq!(r.benchmarks, vec!["luindex"]);
+        assert_eq!(r.dynsum_batches.len(), 1);
+        for e in &r.engines {
+            assert!(e.queries > 0, "{}: no queries ran", e.engine);
+            assert!(e.edges_traversed > 0, "{}: no work recorded", e.engine);
+        }
+        let dynsum = r.engines.iter().find(|e| e.engine == "DYNSUM").unwrap();
+        assert!(
+            dynsum.cache_hits > 0,
+            "DYNSUM must hit its cache on a whole stream"
+        );
+        assert!(r.dynsum_batch_throughput_qps > 0.0);
+
+        let json = render_perf_json(&r);
+        assert!(json.contains("\"DYNSUM\""));
+        assert!(json.contains("\"dynsum_batch_throughput_qps\""));
+        assert!(json.contains("\"cache_hit_rate\""));
+        // Brackets balance (cheap well-formedness check without a parser).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_parse_and_scale() {
+        assert_eq!(PerfProfile::parse("small"), Some(PerfProfile::Small));
+        assert_eq!(PerfProfile::parse("medium"), Some(PerfProfile::Medium));
+        assert_eq!(PerfProfile::parse("huge"), None);
+        assert_eq!(PerfProfile::Small.options().benchmarks, vec!["soot-c"]);
+        assert_eq!(PerfProfile::Medium.options().benchmarks.len(), 3);
+        assert!(PerfProfile::Medium.options().scale > PerfProfile::Small.options().scale);
+    }
+}

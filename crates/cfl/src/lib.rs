@@ -12,6 +12,8 @@
 //!   documented;
 //! * [`Budget`] — per-query edge-traversal budgets (75,000 by default,
 //!   §5.2) plus [`with_stack`] for running deep recursive queries;
+//! * [`FxHasher`]/[`FxHashMap`]/[`FxHashSet`] — the vendored fast hasher
+//!   behind every hot-path table (worklist dedup, interning, caches);
 //! * [`PointsToSet`], [`QueryResult`], [`QueryStats`] — context-qualified
 //!   results and deterministic work counters;
 //! * [`Trace`] — the `(v, f, s, c)` step recorder behind the paper's
@@ -21,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod hash;
 mod query;
 mod rsm;
 mod stack;
 mod trace;
 
 pub use budget::{with_stack, Budget, BudgetExceeded, ANALYSIS_STACK_BYTES};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use query::{CtxId, FieldStackId, PointsToSet, QueryResult, QueryStats};
 pub use rsm::Direction;
 pub use stack::{StackId, StackPool};

@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 
 use dynsum_pag::{CallSiteId, FieldId, ObjId};
 
+use crate::hash::FxHashSet;
 use crate::stack::StackId;
 
 /// Interned field stack (unmatched `load(f)` labels).
@@ -35,14 +36,17 @@ pub type CtxId = StackId<CallSiteId>;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PointsToSet {
-    items: BTreeSet<(ObjId, CtxId)>,
+    // A hash set so the traversal-time dedup insert is O(1) with the
+    // fast hasher; the ordered views below sort on demand (results are
+    // consumed far less often than they are inserted into).
+    items: FxHashSet<(ObjId, CtxId)>,
 }
 
 impl PointsToSet {
     /// Creates an empty set.
     pub fn new() -> Self {
         PointsToSet {
-            items: BTreeSet::new(),
+            items: FxHashSet::default(),
         }
     }
 
@@ -74,7 +78,9 @@ impl PointsToSet {
 
     /// Iterates over `(object, context)` pairs in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjId, CtxId)> + '_ {
-        self.items.iter().copied()
+        let mut pairs: Vec<(ObjId, CtxId)> = self.items.iter().copied().collect();
+        pairs.sort_unstable();
+        pairs.into_iter()
     }
 
     /// The deduplicated object set, independent of heap contexts — the

@@ -8,9 +8,10 @@
 //! stack is a 4-byte [`StackId`], push/pop are O(1) hash-table operations,
 //! and equality is id equality.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::marker::PhantomData;
+
+use crate::hash::FxHashMap;
 
 /// An interned stack handle, branded by element type so field stacks and
 /// context stacks cannot be mixed up.
@@ -108,7 +109,9 @@ impl<E> std::fmt::Debug for StackId<E> {
 pub struct StackPool<E> {
     /// `nodes[i]` backs `StackId(i + 1)`.
     nodes: Vec<(E, StackId<E>, u32)>,
-    table: HashMap<(E, u32), StackId<E>>,
+    /// Interning table; push is one probe of this map. Keyed by dense
+    /// in-tree ids, so the fast non-SipHash hasher is safe here.
+    table: FxHashMap<(E, u32), StackId<E>>,
 }
 
 impl<E: Copy + Eq + Hash> StackPool<E> {
@@ -116,7 +119,7 @@ impl<E: Copy + Eq + Hash> StackPool<E> {
     pub fn new() -> Self {
         StackPool {
             nodes: Vec::new(),
-            table: HashMap::new(),
+            table: FxHashMap::default(),
         }
     }
 

@@ -7,17 +7,37 @@
 //! points-to summaries on demand and caches them; STASUM's provider
 //! instantiates precomputed relative summaries.
 
-use std::collections::HashSet;
 use std::rc::Rc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, PointsToSet, QueryResult, QueryStats,
-    StackPool, StepKind, Trace, TraceStep,
+    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashSet, PointsToSet, QueryResult,
+    QueryStats, StackPool, StepKind, Trace, TraceStep,
 };
-use dynsum_pag::{CallSiteId, EdgeKind, FieldId, NodeId, Pag};
+use dynsum_pag::{AdjClass, CallSiteId, FieldId, NodeId, Pag};
 
 use crate::engine::{ctx_clear, ctx_pop, ctx_push, EngineConfig};
 use crate::summary::Summary;
+
+/// Reusable driver state: worklist + seen-set buffers that persist
+/// across queries (cleared, not reallocated, per query) and the shared
+/// empty summary handed out for boundary-free no-local-edge nodes
+/// without a per-visit allocation.
+#[derive(Debug)]
+pub(crate) struct DriveScratch {
+    seen: FxHashSet<(NodeId, FieldStackId, Direction, CtxId)>,
+    wl: Vec<(NodeId, FieldStackId, Direction, CtxId)>,
+    empty: Rc<Summary>,
+}
+
+impl Default for DriveScratch {
+    fn default() -> Self {
+        DriveScratch {
+            seen: FxHashSet::default(),
+            wl: Vec::new(),
+            empty: Rc::new(Summary::default()),
+        }
+    }
+}
 
 /// A source of local-edge summaries for the driver. Called once per
 /// worklist configuration whose node has local edges.
@@ -37,6 +57,7 @@ pub(crate) fn drive(
     pag: &Pag,
     fields: &mut StackPool<FieldId>,
     ctxs: &mut StackPool<CallSiteId>,
+    scratch: &mut DriveScratch,
     config: &EngineConfig,
     start: NodeId,
     start_ctx: CtxId,
@@ -48,16 +69,19 @@ pub(crate) fn drive(
     let mut pts = PointsToSet::new();
 
     let init = (start, FieldStackId::EMPTY, Direction::S1, start_ctx);
-    let mut seen: HashSet<(NodeId, FieldStackId, Direction, CtxId)> = HashSet::new();
+    scratch.seen.clear();
+    scratch.wl.clear();
+    let DriveScratch { seen, wl, empty } = scratch;
     seen.insert(init);
-    let mut wl = vec![init];
+    wl.push(init);
     let mut over_budget = false;
 
     'drive: while let Some((u, f, s, c)) = wl.pop() {
         stats.steps += 1;
 
         // Lines 5–9: reuse or compute the summary; nodes without local
-        // edges take the trivial summary (§4.3).
+        // edges take the trivial summary (§4.3) — the shared empty one
+        // when they are not boundaries either (no allocation).
         let (summary, kind) = if pag.has_local_edge(u) {
             match provider(fields, &mut budget, &mut stats, u, f, s) {
                 Ok(pair) => pair,
@@ -66,11 +90,13 @@ pub(crate) fn drive(
                     break 'drive;
                 }
             }
-        } else {
+        } else if Summary::trivial_has_boundary(pag, u, s) {
             (
                 Rc::new(Summary::trivial(pag, u, f, s)),
                 StepKind::NoLocalEdges,
             )
+        } else {
+            (Rc::clone(empty), StepKind::NoLocalEdges)
         };
 
         if let Some(tr) = trace.as_deref_mut() {
@@ -97,9 +123,10 @@ pub(crate) fn drive(
             }
         }
 
-        // Lines 12–28: follow the global edges of each boundary tuple.
+        // Lines 12–28: follow the global edges of each boundary tuple —
+        // straight iteration over the three global kind segments.
         for &(x, f1, s1) in &summary.boundaries {
-            let step = |n: NodeId, c2: CtxId, seen: &mut HashSet<_>, wl: &mut Vec<_>| {
+            let step = |n: NodeId, c2: CtxId, seen: &mut FxHashSet<_>, wl: &mut Vec<_>| {
                 let item = (n, f1, s1, c2);
                 if seen.insert(item) {
                     wl.push(item);
@@ -108,56 +135,44 @@ pub(crate) fn drive(
             let result: Result<(), BudgetExceeded> = (|| {
                 match s1 {
                     Direction::S1 => {
-                        for &eid in pag.in_edges(x) {
-                            let e = *pag.edge(eid);
-                            match e.kind {
-                                EdgeKind::Exit(i) => {
-                                    budget.charge()?;
-                                    stats.edges_traversed += 1;
-                                    if let Some(c2) = ctx_push(ctxs, c, i, pag, config)? {
-                                        step(e.src, c2, &mut seen, &mut wl);
-                                    }
-                                }
-                                EdgeKind::Entry(i) => {
-                                    budget.charge()?;
-                                    stats.edges_traversed += 1;
-                                    if let Some(c2) = ctx_pop(ctxs, c, i, pag, config)? {
-                                        step(e.src, c2, &mut seen, &mut wl);
-                                    }
-                                }
-                                EdgeKind::AssignGlobal => {
-                                    budget.charge()?;
-                                    stats.edges_traversed += 1;
-                                    step(e.src, ctx_clear(), &mut seen, &mut wl);
-                                }
-                                _ => {}
+                        for &a in pag.in_seg(x, AdjClass::AssignGlobal) {
+                            budget.charge()?;
+                            stats.edges_traversed += 1;
+                            step(a.node, ctx_clear(), seen, wl);
+                        }
+                        for &a in pag.in_seg(x, AdjClass::Entry) {
+                            budget.charge()?;
+                            stats.edges_traversed += 1;
+                            if let Some(c2) = ctx_pop(ctxs, c, a.site(), pag, config)? {
+                                step(a.node, c2, seen, wl);
+                            }
+                        }
+                        for &a in pag.in_seg(x, AdjClass::Exit) {
+                            budget.charge()?;
+                            stats.edges_traversed += 1;
+                            if let Some(c2) = ctx_push(ctxs, c, a.site(), pag, config)? {
+                                step(a.node, c2, seen, wl);
                             }
                         }
                     }
                     Direction::S2 => {
-                        for &eid in pag.out_edges(x) {
-                            let e = *pag.edge(eid);
-                            match e.kind {
-                                EdgeKind::Exit(i) => {
-                                    budget.charge()?;
-                                    stats.edges_traversed += 1;
-                                    if let Some(c2) = ctx_pop(ctxs, c, i, pag, config)? {
-                                        step(e.dst, c2, &mut seen, &mut wl);
-                                    }
-                                }
-                                EdgeKind::Entry(i) => {
-                                    budget.charge()?;
-                                    stats.edges_traversed += 1;
-                                    if let Some(c2) = ctx_push(ctxs, c, i, pag, config)? {
-                                        step(e.dst, c2, &mut seen, &mut wl);
-                                    }
-                                }
-                                EdgeKind::AssignGlobal => {
-                                    budget.charge()?;
-                                    stats.edges_traversed += 1;
-                                    step(e.dst, ctx_clear(), &mut seen, &mut wl);
-                                }
-                                _ => {}
+                        for &a in pag.out_seg(x, AdjClass::AssignGlobal) {
+                            budget.charge()?;
+                            stats.edges_traversed += 1;
+                            step(a.node, ctx_clear(), seen, wl);
+                        }
+                        for &a in pag.out_seg(x, AdjClass::Entry) {
+                            budget.charge()?;
+                            stats.edges_traversed += 1;
+                            if let Some(c2) = ctx_push(ctxs, c, a.site(), pag, config)? {
+                                step(a.node, c2, seen, wl);
+                            }
+                        }
+                        for &a in pag.out_seg(x, AdjClass::Exit) {
+                            budget.charge()?;
+                            stats.edges_traversed += 1;
+                            if let Some(c2) = ctx_pop(ctxs, c, a.site(), pag, config)? {
+                                step(a.node, c2, seen, wl);
                             }
                         }
                     }

@@ -16,9 +16,10 @@ use dynsum_cfl::{
 };
 use dynsum_pag::{CallSiteId, FieldId, NodeId, Pag, VarId};
 
-use crate::driver::drive;
+use crate::driver::{drive, DriveScratch};
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
 use crate::ppta;
+use crate::ppta::PptaScratch;
 use crate::summary::{Summary, SummaryCache};
 
 /// The DYNSUM demand-driven points-to engine.
@@ -55,6 +56,8 @@ pub struct DynSum<'p> {
     config: EngineConfig,
     tracing: bool,
     last_trace: Option<Trace>,
+    scratch: DriveScratch,
+    ppta_scratch: PptaScratch,
 }
 
 impl<'p> DynSum<'p> {
@@ -73,6 +76,8 @@ impl<'p> DynSum<'p> {
             config,
             tracing: false,
             last_trace: None,
+            scratch: DriveScratch::default(),
+            ppta_scratch: PptaScratch::default(),
         }
     }
 
@@ -139,6 +144,7 @@ impl<'p> DynSum<'p> {
         let config = self.config;
         let mut trace = self.tracing.then(Trace::new);
         let cache = &mut self.cache;
+        let ppta_scratch = &mut self.ppta_scratch;
         let cache_on = config.cache_summaries;
 
         // Algorithm 4, lines 5–9: the summary provider reuses the cache
@@ -159,7 +165,7 @@ impl<'p> DynSum<'p> {
                 }
             }
             stats.cache_misses += 1;
-            let sum = ppta::compute(pag, fields, &config, budget, stats, u, f, s)?;
+            let sum = ppta::compute(pag, fields, ppta_scratch, &config, budget, stats, u, f, s)?;
             let rc = Rc::new(sum);
             if cache_on {
                 cache.insert(key, Rc::clone(&rc));
@@ -171,6 +177,7 @@ impl<'p> DynSum<'p> {
             pag,
             &mut self.fields,
             &mut self.ctxs,
+            &mut self.scratch,
             &config,
             pag.var_node(v),
             c0,

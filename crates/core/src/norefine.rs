@@ -4,7 +4,7 @@ use dynsum_cfl::{Budget, CtxId, QueryResult, QueryStats, StackPool};
 use dynsum_pag::{CallSiteId, FieldId, Pag, VarId};
 
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
-use crate::search::{search, Refinement};
+use crate::search::{search, Refinement, SearchScratch};
 
 /// The NOREFINE engine: Sridharan–Bodík demand-driven CFL-reachability
 /// with every load explored field-sensitively from the start, no
@@ -34,6 +34,7 @@ pub struct NoRefine<'p> {
     pag: &'p Pag,
     fields: StackPool<FieldId>,
     ctxs: StackPool<CallSiteId>,
+    scratch: SearchScratch,
     config: EngineConfig,
 }
 
@@ -49,6 +50,7 @@ impl<'p> NoRefine<'p> {
             pag,
             fields: StackPool::new(),
             ctxs: StackPool::new(),
+            scratch: SearchScratch::default(),
             config,
         }
     }
@@ -85,6 +87,7 @@ impl<'p> NoRefine<'p> {
             self.pag,
             &mut self.fields,
             &mut self.ctxs,
+            &mut self.scratch,
             &self.config,
             Refinement::All,
             v,

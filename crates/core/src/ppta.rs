@@ -18,13 +18,26 @@
 //! [`Summary`] is context-independent and can be reused under any calling
 //! context — the key insight of the paper (§4.1).
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
-use dynsum_cfl::{Budget, BudgetExceeded, Direction, FieldStackId, QueryStats, StackPool};
-use dynsum_pag::{EdgeKind, FieldId, NodeId, NodeRef, Pag};
+use dynsum_cfl::{
+    Budget, BudgetExceeded, Direction, FieldStackId, FxHashSet, QueryStats, StackPool,
+};
+use dynsum_pag::{AdjClass, FieldId, NodeId, NodeRef, Pag};
 
 use crate::engine::EngineConfig;
 use crate::summary::Summary;
+
+/// Reusable PPTA working state: the visited set plus the sorted
+/// accumulators a run fills before they are frozen into a [`Summary`].
+/// Logically fresh per call (cleared), but the backing allocations
+/// persist across the many PPTA runs a warm engine performs.
+#[derive(Debug, Default)]
+pub struct PptaScratch {
+    visited: FxHashSet<(NodeId, FieldStackId, Direction)>,
+    objs: BTreeSet<dynsum_pag::ObjId>,
+    boundaries: BTreeSet<(NodeId, FieldStackId, Direction)>,
+}
 
 /// Computes the partial points-to summary for `(node, fstack, dir)`.
 ///
@@ -40,6 +53,7 @@ use crate::summary::Summary;
 pub fn compute(
     pag: &Pag,
     fields: &mut StackPool<FieldId>,
+    scratch: &mut PptaScratch,
     config: &EngineConfig,
     budget: &mut Budget,
     stats: &mut QueryStats,
@@ -47,21 +61,25 @@ pub fn compute(
     fstack: FieldStackId,
     dir: Direction,
 ) -> Result<Summary, BudgetExceeded> {
+    scratch.visited.clear();
+    scratch.objs.clear();
+    scratch.boundaries.clear();
     let mut ppta = Ppta {
         pag,
         fields,
         config,
         budget,
         stats,
-        visited: HashSet::new(),
-        objs: BTreeSet::new(),
-        boundaries: BTreeSet::new(),
+        visited: &mut scratch.visited,
+        objs: &mut scratch.objs,
+        boundaries: &mut scratch.boundaries,
     };
     ppta.go(node, fstack, dir)?;
-    Ok(Summary {
-        objs: ppta.objs.into_iter().collect(),
-        boundaries: ppta.boundaries.into_iter().collect(),
-    })
+    let mut objs = Vec::with_capacity(scratch.objs.len());
+    objs.extend(scratch.objs.iter().copied());
+    let mut boundaries = Vec::with_capacity(scratch.boundaries.len());
+    boundaries.extend(scratch.boundaries.iter().copied());
+    Ok(Summary { objs, boundaries })
 }
 
 struct Ppta<'a, 'p> {
@@ -70,9 +88,9 @@ struct Ppta<'a, 'p> {
     config: &'a EngineConfig,
     budget: &'a mut Budget,
     stats: &'a mut QueryStats,
-    visited: HashSet<(NodeId, FieldStackId, Direction)>,
-    objs: BTreeSet<dynsum_pag::ObjId>,
-    boundaries: BTreeSet<(NodeId, FieldStackId, Direction)>,
+    visited: &'a mut FxHashSet<(NodeId, FieldStackId, Direction)>,
+    objs: &'a mut BTreeSet<dynsum_pag::ObjId>,
+    boundaries: &'a mut BTreeSet<(NodeId, FieldStackId, Direction)>,
 }
 
 impl Ppta<'_, '_> {
@@ -99,39 +117,30 @@ impl Ppta<'_, '_> {
         }
     }
 
-    /// Algorithm 3, lines 5–16.
+    /// Algorithm 3, lines 5–16 — straight iteration over the local kind
+    /// segments (global edges are the driver's job; the boundary bit at
+    /// the end records that they exist).
     fn s1(&mut self, u: NodeId, f: FieldStackId) -> Result<(), BudgetExceeded> {
+        let pag = self.pag;
         let mut saw_new = false;
-        for &eid in self.pag.in_edges(u) {
-            let e = *self.pag.edge(eid);
-            match e.kind {
-                EdgeKind::New => {
-                    self.charge()?;
-                    if f.is_empty() {
-                        let NodeRef::Obj(o) = self.pag.node_ref(e.src) else {
-                            continue;
-                        };
-                        self.objs.insert(o);
-                    } else {
-                        saw_new = true;
-                    }
+        for &a in pag.in_seg(u, AdjClass::New) {
+            self.charge()?;
+            if f.is_empty() {
+                if let NodeRef::Obj(o) = pag.node_ref(a.node) {
+                    self.objs.insert(o);
                 }
-                EdgeKind::Assign => {
-                    self.charge()?;
-                    self.go(e.src, f, Direction::S1)?;
-                }
-                EdgeKind::Load(g) => {
-                    self.charge()?;
-                    let f2 = self.push_field(f, g)?;
-                    self.go(e.src, f2, Direction::S1)?;
-                }
-                // Global edges are the driver's job (Algorithm 4); the
-                // boundary bit below records that they exist.
-                EdgeKind::Store(_)
-                | EdgeKind::AssignGlobal
-                | EdgeKind::Entry(_)
-                | EdgeKind::Exit(_) => {}
+            } else {
+                saw_new = true;
             }
+        }
+        for &a in pag.in_seg(u, AdjClass::Assign) {
+            self.charge()?;
+            self.go(a.node, f, Direction::S1)?;
+        }
+        for &a in pag.in_seg(u, AdjClass::Load) {
+            self.charge()?;
+            let f2 = self.push_field(f, a.field())?;
+            self.go(a.node, f2, Direction::S1)?;
         }
         if saw_new {
             // `new new̅`: the only S1→S2 transition (Figure 3(a)). Every
@@ -140,7 +149,7 @@ impl Ppta<'_, '_> {
             self.charge()?;
             self.go(u, f, Direction::S2)?;
         }
-        if self.pag.has_global_in(u) {
+        if pag.has_global_in(u) {
             self.boundaries.insert((u, f, Direction::S1));
         }
         Ok(())
@@ -148,53 +157,44 @@ impl Ppta<'_, '_> {
 
     /// Algorithm 3, lines 17–29.
     fn s2(&mut self, u: NodeId, f: FieldStackId) -> Result<(), BudgetExceeded> {
-        for &eid in self.pag.out_edges(u) {
-            let e = *self.pag.edge(eid);
-            match e.kind {
-                EdgeKind::Assign => {
-                    self.charge()?;
-                    self.go(e.dst, f, Direction::S2)?;
-                }
-                EdgeKind::Load(g) => {
-                    // Forward over a load: the pending field is matched.
-                    if self.fields.peek(f) == Some(g) {
-                        self.charge()?;
-                        let (_, rest) = self.fields.pop(f).expect("peeked");
-                        self.go(e.dst, rest, Direction::S2)?;
-                    }
-                }
-                EdgeKind::Store(g) => {
-                    // The tracked value is stored into `dst.g`: a nested
-                    // alias detour must find aliases of the base. The
-                    // pushed parenthesis can only be consumed at a
-                    // `load(g)` (grammar: `store(f) alias load(f)`), so
-                    // fields nobody loads need no detour — this both
-                    // matches the search engine's rule and defuses
-                    // field-stack pumping on store-only cycles.
-                    if !self.pag.loads_of(g).is_empty() {
-                        self.charge()?;
-                        let f2 = self.push_field(f, g)?;
-                        self.go(e.dst, f2, Direction::S1)?;
-                    }
-                }
-                EdgeKind::New | EdgeKind::AssignGlobal | EdgeKind::Entry(_) | EdgeKind::Exit(_) => {
-                }
+        let pag = self.pag;
+        for &a in pag.out_seg(u, AdjClass::Assign) {
+            self.charge()?;
+            self.go(a.node, f, Direction::S2)?;
+        }
+        for &a in pag.out_seg(u, AdjClass::Load) {
+            // Forward over a load: the pending field is matched.
+            if self.fields.peek(f) == Some(a.field()) {
+                self.charge()?;
+                let (_, rest) = self.fields.pop(f).expect("peeked");
+                self.go(a.node, rest, Direction::S2)?;
             }
         }
-        for &eid in self.pag.in_edges(u) {
-            let e = *self.pag.edge(eid);
-            if let EdgeKind::Store(g) = e.kind {
-                // `u` is the base of a store and the alias detour wants
-                // field `g`: the stored value's points-to set feeds the
-                // answer (back to S1 at the value).
-                if self.fields.peek(f) == Some(g) {
-                    self.charge()?;
-                    let (_, rest) = self.fields.pop(f).expect("peeked");
-                    self.go(e.src, rest, Direction::S1)?;
-                }
+        for &a in pag.out_seg(u, AdjClass::Store) {
+            // The tracked value is stored into `dst.g`: a nested alias
+            // detour must find aliases of the base. The pushed
+            // parenthesis can only be consumed at a `load(g)` (grammar:
+            // `store(f) alias load(f)`), so fields nobody loads need no
+            // detour — this both matches the search engine's rule and
+            // defuses field-stack pumping on store-only cycles.
+            let g = a.field();
+            if !pag.loads_of(g).is_empty() {
+                self.charge()?;
+                let f2 = self.push_field(f, g)?;
+                self.go(a.node, f2, Direction::S1)?;
             }
         }
-        if self.pag.has_global_out(u) {
+        for &a in pag.in_seg(u, AdjClass::Store) {
+            // `u` is the base of a store and the alias detour wants
+            // field `g`: the stored value's points-to set feeds the
+            // answer (back to S1 at the value).
+            if self.fields.peek(f) == Some(a.field()) {
+                self.charge()?;
+                let (_, rest) = self.fields.pop(f).expect("peeked");
+                self.go(a.node, rest, Direction::S1)?;
+            }
+        }
+        if pag.has_global_out(u) {
             self.boundaries.insert((u, f, Direction::S2));
         }
         Ok(())
@@ -214,11 +214,13 @@ mod tests {
         dir: Direction,
     ) -> Summary {
         let config = EngineConfig::unlimited();
+        let mut scratch = PptaScratch::default();
         let mut budget = Budget::unlimited();
         let mut stats = QueryStats::default();
         compute(
             pag,
             fields,
+            &mut scratch,
             &config,
             &mut budget,
             &mut stats,
@@ -353,12 +355,14 @@ mod tests {
         b.add_new(o, prev).unwrap();
         let pag = b.finish();
         let mut fields = StackPool::new();
+        let mut scratch = PptaScratch::default();
         let config = EngineConfig::default();
         let mut budget = Budget::new(3);
         let mut stats = QueryStats::default();
         let r = compute(
             &pag,
             &mut fields,
+            &mut scratch,
             &config,
             &mut budget,
             &mut stats,
@@ -380,6 +384,7 @@ mod tests {
         b.add_load(f, x, x).unwrap();
         let pag = b.finish();
         let mut fields = StackPool::new();
+        let mut scratch = PptaScratch::default();
         let config = EngineConfig {
             max_field_depth: 8,
             ..EngineConfig::unlimited()
@@ -389,6 +394,7 @@ mod tests {
         let r = compute(
             &pag,
             &mut fields,
+            &mut scratch,
             &config,
             &mut budget,
             &mut stats,

@@ -1,12 +1,10 @@
 //! REFINEPTS — refinement-based demand-driven analysis (Algorithms 1–2).
 
-use std::collections::HashSet;
-
-use dynsum_cfl::{Budget, CtxId, PointsToSet, QueryResult, QueryStats, StackPool};
+use dynsum_cfl::{Budget, CtxId, FxHashSet, PointsToSet, QueryResult, QueryStats, StackPool};
 use dynsum_pag::{CallSiteId, EdgeId, FieldId, Pag, VarId};
 
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
-use crate::search::{search, Refinement};
+use crate::search::{search, Refinement, SearchScratch};
 
 /// The REFINEPTS engine (Sridharan–Bodík PLDI'06, the paper's
 /// state-of-the-art baseline).
@@ -40,6 +38,7 @@ pub struct RefinePts<'p> {
     pag: &'p Pag,
     fields: StackPool<FieldId>,
     ctxs: StackPool<CallSiteId>,
+    scratch: SearchScratch,
     config: EngineConfig,
 }
 
@@ -55,6 +54,7 @@ impl<'p> RefinePts<'p> {
             pag,
             fields: StackPool::new(),
             ctxs: StackPool::new(),
+            scratch: SearchScratch::default(),
             config,
         }
     }
@@ -66,7 +66,7 @@ impl<'p> RefinePts<'p> {
 
     /// The refinement loop of Algorithm 2.
     fn run(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
-        let mut refined: HashSet<EdgeId> = HashSet::new();
+        let mut refined: FxHashSet<EdgeId> = FxHashSet::default();
         let mut budget = Budget::new(self.config.budget);
         let mut stats = QueryStats::default();
         let mut last = PointsToSet::new();
@@ -77,6 +77,7 @@ impl<'p> RefinePts<'p> {
                 self.pag,
                 &mut self.fields,
                 &mut self.ctxs,
+                &mut self.scratch,
                 &self.config,
                 Refinement::Only(&refined),
                 v,

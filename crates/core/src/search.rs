@@ -16,12 +16,11 @@
 //! store of the same field and clearing the calling context — and is
 //! recorded in `fldsSeen` so the next iteration can refine it.
 
-use std::collections::HashSet;
-
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, PointsToSet, QueryStats, StackPool,
+    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashSet, PointsToSet, QueryStats,
+    StackPool,
 };
-use dynsum_pag::{CallSiteId, EdgeId, EdgeKind, FieldId, NodeId, NodeRef, Pag, VarId};
+use dynsum_pag::{AdjClass, CallSiteId, EdgeId, FieldId, NodeId, NodeRef, Pag, VarId};
 
 use crate::engine::{ctx_clear, ctx_pop, ctx_push, EngineConfig};
 
@@ -32,7 +31,7 @@ pub(crate) enum Refinement<'a> {
     All,
     /// Only the listed load edges are field-sensitive; the rest go
     /// through match edges (REFINEPTS iterations).
-    Only(&'a HashSet<EdgeId>),
+    Only(&'a FxHashSet<EdgeId>),
 }
 
 impl Refinement<'_> {
@@ -51,9 +50,18 @@ pub(crate) struct SearchOutcome {
     /// Points-to pairs found.
     pub pts: PointsToSet,
     /// Match edges used (the iteration's `fldsSeen`).
-    pub flds_seen: HashSet<EdgeId>,
+    pub flds_seen: FxHashSet<EdgeId>,
     /// `false` when the budget or a depth cap tripped.
     pub complete: bool,
+}
+
+/// Reusable worklist and seen-set buffers: each query starts logically
+/// fresh (cleared), but the backing allocations persist across queries so
+/// the table never re-grows from empty on a warm engine.
+#[derive(Debug, Default)]
+pub(crate) struct SearchScratch {
+    seen: FxHashSet<(NodeId, FieldStackId, Direction, CtxId)>,
+    wl: Vec<(NodeId, FieldStackId, Direction, CtxId)>,
 }
 
 /// Runs one demand-driven search pass for `pointsTo(start, start_ctx)`.
@@ -62,6 +70,7 @@ pub(crate) fn search(
     pag: &Pag,
     fields: &mut StackPool<FieldId>,
     ctxs: &mut StackPool<CallSiteId>,
+    scratch: &mut SearchScratch,
     config: &EngineConfig,
     refinement: Refinement<'_>,
     start: VarId,
@@ -69,6 +78,8 @@ pub(crate) fn search(
     budget: &mut Budget,
     stats: &mut QueryStats,
 ) -> SearchOutcome {
+    scratch.seen.clear();
+    scratch.wl.clear();
     let mut cx = SearchCx {
         pag,
         fields,
@@ -78,9 +89,9 @@ pub(crate) fn search(
         budget,
         stats,
         pts: PointsToSet::new(),
-        flds_seen: HashSet::new(),
-        seen: HashSet::new(),
-        wl: Vec::new(),
+        flds_seen: FxHashSet::default(),
+        seen: &mut scratch.seen,
+        wl: &mut scratch.wl,
     };
     let init = (
         pag.var_node(start),
@@ -107,9 +118,9 @@ struct SearchCx<'a, 'p> {
     budget: &'a mut Budget,
     stats: &'a mut QueryStats,
     pts: PointsToSet,
-    flds_seen: HashSet<EdgeId>,
-    seen: HashSet<(NodeId, FieldStackId, Direction, CtxId)>,
-    wl: Vec<(NodeId, FieldStackId, Direction, CtxId)>,
+    flds_seen: FxHashSet<EdgeId>,
+    seen: &'a mut FxHashSet<(NodeId, FieldStackId, Direction, CtxId)>,
+    wl: &'a mut Vec<(NodeId, FieldStackId, Direction, CtxId)>,
 }
 
 impl SearchCx<'_, '_> {
@@ -144,63 +155,57 @@ impl SearchCx<'_, '_> {
         Ok(())
     }
 
-    /// Backward (`pointsTo`) transitions: in-edges of `u`.
+    /// Backward (`pointsTo`) transitions: in-edges of `u`, one kind
+    /// segment at a time (no edge-arena indirection, no per-edge `match`).
     fn s1(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), BudgetExceeded> {
+        let pag = self.pag;
         let mut saw_new = false;
-        for &eid in self.pag.in_edges(u) {
-            let e = *self.pag.edge(eid);
-            match e.kind {
-                EdgeKind::New => {
+        for &a in pag.in_seg(u, AdjClass::New) {
+            self.charge()?;
+            if f.is_empty() {
+                if let NodeRef::Obj(o) = pag.node_ref(a.node) {
+                    self.pts.insert(o, c);
+                }
+            } else {
+                saw_new = true;
+            }
+        }
+        for &a in pag.in_seg(u, AdjClass::Assign) {
+            self.charge()?;
+            self.propagate(a.node, f, Direction::S1, c);
+        }
+        for &a in pag.in_seg(u, AdjClass::Load) {
+            if self.refinement.is_refined(a.edge) {
+                // Field-sensitive: push the pending field and resolve
+                // the base (Algorithm 1's alias branch).
+                self.charge()?;
+                let f2 = self.push_field(f, a.field())?;
+                self.propagate(a.node, f2, Direction::S1, c);
+            } else {
+                // Field-based match edge: jump straight to every store
+                // of the field, clearing the context (Algorithm 1
+                // lines 15–17).
+                self.flds_seen.insert(a.edge);
+                for &st in pag.stores_of(a.field()) {
                     self.charge()?;
-                    if f.is_empty() {
-                        let NodeRef::Obj(o) = self.pag.node_ref(e.src) else {
-                            continue;
-                        };
-                        self.pts.insert(o, c);
-                    } else {
-                        saw_new = true;
-                    }
+                    self.propagate(st.src, f, Direction::S1, ctx_clear());
                 }
-                EdgeKind::Assign => {
-                    self.charge()?;
-                    self.propagate(e.src, f, Direction::S1, c);
-                }
-                EdgeKind::AssignGlobal => {
-                    self.charge()?;
-                    self.propagate(e.src, f, Direction::S1, ctx_clear());
-                }
-                EdgeKind::Exit(i) => {
-                    self.charge()?;
-                    if let Some(c2) = ctx_push(self.ctxs, c, i, self.pag, self.config)? {
-                        self.propagate(e.src, f, Direction::S1, c2);
-                    }
-                }
-                EdgeKind::Entry(i) => {
-                    self.charge()?;
-                    if let Some(c2) = ctx_pop(self.ctxs, c, i, self.pag, self.config)? {
-                        self.propagate(e.src, f, Direction::S1, c2);
-                    }
-                }
-                EdgeKind::Load(g) => {
-                    if self.refinement.is_refined(eid) {
-                        // Field-sensitive: push the pending field and
-                        // resolve the base (Algorithm 1's alias branch).
-                        self.charge()?;
-                        let f2 = self.push_field(f, g)?;
-                        self.propagate(e.src, f2, Direction::S1, c);
-                    } else {
-                        // Field-based match edge: jump straight to every
-                        // store of the field, clearing the context
-                        // (Algorithm 1 lines 15–17).
-                        self.flds_seen.insert(eid);
-                        for &sid in self.pag.stores_of(g) {
-                            self.charge()?;
-                            let st = *self.pag.edge(sid);
-                            self.propagate(st.src, f, Direction::S1, ctx_clear());
-                        }
-                    }
-                }
-                EdgeKind::Store(_) => {}
+            }
+        }
+        for &a in pag.in_seg(u, AdjClass::AssignGlobal) {
+            self.charge()?;
+            self.propagate(a.node, f, Direction::S1, ctx_clear());
+        }
+        for &a in pag.in_seg(u, AdjClass::Entry) {
+            self.charge()?;
+            if let Some(c2) = ctx_pop(self.ctxs, c, a.site(), pag, self.config)? {
+                self.propagate(a.node, f, Direction::S1, c2);
+            }
+        }
+        for &a in pag.in_seg(u, AdjClass::Exit) {
+            self.charge()?;
+            if let Some(c2) = ctx_push(self.ctxs, c, a.site(), pag, self.config)? {
+                self.propagate(a.node, f, Direction::S1, c2);
             }
         }
         if saw_new {
@@ -214,71 +219,62 @@ impl SearchCx<'_, '_> {
     /// Forward (`flowsTo`) transitions: out-edges of `u`, plus the
     /// in-store pop.
     fn s2(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), BudgetExceeded> {
-        for &eid in self.pag.out_edges(u) {
-            let e = *self.pag.edge(eid);
-            match e.kind {
-                EdgeKind::Assign => {
-                    self.charge()?;
-                    self.propagate(e.dst, f, Direction::S2, c);
-                }
-                EdgeKind::AssignGlobal => {
-                    self.charge()?;
-                    self.propagate(e.dst, f, Direction::S2, ctx_clear());
-                }
-                EdgeKind::Entry(i) => {
-                    self.charge()?;
-                    if let Some(c2) = ctx_push(self.ctxs, c, i, self.pag, self.config)? {
-                        self.propagate(e.dst, f, Direction::S2, c2);
-                    }
-                }
-                EdgeKind::Exit(i) => {
-                    self.charge()?;
-                    if let Some(c2) = ctx_pop(self.ctxs, c, i, self.pag, self.config)? {
-                        self.propagate(e.dst, f, Direction::S2, c2);
-                    }
-                }
-                EdgeKind::Load(g) => {
-                    // Forward over a load matches the pending field —
-                    // only when that load is explored field-sensitively.
-                    if self.refinement.is_refined(eid) && self.fields.peek(f) == Some(g) {
-                        self.charge()?;
-                        let (_, rest) = self.fields.pop(f).expect("peeked");
-                        self.propagate(e.dst, rest, Direction::S2, c);
-                    }
-                }
-                EdgeKind::Store(g) => {
-                    // Unrefined loads of `g` pair with this store via the
-                    // match edge (field-based, context cleared).
-                    let mut any_refined = false;
-                    let loads: Vec<EdgeId> = self.pag.loads_of(g).to_vec();
-                    for lid in loads {
-                        if self.refinement.is_refined(lid) {
-                            any_refined = true;
-                        } else {
-                            self.flds_seen.insert(lid);
-                            self.charge()?;
-                            let le = *self.pag.edge(lid);
-                            self.propagate(le.dst, f, Direction::S2, ctx_clear());
-                        }
-                    }
-                    // The precise alias detour feeds the refined loads.
-                    if any_refined {
-                        self.charge()?;
-                        let f2 = self.push_field(f, g)?;
-                        self.propagate(e.dst, f2, Direction::S1, c);
-                    }
-                }
-                EdgeKind::New => {}
+        let pag = self.pag;
+        for &a in pag.out_seg(u, AdjClass::Assign) {
+            self.charge()?;
+            self.propagate(a.node, f, Direction::S2, c);
+        }
+        for &a in pag.out_seg(u, AdjClass::Load) {
+            // Forward over a load matches the pending field — only when
+            // that load is explored field-sensitively.
+            if self.refinement.is_refined(a.edge) && self.fields.peek(f) == Some(a.field()) {
+                self.charge()?;
+                let (_, rest) = self.fields.pop(f).expect("peeked");
+                self.propagate(a.node, rest, Direction::S2, c);
             }
         }
-        for &eid in self.pag.in_edges(u) {
-            let e = *self.pag.edge(eid);
-            if let EdgeKind::Store(g) = e.kind {
-                if self.fields.peek(f) == Some(g) {
+        for &a in pag.out_seg(u, AdjClass::Store) {
+            // Unrefined loads of the field pair with this store via the
+            // match edge (field-based, context cleared).
+            let g = a.field();
+            let mut any_refined = false;
+            for &le in pag.loads_of(g) {
+                if self.refinement.is_refined(le.edge) {
+                    any_refined = true;
+                } else {
+                    self.flds_seen.insert(le.edge);
                     self.charge()?;
-                    let (_, rest) = self.fields.pop(f).expect("peeked");
-                    self.propagate(e.src, rest, Direction::S1, c);
+                    self.propagate(le.dst, f, Direction::S2, ctx_clear());
                 }
+            }
+            // The precise alias detour feeds the refined loads.
+            if any_refined {
+                self.charge()?;
+                let f2 = self.push_field(f, g)?;
+                self.propagate(a.node, f2, Direction::S1, c);
+            }
+        }
+        for &a in pag.out_seg(u, AdjClass::AssignGlobal) {
+            self.charge()?;
+            self.propagate(a.node, f, Direction::S2, ctx_clear());
+        }
+        for &a in pag.out_seg(u, AdjClass::Entry) {
+            self.charge()?;
+            if let Some(c2) = ctx_push(self.ctxs, c, a.site(), pag, self.config)? {
+                self.propagate(a.node, f, Direction::S2, c2);
+            }
+        }
+        for &a in pag.out_seg(u, AdjClass::Exit) {
+            self.charge()?;
+            if let Some(c2) = ctx_pop(self.ctxs, c, a.site(), pag, self.config)? {
+                self.propagate(a.node, f, Direction::S2, c2);
+            }
+        }
+        for &a in pag.in_seg(u, AdjClass::Store) {
+            if self.fields.peek(f) == Some(a.field()) {
+                self.charge()?;
+                let (_, rest) = self.fields.pop(f).expect("peeked");
+                self.propagate(a.node, rest, Direction::S1, c);
             }
         }
         Ok(())
@@ -293,6 +289,7 @@ mod tests {
     fn run_all(pag: &Pag, v: VarId) -> PointsToSet {
         let mut fields = StackPool::new();
         let mut ctxs = StackPool::new();
+        let mut scratch = SearchScratch::default();
         let config = EngineConfig::unlimited();
         let mut budget = Budget::unlimited();
         let mut stats = QueryStats::default();
@@ -300,6 +297,7 @@ mod tests {
             pag,
             &mut fields,
             &mut ctxs,
+            &mut scratch,
             &config,
             Refinement::All,
             v,
@@ -370,9 +368,10 @@ mod tests {
 
         // Field-based (nothing refined): o1 and o2, and the load edge is
         // recorded in fldsSeen.
-        let refined = HashSet::new();
+        let refined = FxHashSet::default();
         let mut fields = StackPool::new();
         let mut ctxs = StackPool::new();
+        let mut scratch = SearchScratch::default();
         let config = EngineConfig::unlimited();
         let mut budget = Budget::unlimited();
         let mut stats = QueryStats::default();
@@ -380,6 +379,7 @@ mod tests {
             &pag,
             &mut fields,
             &mut ctxs,
+            &mut scratch,
             &config,
             Refinement::Only(&refined),
             y,
@@ -448,6 +448,7 @@ mod tests {
 
         let mut fields = StackPool::new();
         let mut ctxs = StackPool::new();
+        let mut scratch = SearchScratch::default();
         let config = EngineConfig {
             context_sensitive: false,
             ..EngineConfig::unlimited()
@@ -458,6 +459,7 @@ mod tests {
             &pag,
             &mut fields,
             &mut ctxs,
+            &mut scratch,
             &config,
             Refinement::All,
             r1,
@@ -482,6 +484,7 @@ mod tests {
         let pag = b.finish();
         let mut fields = StackPool::new();
         let mut ctxs = StackPool::new();
+        let mut scratch = SearchScratch::default();
         let config = EngineConfig::default();
         let mut budget = Budget::new(5);
         let mut stats = QueryStats::default();
@@ -489,6 +492,7 @@ mod tests {
             &pag,
             &mut fields,
             &mut ctxs,
+            &mut scratch,
             &config,
             Refinement::All,
             prev,

@@ -17,18 +17,18 @@
 //! *every* boundary node whether or not any query ever reaches it, which
 //! is why Figure 5 shows DYNSUM computing only 37–48% as many summaries.
 
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, QueryResult, QueryStats, StackPool,
-    StepKind, Trace,
+    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashMap, FxHashSet, QueryResult,
+    QueryStats, StackPool, StepKind, Trace,
 };
-use dynsum_pag::{CallSiteId, EdgeKind, FieldId, NodeId, NodeRef, ObjId, Pag, VarId};
+use dynsum_pag::{AdjClass, CallSiteId, FieldId, NodeId, NodeRef, ObjId, Pag, VarId};
 
-use crate::driver::drive;
+use crate::driver::{drive, DriveScratch};
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
 use crate::ppta;
+use crate::ppta::PptaScratch;
 use crate::summary::Summary;
 
 /// Precomputation options for STASUM.
@@ -111,8 +111,10 @@ pub struct StaSum<'p> {
     ctxs: StackPool<CallSiteId>,
     config: EngineConfig,
     options: StaSumOptions,
-    rel: HashMap<(NodeId, Direction), Rc<RelSummary>>,
+    rel: FxHashMap<(NodeId, Direction), Rc<RelSummary>>,
     stats: StaSumStats,
+    scratch: DriveScratch,
+    ppta_scratch: PptaScratch,
 }
 
 impl<'p> StaSum<'p> {
@@ -129,8 +131,10 @@ impl<'p> StaSum<'p> {
             ctxs: StackPool::new(),
             config,
             options,
-            rel: HashMap::new(),
+            rel: FxHashMap::default(),
             stats: StaSumStats::default(),
+            scratch: DriveScratch::default(),
+            ppta_scratch: PptaScratch::default(),
         };
         this.run_precompute();
         this
@@ -161,7 +165,7 @@ impl<'p> StaSum<'p> {
             options: &self.options,
             max_have_depth: self.config.max_field_depth,
             budget: Budget::new(self.options.node_budget),
-            visited: HashSet::new(),
+            visited: FxHashSet::default(),
             out: RelSummary::default(),
             edges: 0,
         };
@@ -197,6 +201,7 @@ impl<'p> StaSum<'p> {
         let config = self.config;
         let options = self.options;
         let rel = &self.rel;
+        let ppta_scratch = &mut self.ppta_scratch;
         let mut provider = |fields: &mut StackPool<FieldId>,
                             budget: &mut Budget,
                             stats: &mut QueryStats,
@@ -214,13 +219,14 @@ impl<'p> StaSum<'p> {
             // (truncated/aborted): concrete PPTA, not memorized — STASUM
             // is static, it learns nothing new at query time.
             stats.cache_misses += 1;
-            let sum = ppta::compute(pag, fields, &config, budget, stats, u, f, s)?;
+            let sum = ppta::compute(pag, fields, ppta_scratch, &config, budget, stats, u, f, s)?;
             Ok((Rc::new(sum), StepKind::PptaComputed))
         };
         drive(
             pag,
             &mut self.fields,
             &mut self.ctxs,
+            &mut self.scratch,
             &config,
             pag.var_node(v),
             c0,
@@ -304,7 +310,7 @@ struct RelPpta<'a, 'p> {
     options: &'a StaSumOptions,
     max_have_depth: usize,
     budget: Budget,
-    visited: HashSet<(NodeId, FieldStackId, FieldStackId, Direction, bool)>,
+    visited: FxHashSet<(NodeId, FieldStackId, FieldStackId, Direction, bool)>,
     out: RelSummary,
     edges: u64,
 }
@@ -378,39 +384,29 @@ impl RelPpta<'_, '_> {
         strict: bool,
     ) -> Result<(), BudgetExceeded> {
         let mut saw_new = false;
-        for &eid in self.pag.in_edges(u) {
-            let e = *self.pag.edge(eid);
-            match e.kind {
-                EdgeKind::New => {
-                    self.charge()?;
-                    if have.is_empty() {
-                        // The object applies when the concrete stack is
-                        // empty here, i.e. the arriving stack is exactly
-                        // `need` — impossible under a pending strictness
-                        // constraint.
-                        if !strict {
-                            let NodeRef::Obj(o) = self.pag.node_ref(e.src) else {
-                                continue;
-                            };
-                            self.out.objs.push((o, need));
-                        }
-                        // The alias detour covers strictly deeper stacks.
-                        saw_new = true;
-                    } else {
-                        saw_new = true;
+        for &a in self.pag.in_seg(u, AdjClass::New) {
+            self.charge()?;
+            if have.is_empty() {
+                // The object applies when the concrete stack is empty
+                // here, i.e. the arriving stack is exactly `need` —
+                // impossible under a pending strictness constraint.
+                if !strict {
+                    if let NodeRef::Obj(o) = self.pag.node_ref(a.node) {
+                        self.out.objs.push((o, need));
                     }
                 }
-                EdgeKind::Assign => {
-                    self.charge()?;
-                    self.go(e.src, need, have, Direction::S1, strict)?;
-                }
-                EdgeKind::Load(g) => {
-                    self.charge()?;
-                    let have2 = self.rel_push(have, g)?;
-                    self.go(e.src, need, have2, Direction::S1, strict)?;
-                }
-                _ => {}
             }
+            // The alias detour covers strictly deeper stacks.
+            saw_new = true;
+        }
+        for &a in self.pag.in_seg(u, AdjClass::Assign) {
+            self.charge()?;
+            self.go(a.node, need, have, Direction::S1, strict)?;
+        }
+        for &a in self.pag.in_seg(u, AdjClass::Load) {
+            self.charge()?;
+            let have2 = self.rel_push(have, a.field())?;
+            self.go(a.node, need, have2, Direction::S1, strict)?;
         }
         if saw_new {
             self.charge()?;
@@ -436,38 +432,29 @@ impl RelPpta<'_, '_> {
         have: FieldStackId,
         strict: bool,
     ) -> Result<(), BudgetExceeded> {
-        for &eid in self.pag.out_edges(u) {
-            let e = *self.pag.edge(eid);
-            match e.kind {
-                EdgeKind::Assign => {
-                    self.charge()?;
-                    self.go(e.dst, need, have, Direction::S2, strict)?;
-                }
-                EdgeKind::Load(g) => {
-                    if let Some((n2, h2, st2)) = self.rel_pop(need, have, g, strict) {
-                        self.charge()?;
-                        self.go(e.dst, n2, h2, Direction::S2, st2)?;
-                    }
-                }
-                EdgeKind::Store(g) => {
-                    // Same gate as concrete PPTA: a store detour is only
-                    // useful when some load of the field exists.
-                    if !self.pag.loads_of(g).is_empty() {
-                        self.charge()?;
-                        let have2 = self.rel_push(have, g)?;
-                        self.go(e.dst, need, have2, Direction::S1, strict)?;
-                    }
-                }
-                _ => {}
+        for &a in self.pag.out_seg(u, AdjClass::Assign) {
+            self.charge()?;
+            self.go(a.node, need, have, Direction::S2, strict)?;
+        }
+        for &a in self.pag.out_seg(u, AdjClass::Load) {
+            if let Some((n2, h2, st2)) = self.rel_pop(need, have, a.field(), strict) {
+                self.charge()?;
+                self.go(a.node, n2, h2, Direction::S2, st2)?;
             }
         }
-        for &eid in self.pag.in_edges(u) {
-            let e = *self.pag.edge(eid);
-            if let EdgeKind::Store(g) = e.kind {
-                if let Some((n2, h2, st2)) = self.rel_pop(need, have, g, strict) {
-                    self.charge()?;
-                    self.go(e.src, n2, h2, Direction::S1, st2)?;
-                }
+        for &a in self.pag.out_seg(u, AdjClass::Store) {
+            // Same gate as concrete PPTA: a store detour is only useful
+            // when some load of the field exists.
+            if !self.pag.loads_of(a.field()).is_empty() {
+                self.charge()?;
+                let have2 = self.rel_push(have, a.field())?;
+                self.go(a.node, need, have2, Direction::S1, strict)?;
+            }
+        }
+        for &a in self.pag.in_seg(u, AdjClass::Store) {
+            if let Some((n2, h2, st2)) = self.rel_pop(need, have, a.field(), strict) {
+                self.charge()?;
+                self.go(a.node, n2, h2, Direction::S1, st2)?;
             }
         }
         if self.pag.has_global_out(u) {

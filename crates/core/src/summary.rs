@@ -1,9 +1,8 @@
 //! Partial points-to summaries and the cross-query summary cache.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use dynsum_cfl::{Direction, FieldStackId};
+use dynsum_cfl::{Direction, FieldStackId, FxHashMap};
 use dynsum_pag::{NodeId, ObjId, Pag};
 
 /// The result of one partial points-to analysis (Algorithm 3): everything
@@ -33,17 +32,24 @@ impl Summary {
     /// direction needs (the driver skips PPTA entirely for such nodes,
     /// §4.3).
     pub fn trivial(pag: &Pag, node: NodeId, fstack: FieldStackId, dir: Direction) -> Summary {
-        let boundary = match dir {
-            Direction::S1 => pag.has_global_in(node),
-            Direction::S2 => pag.has_global_out(node),
-        };
         Summary {
             objs: Vec::new(),
-            boundaries: if boundary {
+            boundaries: if Summary::trivial_has_boundary(pag, node, dir) {
                 vec![(node, fstack, dir)]
             } else {
                 Vec::new()
             },
+        }
+    }
+
+    /// `true` when [`trivial`](Self::trivial) would carry a boundary —
+    /// callers use this to hand out a shared empty summary instead of
+    /// allocating when it would not.
+    #[inline]
+    pub fn trivial_has_boundary(pag: &Pag, node: NodeId, dir: Direction) -> bool {
+        match dir {
+            Direction::S1 => pag.has_global_in(node),
+            Direction::S2 => pag.has_global_out(node),
         }
     }
 
@@ -67,7 +73,9 @@ pub type SummaryKey = (NodeId, FieldStackId, Direction);
 /// count is the quantity compared against STASUM in Figure 5.
 #[derive(Debug, Default, Clone)]
 pub struct SummaryCache {
-    map: HashMap<SummaryKey, Rc<Summary>>,
+    // Keyed by dense in-tree ids: safe (and much cheaper) under the
+    // non-DoS-resistant fast hasher.
+    map: FxHashMap<SummaryKey, Rc<Summary>>,
     hits: u64,
     misses: u64,
 }

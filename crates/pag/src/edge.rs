@@ -104,6 +104,106 @@ pub struct Edge {
     pub kind: EdgeKind,
 }
 
+/// The segment class of an adjacency entry: one per [`EdgeKind`]
+/// constructor, with the **local** classes first so locality checks are
+/// single range comparisons on the segment table.
+///
+/// The frozen [`Pag`](crate::Pag) stores each node's adjacency sorted by
+/// this class, so the traversal engines iterate exactly the kinds they
+/// handle — no per-edge `match` in the inner loops.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u32)]
+pub enum AdjClass {
+    /// `new` edges.
+    New = 0,
+    /// Local `assign` edges.
+    Assign = 1,
+    /// `load(f)` edges.
+    Load = 2,
+    /// `store(f)` edges.
+    Store = 3,
+    /// `assignglobal` edges.
+    AssignGlobal = 4,
+    /// `entry_i` edges.
+    Entry = 5,
+    /// `exit_i` edges.
+    Exit = 6,
+}
+
+impl AdjClass {
+    /// Number of classes (segments per node and direction).
+    pub const COUNT: usize = 7;
+
+    /// All classes, in segment storage order.
+    pub const ALL: [AdjClass; AdjClass::COUNT] = [
+        AdjClass::New,
+        AdjClass::Assign,
+        AdjClass::Load,
+        AdjClass::Store,
+        AdjClass::AssignGlobal,
+        AdjClass::Entry,
+        AdjClass::Exit,
+    ];
+
+    /// First global class: classes `< LOCAL_END` are the local kinds.
+    pub(crate) const LOCAL_END: usize = 4;
+
+    /// The class of an edge kind.
+    #[inline]
+    pub fn of(kind: EdgeKind) -> AdjClass {
+        match kind {
+            EdgeKind::New => AdjClass::New,
+            EdgeKind::Assign => AdjClass::Assign,
+            EdgeKind::Load(_) => AdjClass::Load,
+            EdgeKind::Store(_) => AdjClass::Store,
+            EdgeKind::AssignGlobal => AdjClass::AssignGlobal,
+            EdgeKind::Entry(_) => AdjClass::Entry,
+            EdgeKind::Exit(_) => AdjClass::Exit,
+        }
+    }
+}
+
+/// One entry of a node's kind-partitioned adjacency: the far endpoint and
+/// the edge's operand, stored inline so traversal never touches the edge
+/// arena. 12 bytes, `Copy`.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Adj {
+    /// The far endpoint: `dst` in out-adjacency, `src` in in-adjacency.
+    pub node: NodeId,
+    /// Kind operand (field / call-site raw id; 0 for operand-less kinds).
+    pub(crate) operand: u32,
+    /// The underlying edge in [`Pag::edges`](crate::Pag::edges).
+    pub edge: EdgeId,
+}
+
+impl Adj {
+    /// The field label — only meaningful in `Load`/`Store` segments.
+    #[inline]
+    pub fn field(self) -> FieldId {
+        FieldId::from_raw(self.operand)
+    }
+
+    /// The call site — only meaningful in `Entry`/`Exit` segments.
+    #[inline]
+    pub fn site(self) -> CallSiteId {
+        CallSiteId::from_raw(self.operand)
+    }
+}
+
+/// A `store(f)`/`load(f)` edge with both endpoints inline, as kept in the
+/// per-field edge lists ([`Pag::stores_of`](crate::Pag::stores_of) /
+/// [`Pag::loads_of`](crate::Pag::loads_of)); the match-edge expansions
+/// iterate these without touching the edge arena.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct FieldEdge {
+    /// Source node (the stored value / the load base).
+    pub src: NodeId,
+    /// Destination node (the store base / the loaded-into variable).
+    pub dst: NodeId,
+    /// The underlying edge.
+    pub edge: EdgeId,
+}
+
 /// Index of an edge in the frozen graph's edge arena.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub(crate) u32);

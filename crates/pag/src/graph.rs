@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::edge::{Edge, EdgeId, EdgeKind};
+use crate::edge::{Adj, AdjClass, Edge, EdgeId, EdgeKind, FieldEdge};
 use crate::ids::{CallSiteId, FieldId, MethodId, ObjId, VarId};
 use crate::node::{CallSiteInfo, MethodInfo, NodeId, NodeRef, ObjInfo, VarInfo};
 use crate::stats::PagStats;
@@ -43,21 +43,21 @@ pub struct Pag {
     pub(crate) call_sites: Vec<CallSiteInfo>,
     pub(crate) edges: Vec<Edge>,
 
-    // CSR adjacency over the dense node space (vars then objects).
-    out_index: Vec<u32>,
-    out_list: Vec<EdgeId>,
-    in_index: Vec<u32>,
-    in_list: Vec<EdgeId>,
+    // Kind-partitioned CSR adjacency over the dense node space (vars then
+    // objects): node `n`'s out-adjacency of class `k` is
+    // `out_list[out_seg[n*7+k] .. out_seg[n*7+k+1]]`, with the edge
+    // payload (far endpoint + operand) inline in the `Adj` entries. The
+    // segment tables double as the per-node classification bits
+    // (`has_global_in` etc. are range-emptiness checks).
+    out_seg: Vec<u32>,
+    out_list: Vec<Adj>,
+    in_seg: Vec<u32>,
+    in_list: Vec<Adj>,
 
-    // Per-node precomputed classification bits.
-    has_global_in: Vec<bool>,
-    has_global_out: Vec<bool>,
-    has_local_edge: Vec<bool>,
-
-    // Field-indexed store/load edge lists (REFINEPTS pairs loads with all
-    // stores of the same field).
-    stores_by_field: Vec<Vec<EdgeId>>,
-    loads_by_field: Vec<Vec<EdgeId>>,
+    // Field-indexed store/load edge lists with endpoints inline
+    // (REFINEPTS pairs loads with all stores of the same field).
+    stores_by_field: Vec<Vec<FieldEdge>>,
+    loads_by_field: Vec<Vec<FieldEdge>>,
 
     // Grouping of locals / allocation sites per method.
     method_locals: Vec<Vec<VarId>>,
@@ -175,52 +175,73 @@ impl Pag {
         &self.edges
     }
 
-    /// Ids of edges leaving `n` (value flows out of `n`).
     #[inline]
-    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
-        let lo = self.out_index[n.index()] as usize;
-        let hi = self.out_index[n.index() + 1] as usize;
-        &self.out_list[lo..hi]
+    fn seg_slice<'a>(seg: &[u32], list: &'a [Adj], n: NodeId, lo: usize, hi: usize) -> &'a [Adj] {
+        let base = n.index() * AdjClass::COUNT;
+        &list[seg[base + lo] as usize..seg[base + hi] as usize]
     }
 
-    /// Ids of edges entering `n` (value flows into `n`).
+    /// Out-adjacency of `n` of one kind class (value flows out of `n`;
+    /// entries carry the destination).
     #[inline]
-    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
-        let lo = self.in_index[n.index()] as usize;
-        let hi = self.in_index[n.index() + 1] as usize;
-        &self.in_list[lo..hi]
+    pub fn out_seg(&self, n: NodeId, k: AdjClass) -> &[Adj] {
+        Self::seg_slice(&self.out_seg, &self.out_list, n, k as usize, k as usize + 1)
+    }
+
+    /// In-adjacency of `n` of one kind class (value flows into `n`;
+    /// entries carry the source).
+    #[inline]
+    pub fn in_seg(&self, n: NodeId, k: AdjClass) -> &[Adj] {
+        Self::seg_slice(&self.in_seg, &self.in_list, n, k as usize, k as usize + 1)
+    }
+
+    /// All out-adjacency entries of `n`, sorted by kind class.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[Adj] {
+        Self::seg_slice(&self.out_seg, &self.out_list, n, 0, AdjClass::COUNT)
+    }
+
+    /// All in-adjacency entries of `n`, sorted by kind class.
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[Adj] {
+        Self::seg_slice(&self.in_seg, &self.in_list, n, 0, AdjClass::COUNT)
     }
 
     /// `true` if some global edge flows *into* `n` — the S1 boundary test
-    /// of Algorithm 3 (line 15).
+    /// of Algorithm 3 (line 15). A range-emptiness check on the segment
+    /// table (the global classes are contiguous).
     #[inline]
     pub fn has_global_in(&self, n: NodeId) -> bool {
-        self.has_global_in[n.index()]
+        let base = n.index() * AdjClass::COUNT;
+        self.in_seg[base + AdjClass::LOCAL_END] != self.in_seg[base + AdjClass::COUNT]
     }
 
     /// `true` if some global edge flows *out of* `n` — the S2 boundary
     /// test of Algorithm 3 (line 28).
     #[inline]
     pub fn has_global_out(&self, n: NodeId) -> bool {
-        self.has_global_out[n.index()]
+        let base = n.index() * AdjClass::COUNT;
+        self.out_seg[base + AdjClass::LOCAL_END] != self.out_seg[base + AdjClass::COUNT]
     }
 
     /// `true` if any local edge touches `n`; when false, the DYNSUM driver
     /// skips the partial points-to analysis entirely (§4.3).
     #[inline]
     pub fn has_local_edge(&self, n: NodeId) -> bool {
-        self.has_local_edge[n.index()]
+        let base = n.index() * AdjClass::COUNT;
+        self.out_seg[base] != self.out_seg[base + AdjClass::LOCAL_END]
+            || self.in_seg[base] != self.in_seg[base + AdjClass::LOCAL_END]
     }
 
     /// All `store(f)` edges for a field, across the whole graph.
     #[inline]
-    pub fn stores_of(&self, f: FieldId) -> &[EdgeId] {
+    pub fn stores_of(&self, f: FieldId) -> &[FieldEdge] {
         &self.stores_by_field[f.index()]
     }
 
     /// All `load(f)` edges for a field, across the whole graph.
     #[inline]
-    pub fn loads_of(&self, f: FieldId) -> &[EdgeId] {
+    pub fn loads_of(&self, f: FieldId) -> &[FieldEdge] {
         &self.loads_by_field[f.index()]
     }
 
@@ -386,47 +407,69 @@ impl Pag {
         edges: Vec<Edge>,
     ) -> Pag {
         let num_nodes = vars.len() + objs.len();
+        const K: usize = AdjClass::COUNT;
 
-        // Counting-sort edges into CSR form, both directions.
-        let mut out_index = vec![0u32; num_nodes + 1];
-        let mut in_index = vec![0u32; num_nodes + 1];
+        // Counting-sort edges into kind-partitioned CSR form, both
+        // directions: one segment per (node, kind class), local classes
+        // first.
+        let operand_of = |kind: EdgeKind| -> u32 {
+            match kind {
+                EdgeKind::Load(f) | EdgeKind::Store(f) => f.as_raw(),
+                EdgeKind::Entry(i) | EdgeKind::Exit(i) => i.as_raw(),
+                EdgeKind::New | EdgeKind::Assign | EdgeKind::AssignGlobal => 0,
+            }
+        };
+        let mut out_seg = vec![0u32; num_nodes * K + 1];
+        let mut in_seg = vec![0u32; num_nodes * K + 1];
         for e in &edges {
-            out_index[e.src.index() + 1] += 1;
-            in_index[e.dst.index() + 1] += 1;
+            let k = AdjClass::of(e.kind) as usize;
+            out_seg[e.src.index() * K + k + 1] += 1;
+            in_seg[e.dst.index() * K + k + 1] += 1;
         }
-        for i in 0..num_nodes {
-            out_index[i + 1] += out_index[i];
-            in_index[i + 1] += in_index[i];
+        for i in 0..num_nodes * K {
+            out_seg[i + 1] += out_seg[i];
+            in_seg[i + 1] += in_seg[i];
         }
-        let mut out_list = vec![EdgeId(0); edges.len()];
-        let mut in_list = vec![EdgeId(0); edges.len()];
-        let mut out_cursor = out_index.clone();
-        let mut in_cursor = in_index.clone();
+        let nil = Adj {
+            node: NodeId(0),
+            operand: 0,
+            edge: EdgeId(0),
+        };
+        let mut out_list = vec![nil; edges.len()];
+        let mut in_list = vec![nil; edges.len()];
+        let mut out_cursor = out_seg.clone();
+        let mut in_cursor = in_seg.clone();
         for (i, e) in edges.iter().enumerate() {
-            let id = EdgeId(i as u32);
-            out_list[out_cursor[e.src.index()] as usize] = id;
-            out_cursor[e.src.index()] += 1;
-            in_list[in_cursor[e.dst.index()] as usize] = id;
-            in_cursor[e.dst.index()] += 1;
+            let edge = EdgeId(i as u32);
+            let operand = operand_of(e.kind);
+            let k = AdjClass::of(e.kind) as usize;
+            let oc = &mut out_cursor[e.src.index() * K + k];
+            out_list[*oc as usize] = Adj {
+                node: e.dst,
+                operand,
+                edge,
+            };
+            *oc += 1;
+            let ic = &mut in_cursor[e.dst.index() * K + k];
+            in_list[*ic as usize] = Adj {
+                node: e.src,
+                operand,
+                edge,
+            };
+            *ic += 1;
         }
 
-        let mut has_global_in = vec![false; num_nodes];
-        let mut has_global_out = vec![false; num_nodes];
-        let mut has_local_edge = vec![false; num_nodes];
         let mut stores_by_field = vec![Vec::new(); fields.len()];
         let mut loads_by_field = vec![Vec::new(); fields.len()];
         for (i, e) in edges.iter().enumerate() {
-            let id = EdgeId(i as u32);
-            if e.kind.is_global() {
-                has_global_out[e.src.index()] = true;
-                has_global_in[e.dst.index()] = true;
-            } else {
-                has_local_edge[e.src.index()] = true;
-                has_local_edge[e.dst.index()] = true;
-            }
+            let fe = FieldEdge {
+                src: e.src,
+                dst: e.dst,
+                edge: EdgeId(i as u32),
+            };
             match e.kind {
-                EdgeKind::Store(f) => stores_by_field[f.index()].push(id),
-                EdgeKind::Load(f) => loads_by_field[f.index()].push(id),
+                EdgeKind::Store(f) => stores_by_field[f.index()].push(fe),
+                EdgeKind::Load(f) => loads_by_field[f.index()].push(fe),
                 _ => {}
             }
         }
@@ -478,13 +521,10 @@ impl Pag {
             objs,
             call_sites,
             edges,
-            out_index,
+            out_seg,
             out_list,
-            in_index,
+            in_seg,
             in_list,
-            has_global_in,
-            has_global_out,
-            has_local_edge,
             stores_by_field,
             loads_by_field,
             method_locals,

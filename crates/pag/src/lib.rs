@@ -13,13 +13,45 @@
 //! * dense-id arenas and an invariant-checking [`PagBuilder`];
 //! * a sealed single-inheritance class [`Hierarchy`] with O(1) subtype
 //!   tests (used by the `SafeCast` client and call resolution);
-//! * precomputed bidirectional adjacency plus the boundary-node bits the
-//!   summarization algorithms need (`has_global_in` / `has_global_out`);
+//! * precomputed bidirectional **kind-partitioned** adjacency plus the
+//!   boundary-node bits the summarization algorithms need
+//!   (`has_global_in` / `has_global_out`);
 //! * [`PagStats`] — the Table 3 statistics (including the *locality*
 //!   metric: the fraction of local edges);
 //! * a line-oriented [text interchange format](crate::text) and
 //!   [DOT export](crate::to_dot);
 //! * structural [validation](crate::validate()).
+//!
+//! ## Performance architecture
+//!
+//! The demand-driven engines spend nearly all of their time iterating
+//! adjacency, so the frozen graph's memory layout is organized around
+//! that loop:
+//!
+//! * **Kind-partitioned CSR.** Each node's adjacency — in both value-flow
+//!   directions — is one contiguous run of [`Adj`] entries, sorted by
+//!   [`AdjClass`] (the seven [`EdgeKind`] constructors, local kinds
+//!   first). A segment table of `num_nodes × 7 + 1` offsets addresses
+//!   the run: [`Pag::out_seg`]`(n, k)` / [`Pag::in_seg`]`(n, k)` are two
+//!   array reads and a slice. The RSM transition loops
+//!   (`dynsum-core`'s search/PPTA/driver) therefore iterate exactly the
+//!   kinds they handle as straight segment scans — no per-edge `match`,
+//!   no branch misprediction on mixed kinds.
+//! * **Inline payload.** An [`Adj`] entry carries the far endpoint, the
+//!   kind operand (field or call site) and the [`EdgeId`] in 12 bytes,
+//!   so traversal never dereferences the [`Edge`] arena; `edges()` /
+//!   `edge()` remain for cold paths (stats, validation, export). The
+//!   per-field [`FieldEdge`] lists ([`Pag::stores_of`] /
+//!   [`Pag::loads_of`]) inline both endpoints for the same reason —
+//!   REFINEPTS's match edges expand through them allocation-free.
+//! * **Derived classification bits.** `has_global_in`/`has_global_out`/
+//!   `has_local_edge` are range-emptiness checks on the segment table
+//!   (the local classes are contiguous, as are the global ones), not
+//!   separate bit vectors.
+//! * **One build pass.** [`PagBuilder::finish`] counting-sorts edges by
+//!   `(node, class)` in O(V·7 + E); the graph stays immutable
+//!   afterwards, which is what makes the shared borrows of segments
+//!   coexist with the engines' mutable traversal state.
 //!
 //! ## Quickstart
 //!
@@ -58,7 +90,7 @@ mod validate;
 
 pub use builder::{BuildError, PagBuilder};
 pub use dot::to_dot;
-pub use edge::{Edge, EdgeId, EdgeKind};
+pub use edge::{Adj, AdjClass, Edge, EdgeId, EdgeKind, FieldEdge};
 pub use graph::Pag;
 pub use ids::{CallSiteId, ClassId, FieldId, MethodId, ObjId, VarId};
 pub use meta::{CastSite, DerefSite, FactoryCandidate, ProgramInfo};

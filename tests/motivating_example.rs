@@ -145,6 +145,33 @@ fn compiled_source_agrees_with_hand_built_graph() {
 }
 
 #[test]
+fn edge_work_is_pinned_on_the_motivating_example() {
+    // Regression pin for `QueryStats::edges_traversed`: performance
+    // refactors of the graph layout and the traversal loops must change
+    // *cost*, never semantics or work accounting. If an intentional
+    // algorithmic change moves these numbers, update them in the same
+    // commit and say why.
+    let m = motivating_pag();
+    let mut dynsum = DynSum::new(&m.pag);
+    assert_eq!(dynsum.points_to(m.s1).stats.edges_traversed, 39);
+    assert_eq!(
+        dynsum.points_to(m.s2).stats.edges_traversed,
+        27,
+        "s2 must reuse s1's summaries (fewer edges than s1's 39)"
+    );
+    let mut norefine = NoRefine::new(&m.pag);
+    assert_eq!(norefine.points_to(m.s1).stats.edges_traversed, 39);
+    assert_eq!(
+        norefine.points_to(m.s2).stats.edges_traversed,
+        39,
+        "NOREFINE memorizes nothing, so s2 repeats the full traversal"
+    );
+    let mut refinepts = RefinePts::new(&m.pag);
+    assert_eq!(refinepts.points_to(m.s1).stats.edges_traversed, 112);
+    assert_eq!(refinepts.points_to(m.s2).stats.edges_traversed, 112);
+}
+
+#[test]
 fn stasum_precomputes_more_than_dynsum_needs() {
     // Figure 5's point, on the smallest possible example.
     let m = motivating_pag();
