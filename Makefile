@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-check bench-report fmt lint clean
+.PHONY: verify build test bench-check bench-report bench-parallel fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -16,9 +16,15 @@ test:
 bench-check:
 	$(CARGO) bench --no-run
 
-# Records the perf trajectory point: medium profile -> BENCH_report.json.
+# Records the perf trajectory point: medium profile -> BENCH_report.json
+# (includes the Session::run_batch scaling series at 1/2/4 threads).
 bench-report:
 	$(CARGO) run --release -p dynsum-bench --bin perf_report -- --profile medium
+
+# The thread-scaling series alone, pushed to 8 workers ->
+# BENCH_report_parallel.json (BENCH_report.json stays the recorded point).
+bench-parallel:
+	$(CARGO) run --release -p dynsum-bench --bin perf_report -- --profile medium --threads 8 --out BENCH_report_parallel.json
 
 fmt:
 	$(CARGO) fmt --all

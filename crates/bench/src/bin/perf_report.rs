@@ -4,14 +4,18 @@
 //!
 //! ```text
 //! perf_report [--profile small|medium] [--out PATH] [--scale F]
-//!             [--seed N] [--budget N] [--bench a,b]
+//!             [--seed N] [--budget N] [--bench a,b] [--threads N]
 //! ```
 //!
 //! `--profile` picks a named workload size (default `medium`); the
 //! explicit generator flags override its choices and mark the report
-//! `custom`.
+//! `custom`. `--threads N` caps the `Session::run_batch` scaling series
+//! at N worker threads (default 4, i.e. points at 1/2/4; `--threads 1`
+//! records the single-thread point only).
 
-use dynsum_bench::{perf_report, render_perf_json, PerfProfile};
+use dynsum_bench::{
+    perf_report_with_threads, render_perf_json, PerfProfile, DEFAULT_THREAD_COUNTS,
+};
 
 fn main() {
     let mut out_path = "BENCH_report.json".to_owned();
@@ -23,6 +27,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut budget: Option<u64> = None;
     let mut benchmarks: Option<Vec<String>> = None;
+    let mut max_threads: usize = *DEFAULT_THREAD_COUNTS.last().unwrap();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -58,6 +63,14 @@ fn main() {
                         .unwrap_or_else(|e| usage(&format!("bad --budget: {e}"))),
                 )
             }
+            "--threads" => {
+                max_threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --threads: {e}")));
+                if max_threads == 0 {
+                    usage("--threads must be at least 1");
+                }
+            }
             "--bench" => {
                 benchmarks = Some(
                     value("--bench")
@@ -86,12 +99,24 @@ fn main() {
         opts.benchmarks = b;
     }
 
+    // Doubling thread counts capped by --threads, always including the
+    // cap itself: --threads 4 -> [1, 2, 4]; --threads 6 -> [1, 2, 4, 6].
+    let mut thread_counts: Vec<usize> = DEFAULT_THREAD_COUNTS
+        .iter()
+        .copied()
+        .chain(std::iter::successors(Some(8usize), |t| t.checked_mul(2)))
+        .take_while(|&t| t <= max_threads)
+        .collect();
+    if thread_counts.last() != Some(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+
     let name = if custom { "custom" } else { profile.name() };
     eprintln!(
-        "perf_report: profile {name}, scale {}, benchmarks {:?}",
+        "perf_report: profile {name}, scale {}, benchmarks {:?}, threads {thread_counts:?}",
         opts.scale, opts.benchmarks
     );
-    let report = perf_report(name, &opts);
+    let report = perf_report_with_threads(name, &opts, &thread_counts);
     let json = render_perf_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -111,13 +136,32 @@ fn main() {
         "  DYNSUM batched NullDeref throughput: {:.1} queries/sec",
         report.dynsum_batch_throughput_qps
     );
+    for p in &report.session_scaling {
+        eprintln!(
+            "  Session::run_batch @ {} thread(s): {:>8.1} q/s  ({:.2}x vs 1 thread, results {})",
+            p.threads,
+            p.qps,
+            p.speedup_vs_1,
+            if p.results_identical {
+                "identical to sequential"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
     eprintln!("wrote {out_path}");
+    // The identity check is a gate, not a footnote: CI runs this binary,
+    // so divergence from the sequential path must fail the build.
+    if report.session_scaling.iter().any(|p| !p.results_identical) {
+        eprintln!("ERROR: Session::run_batch results diverged from the sequential path");
+        std::process::exit(1);
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!(
         "{err}\nusage: perf_report [--profile small|medium] [--out PATH] \
-         [--scale F] [--seed N] [--budget N] [--bench a,b]"
+         [--scale F] [--seed N] [--budget N] [--bench a,b] [--threads N]"
     );
     std::process::exit(2);
 }

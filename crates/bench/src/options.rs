@@ -1,8 +1,13 @@
 //! Experiment options and engine selection.
 
-use dynsum_core::{DemandPointsTo, DynSum, EngineConfig, NoRefine, RefinePts, StaSum};
-use dynsum_pag::Pag;
+use dynsum_core::EngineConfig;
 use dynsum_workloads::{generate, GeneratorOptions, Workload, PROFILES};
+
+/// The engines of Table 2, constructible by name. Lives in
+/// `dynsum-core` since the `Session` API redesign (sessions and the
+/// harness pick engines by the same kind); re-exported here for the
+/// experiment code and its historical users.
+pub use dynsum_core::EngineKind;
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,56 +91,6 @@ impl ExperimentOptions {
             .filter(|p| self.benchmarks.is_empty() || self.benchmarks.iter().any(|b| b == p.name))
             .map(|p| generate(p, &gen_opts))
             .collect()
-    }
-}
-
-/// The engines of Table 2, constructible by name.
-#[derive(Debug, Copy, Clone, PartialEq, Eq)]
-pub enum EngineKind {
-    /// NOREFINE baseline.
-    NoRefine,
-    /// REFINEPTS baseline.
-    RefinePts,
-    /// DYNSUM (the paper's contribution).
-    DynSum,
-    /// STASUM static-summary comparison point.
-    StaSum,
-}
-
-impl EngineKind {
-    /// The three timed engines of Table 4, in the paper's row order.
-    pub const TABLE4: [EngineKind; 3] = [
-        EngineKind::NoRefine,
-        EngineKind::RefinePts,
-        EngineKind::DynSum,
-    ];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::NoRefine => "NOREFINE",
-            EngineKind::RefinePts => "REFINEPTS",
-            EngineKind::DynSum => "DYNSUM",
-            EngineKind::StaSum => "STASUM",
-        }
-    }
-
-    /// Instantiates a fresh engine over `pag`.
-    pub fn build<'p>(self, pag: &'p Pag, config: EngineConfig) -> Box<dyn DemandPointsTo + 'p> {
-        match self {
-            EngineKind::NoRefine => Box::new(NoRefine::with_config(pag, config)),
-            EngineKind::RefinePts => Box::new(RefinePts::with_config(pag, config)),
-            EngineKind::DynSum => Box::new(DynSum::with_config(pag, config)),
-            EngineKind::StaSum => {
-                Box::new(StaSum::precompute_with(pag, config, Default::default()))
-            }
-        }
-    }
-}
-
-impl std::fmt::Display for EngineKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
     }
 }
 

@@ -10,7 +10,10 @@
 
 use std::time::Instant;
 
-use dynsum_clients::{run_batches, run_client, ClientKind};
+use dynsum_cfl::{CtxId, QueryResult};
+use dynsum_clients::{queries_for, run_batches, run_client, ClientKind};
+use dynsum_core::{DemandPointsTo, DynSum, Session, SessionQuery};
+use dynsum_pag::ObjId;
 use dynsum_workloads::SCALABILITY_BENCHMARKS;
 
 use crate::options::{EngineKind, ExperimentOptions};
@@ -118,6 +121,27 @@ pub struct BatchPerf {
     pub batch_queries: Vec<usize>,
 }
 
+/// One point of the `Session::run_batch` thread-scaling series: the
+/// DYNSUM batched NullDeref streams executed on a shared session at a
+/// fixed worker-thread count, with per-query results checked against the
+/// sequential `DemandPointsTo` path.
+#[derive(Debug, Clone)]
+pub struct ThreadScalePerf {
+    /// Worker threads per batch.
+    pub threads: usize,
+    /// Wall-clock milliseconds across all `run_batch` calls.
+    pub wall_ms: f64,
+    /// Queries answered.
+    pub queries: usize,
+    /// Queries answered per wall-clock second.
+    pub qps: f64,
+    /// Throughput relative to the 1-thread session point.
+    pub speedup_vs_1: f64,
+    /// `true` when every query's `(resolved, points-to set)` matched the
+    /// sequential engine byte for byte.
+    pub results_identical: bool,
+}
+
 /// The full perf report.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -131,6 +155,10 @@ pub struct PerfReport {
     pub budget: u64,
     /// Benchmarks measured.
     pub benchmarks: Vec<String>,
+    /// CPUs available to this process when the report was recorded —
+    /// the context for reading `session_scaling` (a 1-CPU host can show
+    /// result-identity but no wall-clock speedup).
+    pub host_parallelism: usize,
     /// Per-engine aggregates, in a fixed order.
     pub engines: Vec<EnginePerf>,
     /// DYNSUM batch series (NullDeref, 10 batches) per benchmark.
@@ -138,6 +166,9 @@ pub struct PerfReport {
     /// The headline metric: DYNSUM queries/sec over the batched
     /// NullDeref streams (cache warm after the first batch).
     pub dynsum_batch_throughput_qps: f64,
+    /// The `Session::run_batch` thread-scaling series over the same
+    /// streams (sharded summary cache, merge-on-join).
+    pub session_scaling: Vec<ThreadScalePerf>,
 }
 
 /// Number of batches in the throughput measurement (§5.3 uses 10).
@@ -151,8 +182,31 @@ pub const PERF_ENGINES: [EngineKind; 4] = [
     EngineKind::StaSum,
 ];
 
-/// Runs the perf experiment for the given options.
+/// The thread counts measured by default in the scaling series.
+pub const DEFAULT_THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Per-query result fingerprint: resolution flag plus the sorted
+/// `(object, allocation context)` pairs. Context ids are comparable
+/// across engines and thread counts because context pools are per-query
+/// scratch (see `StackPool::clear`).
+type ResultFingerprint = (bool, Vec<(ObjId, CtxId)>);
+
+fn fingerprint(r: &QueryResult) -> ResultFingerprint {
+    (r.resolved, r.pts.iter().collect())
+}
+
+/// Runs the perf experiment with the default thread-scaling series.
 pub fn perf_report(profile_name: &str, opts: &ExperimentOptions) -> PerfReport {
+    perf_report_with_threads(profile_name, opts, &DEFAULT_THREAD_COUNTS)
+}
+
+/// Runs the perf experiment, measuring `Session::run_batch` at each of
+/// the given worker-thread counts.
+pub fn perf_report_with_threads(
+    profile_name: &str,
+    opts: &ExperimentOptions,
+    thread_counts: &[usize],
+) -> PerfReport {
     let config = opts.engine_config();
     let workloads = opts.workloads();
 
@@ -218,15 +272,82 @@ pub fn perf_report(profile_name: &str, opts: &ExperimentOptions) -> PerfReport {
         0.0
     };
 
+    // The Session thread-scaling series, against per-query fingerprints
+    // from the sequential DemandPointsTo path (one legacy DynSum engine
+    // per stream, queries in order, cache warm within the stream).
+    let baseline: Vec<Vec<ResultFingerprint>> = workloads
+        .iter()
+        .map(|w| {
+            let mut engine = DynSum::with_config(&w.pag, config);
+            queries_for(ClientKind::NullDeref, &w.info)
+                .iter()
+                .map(|q| fingerprint(&engine.points_to(q.var)))
+                .collect()
+        })
+        .collect();
+    let mut session_scaling = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let mut queries_total = 0usize;
+        let mut secs = 0.0f64;
+        let mut results_identical = true;
+        for (wi, w) in workloads.iter().enumerate() {
+            let mut session = Session::with_config(&w.pag, EngineKind::DynSum, config);
+            let stream = queries_for(ClientKind::NullDeref, &w.info);
+            let mut qi = 0usize;
+            for batch in dynsum_clients::split_batches(stream, PERF_BATCHES) {
+                let sq: Vec<SessionQuery<'_>> =
+                    batch.iter().map(|q| SessionQuery::new(q.var)).collect();
+                let started = Instant::now();
+                let results = session.run_batch(&sq, threads);
+                secs += started.elapsed().as_secs_f64();
+                for r in &results {
+                    if fingerprint(r) != baseline[wi][qi] {
+                        results_identical = false;
+                    }
+                    qi += 1;
+                }
+                queries_total += results.len();
+            }
+        }
+        let qps = if secs > 0.0 {
+            queries_total as f64 / secs
+        } else {
+            0.0
+        };
+        session_scaling.push(ThreadScalePerf {
+            threads,
+            wall_ms: secs * 1e3,
+            queries: queries_total,
+            qps,
+            speedup_vs_1: 0.0,
+            results_identical,
+        });
+    }
+    let base_qps = session_scaling
+        .iter()
+        .find(|p| p.threads == 1)
+        .or(session_scaling.first())
+        .map(|p| p.qps)
+        .unwrap_or(0.0);
+    for point in &mut session_scaling {
+        point.speedup_vs_1 = if base_qps > 0.0 {
+            point.qps / base_qps
+        } else {
+            0.0
+        };
+    }
+
     PerfReport {
         profile: profile_name.to_owned(),
         scale: opts.scale,
         seed: opts.seed,
         budget: opts.budget,
         benchmarks: workloads.iter().map(|w| w.name.clone()).collect(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         engines,
         dynsum_batches,
         dynsum_batch_throughput_qps,
+        session_scaling,
     }
 }
 
@@ -265,6 +386,10 @@ pub fn render_perf_json(r: &PerfReport) -> String {
     out.push_str(&format!("  \"budget\": {},\n", r.budget));
     let benches: Vec<String> = r.benchmarks.iter().map(|b| json_str(b)).collect();
     out.push_str(&format!("  \"benchmarks\": [{}],\n", benches.join(", ")));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        r.host_parallelism
+    ));
     out.push_str("  \"engines\": [\n");
     for (i, e) in r.engines.iter().enumerate() {
         out.push_str("    {\n");
@@ -313,9 +438,31 @@ pub fn render_perf_json(r: &PerfReport) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"dynsum_batch_throughput_qps\": {}\n",
+        "  \"dynsum_batch_throughput_qps\": {},\n",
         json_f64(r.dynsum_batch_throughput_qps)
     ));
+    out.push_str("  \"session_scaling\": [\n");
+    for (i, p) in r.session_scaling.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"threads\": {},\n", p.threads));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(p.wall_ms)));
+        out.push_str(&format!("      \"queries\": {},\n", p.queries));
+        out.push_str(&format!("      \"qps\": {},\n", json_f64(p.qps)));
+        out.push_str(&format!(
+            "      \"speedup_vs_1\": {},\n",
+            json_f64(p.speedup_vs_1)
+        ));
+        out.push_str(&format!(
+            "      \"results_identical_vs_sequential\": {}\n",
+            p.results_identical
+        ));
+        out.push_str(if i + 1 == r.session_scaling.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
@@ -345,8 +492,20 @@ mod tests {
             "DYNSUM must hit its cache on a whole stream"
         );
         assert!(r.dynsum_batch_throughput_qps > 0.0);
+        assert_eq!(r.session_scaling.len(), DEFAULT_THREAD_COUNTS.len());
+        for p in &r.session_scaling {
+            assert!(p.queries > 0);
+            assert!(p.qps > 0.0);
+            assert!(
+                p.results_identical,
+                "threads={} diverged from the sequential path",
+                p.threads
+            );
+        }
 
         let json = render_perf_json(&r);
+        assert!(json.contains("\"session_scaling\""));
+        assert!(json.contains("\"results_identical_vs_sequential\": true"));
         assert!(json.contains("\"DYNSUM\""));
         assert!(json.contains("\"dynsum_batch_throughput_qps\""));
         assert!(json.contains("\"cache_hit_rate\""));

@@ -71,6 +71,33 @@ impl Budget {
         Ok(())
     }
 
+    /// Charges `n` edge traversals at once.
+    ///
+    /// This is the deterministic-accounting primitive behind summary
+    /// reuse: when a cached summary is served instead of being recomputed,
+    /// the engine charges the summary's recorded cold-computation cost in
+    /// one lump, so a query's budget outcome is identical whether the
+    /// summary was reused or recomputed — and therefore independent of
+    /// cache state, query order, and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when the lump does not fit the remaining
+    /// budget, exactly as `n` individual [`charge`](Self::charge) calls
+    /// would have failed partway through. Like `charge`, the failed lump
+    /// is not deducted.
+    #[inline]
+    pub fn charge_n(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        // Saturating: `unlimited()` uses u64::MAX as the limit and must
+        // keep accepting charges without overflowing `used`.
+        let after = self.used.saturating_add(n);
+        if after > self.limit {
+            return Err(BudgetExceeded);
+        }
+        self.used = after;
+        Ok(())
+    }
+
     /// Edge traversals consumed so far.
     #[inline]
     pub fn used(&self) -> u64 {
@@ -134,6 +161,32 @@ mod tests {
         assert!(b.charge().is_err());
         assert_eq!(b.used(), 1);
         assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn lump_charges_match_unit_charges() {
+        // charge_n(n) succeeds exactly when n charge() calls would.
+        let mut lump = Budget::new(5);
+        let mut unit = Budget::new(5);
+        assert!(lump.charge_n(3).is_ok());
+        for _ in 0..3 {
+            unit.charge().unwrap();
+        }
+        assert_eq!(lump.used(), unit.used());
+        assert!(lump.charge_n(3).is_err());
+        assert_eq!(lump.used(), 3, "a failed lump is not deducted");
+        assert!(lump.charge_n(2).is_ok());
+        assert!(lump.charge_n(0).is_ok(), "empty lumps always fit");
+        assert!(lump.charge().is_err());
+    }
+
+    #[test]
+    fn lump_charges_never_overflow_unlimited() {
+        let mut b = Budget::unlimited();
+        b.charge_n(u64::MAX - 1).unwrap();
+        // Saturating accounting: an unlimited budget keeps accepting.
+        assert!(b.charge_n(u64::MAX).is_ok());
+        assert!(b.charge().is_err(), "saturated exactly at the limit");
     }
 
     #[test]

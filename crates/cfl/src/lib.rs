@@ -35,3 +35,26 @@ pub use query::{CtxId, FieldStackId, PointsToSet, QueryResult, QueryStats};
 pub use rsm::Direction;
 pub use stack::{StackId, StackPool};
 pub use trace::{StepKind, Trace, TraceStep};
+
+// The whole CFL substrate is shared by the `Session` API's parallel
+// query handles: every type here must stay `Send + Sync` (no `Rc`, no
+// interior mutability). Compile-time check, so a regression fails the
+// build of this test module rather than a distant downstream crate.
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn substrate_types_cross_threads() {
+        assert_send_sync::<StackPool<u32>>();
+        assert_send_sync::<StackId<u32>>();
+        assert_send_sync::<PointsToSet>();
+        assert_send_sync::<QueryResult>();
+        assert_send_sync::<QueryStats>();
+        assert_send_sync::<Budget>();
+        assert_send_sync::<Trace>();
+        assert_send_sync::<Direction>();
+    }
+}

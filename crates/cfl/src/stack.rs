@@ -185,6 +185,20 @@ impl<E: Copy + Eq + Hash> StackPool<E> {
         out
     }
 
+    /// Forgets every interned stack (the empty stack remains valid),
+    /// keeping the backing allocations for reuse.
+    ///
+    /// Outstanding non-empty [`StackId`]s are invalidated. Engines use
+    /// this to make pools **per-query scratch**: clearing at query start
+    /// makes every interned id a deterministic function of that query
+    /// alone, independent of what was interned by earlier queries — the
+    /// property that lets parallel query batches return results
+    /// byte-identical to sequential execution.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.table.clear();
+    }
+
     /// Interns a stack from elements given bottom-to-top.
     pub fn from_slice(&mut self, elems: &[E]) -> StackId<E> {
         let mut s = StackId::EMPTY;
@@ -215,6 +229,39 @@ impl<E: Copy + Eq + Hash> StackPool<E> {
             cur = self.pop(cur)?.1;
         }
         Some(cur)
+    }
+}
+
+impl<E: Copy + Eq + Hash + Ord> StackPool<E> {
+    /// Content-based total order on two stacks of this pool: by depth,
+    /// then elementwise from the top. Unlike comparing raw [`StackId`]s
+    /// (which reflect interning history), the result depends only on the
+    /// stacks' contents — engines sort summary boundaries with this so
+    /// traversal order, and with it the partial result of an over-budget
+    /// query, is identical in every pool.
+    pub fn cmp_stacks(&self, a: StackId<E>, b: StackId<E>) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            // Hash-consing: equal ids ⟺ equal contents.
+            return Ordering::Equal;
+        }
+        let (da, db) = (self.depth(a), self.depth(b));
+        if da != db {
+            return da.cmp(&db);
+        }
+        let (mut x, mut y) = (a, b);
+        while x != y {
+            let (ex, px) = self.pop(x).expect("equal depth, not exhausted");
+            let (ey, py) = self.pop(y).expect("equal depth, not exhausted");
+            match ex.cmp(&ey) {
+                Ordering::Equal => {
+                    x = px;
+                    y = py;
+                }
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
     }
 }
 
@@ -271,6 +318,45 @@ mod tests {
         assert!(pool.is_top_prefix(s, &[3, 2, 1]));
         assert!(!pool.is_top_prefix(s, &[2]));
         assert!(!pool.is_top_prefix(s, &[3, 2, 1, 0]));
+    }
+
+    #[test]
+    fn content_order_ignores_interning_history() {
+        use std::cmp::Ordering;
+        // Pool 1 interns [2,9] before [1,3]; pool 2 the other way round.
+        let mut p1 = StackPool::new();
+        let hi1 = p1.from_slice(&[2, 9]);
+        let lo1 = p1.from_slice(&[1, 3]);
+        let mut p2 = StackPool::new();
+        let lo2 = p2.from_slice(&[1, 3]);
+        let hi2 = p2.from_slice(&[2, 9]);
+        // Raw ids disagree across pools; content order does not.
+        assert!(hi1.as_raw() < lo1.as_raw());
+        assert!(lo2.as_raw() < hi2.as_raw());
+        assert_eq!(p1.cmp_stacks(lo1, hi1), Ordering::Less);
+        assert_eq!(p2.cmp_stacks(lo2, hi2), Ordering::Less);
+        // Depth dominates; equal ids are equal; top element decides.
+        let short = p1.from_slice(&[9]);
+        assert_eq!(p1.cmp_stacks(short, hi1), Ordering::Less);
+        assert_eq!(p1.cmp_stacks(hi1, hi1), Ordering::Equal);
+        let a = p1.from_slice(&[5, 1]);
+        let b = p1.from_slice(&[4, 2]);
+        assert_eq!(p1.cmp_stacks(a, b), Ordering::Less, "top 1 < top 2");
+    }
+
+    #[test]
+    fn clear_resets_interning_deterministically() {
+        let mut pool = StackPool::new();
+        let a = pool.from_slice(&[7, 8, 9]);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.depth(StackId::EMPTY), 0);
+        // Interning the same sequence after clear yields the same ids as
+        // a fresh pool would.
+        let b = pool.from_slice(&[7, 8, 9]);
+        assert_eq!(a, b);
+        let mut fresh = StackPool::new();
+        assert_eq!(fresh.from_slice(&[7, 8, 9]), b);
     }
 
     #[test]

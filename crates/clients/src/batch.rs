@@ -1,15 +1,25 @@
-//! Query batching — the experimental setup behind Figures 4 and 5.
+//! Query batching — the experimental setup behind Figures 4 and 5, and
+//! the parallel batch runner built on the [`Session`] API.
 //!
 //! §5.3: *"we divide the sequence of queries issued by a client into 10
 //! batches. If a client has `n_q` queries, then each of the first nine
 //! batches contains `⌊n_q/10⌋` queries and the last one gets the rest."*
 //! DYNSUM's summary cache persists across batches, so later batches get
 //! cheaper; the engines without cross-query memorization stay flat.
+//!
+//! [`run_batches`] drives a legacy mutable engine sequentially;
+//! [`run_batches_parallel`] drives a shared [`Session`], fanning each
+//! batch across worker threads with the summary shards merged between
+//! batches — same verdicts and points-to sets, one wall-clock divided by
+//! the thread count.
 
-use dynsum_core::DemandPointsTo;
+use std::time::Instant;
+
+use dynsum_cfl::PointsToSet;
+use dynsum_core::{DemandPointsTo, Session, SessionQuery};
 use dynsum_pag::{Pag, ProgramInfo};
 
-use crate::client::{queries_for, run_queries, ClientKind, Query};
+use crate::client::{queries_for, run_queries, satisfied, verdict, ClientKind, Query, Verdict};
 use crate::report::ClientReport;
 
 /// One batch's outcome, plus the cumulative engine summary count after
@@ -68,6 +78,76 @@ pub fn run_batches(
     out
 }
 
+/// Runs a client's queries in `n` batches against a shared [`Session`],
+/// fanning each batch across up to `threads` worker threads
+/// ([`Session::run_batch`]). Summary shards merge between batches, so
+/// `cumulative_summaries` grows exactly as in the sequential harness —
+/// and verdicts and points-to sets are byte-identical to it at any
+/// thread count.
+pub fn run_batches_parallel(
+    kind: ClientKind,
+    info: &ProgramInfo,
+    session: &mut Session<'_>,
+    n: usize,
+    threads: usize,
+) -> Vec<BatchReport> {
+    let batches = split_batches(queries_for(kind, info), n);
+    let mut out = Vec::with_capacity(batches.len());
+    for (index, batch) in batches.into_iter().enumerate() {
+        let report = run_queries_parallel(kind, &batch, session, threads);
+        out.push(BatchReport {
+            index,
+            cumulative_summaries: session.summary_count(),
+            report,
+        });
+    }
+    out
+}
+
+/// Runs one explicit query list through [`Session::run_batch`],
+/// aggregating verdicts and work counters like
+/// [`run_queries`](crate::client::run_queries) does sequentially.
+fn run_queries_parallel(
+    kind: ClientKind,
+    queries: &[Query],
+    session: &mut Session<'_>,
+    threads: usize,
+) -> ClientReport {
+    // The graph comes from the session itself — sites are always judged
+    // against the PAG the queries actually ran on.
+    let pag = session.pag();
+    let mut report = ClientReport::new(kind, session.engine().name());
+    // Each query gets its own `Sync` predicate; one reference per query
+    // crosses the worker threads.
+    type Check<'a> = Box<dyn Fn(&PointsToSet) -> bool + Sync + 'a>;
+    let checks: Vec<Check<'_>> = queries
+        .iter()
+        .map(|q| {
+            let site = q.site.clone();
+            Box::new(move |pts: &PointsToSet| satisfied(pag, &site, pts)) as Check<'_>
+        })
+        .collect();
+    let batch: Vec<SessionQuery<'_>> = queries
+        .iter()
+        .zip(&checks)
+        .map(|(q, check)| SessionQuery::with_check(q.var, &**check))
+        .collect();
+    let started = Instant::now();
+    let results = session.run_batch(&batch, threads);
+    report.elapsed = started.elapsed();
+    for (q, result) in queries.iter().zip(&results) {
+        report.stats.absorb(&result.stats);
+        match verdict(pag, q, result) {
+            Verdict::Proven => report.proven += 1,
+            Verdict::Refuted => report.refuted += 1,
+            Verdict::Unresolved => report.unresolved += 1,
+        }
+        report.queries += 1;
+    }
+    report.summaries = session.summary_count();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +182,44 @@ mod tests {
         let batches = split_batches(dummy_queries(7), 10);
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].len(), 7);
+    }
+
+    #[test]
+    fn parallel_batches_match_sequential_engine_exactly() {
+        use dynsum_core::{EngineKind, Session};
+        let src = r#"
+            class Box { Object v; void put(Object x) { this.v = x; } Object take() { return this.v; } }
+            class Main {
+                static void main() {
+                    Box b1 = new Box(); b1.put(new Main()); Object o1 = b1.take();
+                    Box b2 = new Box(); b2.put(new Box()); Object o2 = b2.take();
+                    Box b3 = new Box(); b3.put(new String()); Object o3 = b3.take();
+                    Box none = null; Object o4 = none.take();
+                }
+            }
+        "#;
+        let c = compile(src).unwrap();
+        for kind in [EngineKind::DynSum, EngineKind::RefinePts] {
+            let mut engine = kind.build(&c.pag, Default::default());
+            let sequential =
+                run_batches(ClientKind::NullDeref, &c.pag, &c.info, engine.as_mut(), 3);
+            for threads in [1, 2, 4] {
+                let mut session = Session::new(&c.pag, kind);
+                let parallel =
+                    run_batches_parallel(ClientKind::NullDeref, &c.info, &mut session, 3, threads);
+                assert_eq!(parallel.len(), sequential.len());
+                for (p, s) in parallel.iter().zip(&sequential) {
+                    assert_eq!(
+                        (p.report.proven, p.report.refuted, p.report.unresolved),
+                        (s.report.proven, s.report.refuted, s.report.unresolved),
+                        "{kind} threads={threads} batch={}",
+                        p.index
+                    );
+                    assert_eq!(p.report.queries, s.report.queries);
+                    assert_eq!(p.cumulative_summaries, s.cumulative_summaries);
+                }
+            }
+        }
     }
 
     #[test]

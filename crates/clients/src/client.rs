@@ -121,7 +121,7 @@ pub fn queries_for(kind: ClientKind, info: &ProgramInfo) -> Vec<Query> {
 /// The client's satisfaction predicate over a (possibly over-approximate)
 /// points-to set: `true` when the property is already proven, allowing
 /// REFINEPTS to stop refining (Algorithm 2's `satisfyClient`).
-fn satisfied(pag: &Pag, site: &QuerySite, pts: &PointsToSet) -> bool {
+pub(crate) fn satisfied(pag: &Pag, site: &QuerySite, pts: &PointsToSet) -> bool {
     match site {
         QuerySite::Cast { target, .. } => pts.objects().iter().all(|&o| {
             let info = pag.obj(o);

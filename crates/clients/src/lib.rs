@@ -22,6 +22,6 @@ mod batch;
 mod client;
 mod report;
 
-pub use batch::{run_batches, split_batches, BatchReport};
+pub use batch::{run_batches, run_batches_parallel, split_batches, BatchReport};
 pub use client::{queries_for, run_client, verdict, ClientKind, Query, QuerySite, Verdict};
 pub use report::ClientReport;

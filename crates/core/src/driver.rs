@@ -7,7 +7,7 @@
 //! points-to summaries on demand and caches them; STASUM's provider
 //! instantiates precomputed relative summaries.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dynsum_cfl::{
     Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashSet, PointsToSet, QueryResult,
@@ -26,7 +26,7 @@ use crate::summary::Summary;
 pub(crate) struct DriveScratch {
     seen: FxHashSet<(NodeId, FieldStackId, Direction, CtxId)>,
     wl: Vec<(NodeId, FieldStackId, Direction, CtxId)>,
-    empty: Rc<Summary>,
+    empty: Arc<Summary>,
 }
 
 impl Default for DriveScratch {
@@ -34,9 +34,21 @@ impl Default for DriveScratch {
         DriveScratch {
             seen: FxHashSet::default(),
             wl: Vec::new(),
-            empty: Rc::new(Summary::default()),
+            empty: Arc::new(Summary::default()),
         }
     }
+}
+
+/// The complete per-handle working state of the summary-driven engines
+/// (DYNSUM / STASUM): interning pools, driver worklist buffers, and PPTA
+/// scratch. Owned by the legacy engine structs and by
+/// [`Session`](crate::Session) query handles alike.
+#[derive(Debug, Default)]
+pub(crate) struct DriveParts {
+    pub(crate) fields: StackPool<FieldId>,
+    pub(crate) ctxs: StackPool<CallSiteId>,
+    pub(crate) drive: DriveScratch,
+    pub(crate) ppta: crate::ppta::PptaScratch,
 }
 
 /// A source of local-edge summaries for the driver. Called once per
@@ -48,7 +60,7 @@ pub(crate) type SummaryProvider<'a> = dyn FnMut(
         NodeId,
         FieldStackId,
         Direction,
-    ) -> Result<(Rc<Summary>, StepKind), BudgetExceeded>
+    ) -> Result<(Arc<Summary>, StepKind), BudgetExceeded>
     + 'a;
 
 /// Runs Algorithm 4 from `(start, ∅, S1, start_ctx)`.
@@ -92,11 +104,11 @@ pub(crate) fn drive(
             }
         } else if Summary::trivial_has_boundary(pag, u, s) {
             (
-                Rc::new(Summary::trivial(pag, u, f, s)),
+                Arc::new(Summary::trivial(pag, u, f, s)),
                 StepKind::NoLocalEdges,
             )
         } else {
-            (Rc::clone(empty), StepKind::NoLocalEdges)
+            (Arc::clone(empty), StepKind::NoLocalEdges)
         };
 
         if let Some(tr) = trace.as_deref_mut() {

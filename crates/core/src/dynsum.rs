@@ -7,26 +7,113 @@
 //! summaries are context-independent, so a summary computed while
 //! answering one query under one calling context is reused verbatim under
 //! any other context or query — without any precision loss (§4).
+//!
+//! Budget accounting is **deterministic**: a cache hit charges the
+//! summary's recorded cold-computation [cost](crate::Summary::cost) in
+//! one lump instead of re-traversing, so every query's outcome is a pure
+//! function of `(pag, config, query)` — independent of cache state and
+//! query order. This is what lets [`Session::run_batch`](crate::Session)
+//! return results byte-identical to sequential execution while still
+//! reaping the wall-clock benefit of reuse.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, QueryResult, QueryStats, StackPool,
-    StepKind, Trace,
+    Budget, BudgetExceeded, Direction, FieldStackId, QueryResult, QueryStats, StackPool, StepKind,
+    Trace,
 };
 use dynsum_pag::{CallSiteId, FieldId, NodeId, Pag, VarId};
 
-use crate::driver::{drive, DriveScratch};
+use crate::driver::{drive, DriveParts};
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
 use crate::ppta;
-use crate::ppta::PptaScratch;
 use crate::summary::{Summary, SummaryCache};
+
+/// Runs one DYNSUM query over borrowed per-handle state.
+///
+/// `base` is an optional **frozen** shared cache layered under the
+/// mutable `cache` shard: handle-local lookups consult the shard first,
+/// then the base; fresh summaries always land in the shard. The legacy
+/// [`DynSum`] engine passes `base: None` and its own cache as the shard;
+/// [`Session`](crate::Session) query handles pass the session cache as
+/// `base`. Keys are field-stack-pool-relative, so `parts.fields` must be
+/// the pool (or a clone of the pool) the `base` keys were interned in.
+///
+/// The context pool is per-query scratch (cleared here), making the
+/// result — including raw context ids in the points-to set — a
+/// deterministic function of `(pag, config, v, ctx)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dynsum_query(
+    pag: &Pag,
+    config: &EngineConfig,
+    base: Option<&SummaryCache>,
+    cache: &mut SummaryCache,
+    parts: &mut DriveParts,
+    v: VarId,
+    ctx: &[CallSiteId],
+    trace: Option<&mut Trace>,
+) -> QueryResult {
+    let DriveParts {
+        fields,
+        ctxs,
+        drive: drive_scratch,
+        ppta: ppta_scratch,
+    } = parts;
+    ctxs.clear();
+    let c0 = ctxs.from_slice(ctx);
+    let cache_on = config.cache_summaries;
+
+    // Algorithm 4, lines 5–9: the summary provider reuses the cache
+    // or computes a fresh PPTA (Algorithm 3). Partial results of an
+    // over-budget PPTA are never cached, and every reuse charges the
+    // summary's cold cost so budget outcomes are cache-independent.
+    let mut provider = |fields: &mut StackPool<FieldId>,
+                        budget: &mut Budget,
+                        stats: &mut QueryStats,
+                        u: NodeId,
+                        f: FieldStackId,
+                        s: Direction|
+     -> Result<(Arc<Summary>, StepKind), BudgetExceeded> {
+        let key = (u, f, s);
+        if cache_on {
+            if let Some(sum) = cache.get(key).or_else(|| base.and_then(|b| b.get(key))) {
+                cache.record_hit();
+                stats.cache_hits += 1;
+                if config.deterministic_reuse {
+                    budget.charge_n(sum.cost)?;
+                }
+                return Ok((sum, StepKind::PptaReused));
+            }
+            cache.record_miss();
+        }
+        stats.cache_misses += 1;
+        let sum = ppta::compute(pag, fields, ppta_scratch, config, budget, stats, u, f, s)?;
+        let arc = Arc::new(sum);
+        if cache_on {
+            cache.insert(key, Arc::clone(&arc));
+        }
+        Ok((arc, StepKind::PptaComputed))
+    };
+
+    drive(
+        pag,
+        fields,
+        ctxs,
+        drive_scratch,
+        config,
+        pag.var_node(v),
+        c0,
+        &mut provider,
+        trace,
+    )
+}
 
 /// The DYNSUM demand-driven points-to engine.
 ///
 /// Construct once per PAG and issue any number of queries; the summary
 /// cache persists and grows across queries (that persistence is the whole
-/// point — Figures 4 and 5 of the paper measure it).
+/// point — Figures 4 and 5 of the paper measure it). For sharing one
+/// warm cache across threads, see [`Session`](crate::Session).
 ///
 /// # Examples
 ///
@@ -50,14 +137,11 @@ use crate::summary::{Summary, SummaryCache};
 #[derive(Debug)]
 pub struct DynSum<'p> {
     pag: &'p Pag,
-    fields: StackPool<FieldId>,
-    ctxs: StackPool<CallSiteId>,
+    parts: DriveParts,
     cache: SummaryCache,
     config: EngineConfig,
     tracing: bool,
     last_trace: Option<Trace>,
-    scratch: DriveScratch,
-    ppta_scratch: PptaScratch,
 }
 
 impl<'p> DynSum<'p> {
@@ -70,14 +154,11 @@ impl<'p> DynSum<'p> {
     pub fn with_config(pag: &'p Pag, config: EngineConfig) -> Self {
         DynSum {
             pag,
-            fields: StackPool::new(),
-            ctxs: StackPool::new(),
+            parts: DriveParts::default(),
             cache: SummaryCache::new(),
             config,
             tracing: false,
             last_trace: None,
-            scratch: DriveScratch::default(),
-            ppta_scratch: PptaScratch::default(),
         }
     }
 
@@ -135,53 +216,19 @@ impl<'p> DynSum<'p> {
     /// call-site labels from innermost caller outwards (bottom-to-top of
     /// the paper's stack notation).
     pub fn points_to_in(&mut self, v: VarId, ctx: &[CallSiteId]) -> QueryResult {
-        let c0 = self.ctxs.from_slice(ctx);
-        self.run(v, c0)
+        self.run(v, ctx)
     }
 
-    fn run(&mut self, v: VarId, c0: CtxId) -> QueryResult {
-        let pag = self.pag;
-        let config = self.config;
+    fn run(&mut self, v: VarId, ctx: &[CallSiteId]) -> QueryResult {
         let mut trace = self.tracing.then(Trace::new);
-        let cache = &mut self.cache;
-        let ppta_scratch = &mut self.ppta_scratch;
-        let cache_on = config.cache_summaries;
-
-        // Algorithm 4, lines 5–9: the summary provider reuses the cache
-        // or computes a fresh PPTA (Algorithm 3). Partial results of an
-        // over-budget PPTA are never cached.
-        let mut provider = |fields: &mut StackPool<FieldId>,
-                            budget: &mut Budget,
-                            stats: &mut QueryStats,
-                            u: NodeId,
-                            f: FieldStackId,
-                            s: Direction|
-         -> Result<(Rc<Summary>, StepKind), BudgetExceeded> {
-            let key = (u, f, s);
-            if cache_on {
-                if let Some(sum) = cache.lookup(key) {
-                    stats.cache_hits += 1;
-                    return Ok((sum, StepKind::PptaReused));
-                }
-            }
-            stats.cache_misses += 1;
-            let sum = ppta::compute(pag, fields, ppta_scratch, &config, budget, stats, u, f, s)?;
-            let rc = Rc::new(sum);
-            if cache_on {
-                cache.insert(key, Rc::clone(&rc));
-            }
-            Ok((rc, StepKind::PptaComputed))
-        };
-
-        let result = drive(
-            pag,
-            &mut self.fields,
-            &mut self.ctxs,
-            &mut self.scratch,
-            &config,
-            pag.var_node(v),
-            c0,
-            &mut provider,
+        let result = dynsum_query(
+            self.pag,
+            &self.config,
+            None,
+            &mut self.cache,
+            &mut self.parts,
+            v,
+            ctx,
             trace.as_mut(),
         );
         self.last_trace = trace;
@@ -197,7 +244,7 @@ impl DemandPointsTo for DynSum<'_> {
     /// DYNSUM has no refinement: the client predicate is ignored and the
     /// precise answer is computed directly (Table 2: full precision).
     fn query(&mut self, v: VarId, _satisfied: ClientCheck<'_>) -> QueryResult {
-        self.run(v, CtxId::EMPTY)
+        self.run(v, &[])
     }
 
     fn summary_count(&self) -> usize {
@@ -206,8 +253,7 @@ impl DemandPointsTo for DynSum<'_> {
 
     fn reset(&mut self) {
         self.cache.clear();
-        self.fields = StackPool::new();
-        self.ctxs = StackPool::new();
+        self.parts = DriveParts::default();
         self.last_trace = None;
     }
 }
@@ -282,6 +328,61 @@ mod tests {
         let p2 = e.points_to(r2);
         assert_eq!(p2.stats.cache_hits, 0);
         assert_eq!(e.summary_count(), 0);
+    }
+
+    #[test]
+    fn caching_never_changes_outcomes() {
+        // Deterministic budget accounting: with any budget, the cached
+        // and cache-free runs agree exactly on resolution and results.
+        let (pag, r1, r2, ..) = two_callers();
+        for budget in [1, 2, 4, 8, 16, 64, 75_000] {
+            let cached = EngineConfig {
+                budget,
+                ..EngineConfig::default()
+            };
+            let uncached = EngineConfig {
+                cache_summaries: false,
+                ..cached
+            };
+            let mut warm = DynSum::with_config(&pag, cached);
+            let mut cold = DynSum::with_config(&pag, uncached);
+            for v in [r1, r2, r1, r2, r1] {
+                let a = warm.points_to(v);
+                let b = cold.points_to(v);
+                assert_eq!(a.resolved, b.resolved, "budget {budget}");
+                assert_eq!(a.pts, b.pts, "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn free_reuse_mode_restores_warm_resolution() {
+        // With deterministic accounting (the default), a budget-starved
+        // query stays starved no matter how warm the cache gets — and
+        // returns the same partial set every time. With the paper's
+        // free-reuse economics, repeating the query ratchets: partial
+        // PPTAs cached by earlier attempts are free, so it eventually
+        // fits the budget.
+        let (pag, r1, ..) = two_callers();
+        let det = EngineConfig {
+            budget: 4,
+            ..EngineConfig::default()
+        };
+        let mut e = DynSum::with_config(&pag, det);
+        let first = e.points_to(r1);
+        assert!(!first.resolved);
+        for _ in 0..10 {
+            let r = e.points_to(r1);
+            assert!(!r.resolved, "deterministic reuse never ratchets");
+            assert_eq!(r.pts, first.pts);
+        }
+        let free = EngineConfig {
+            deterministic_reuse: false,
+            ..det
+        };
+        let mut e = DynSum::with_config(&pag, free);
+        let resolved = (0..10).any(|_| e.points_to(r1).resolved);
+        assert!(resolved, "free reuse must eventually fit the budget");
     }
 
     #[test]

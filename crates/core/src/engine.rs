@@ -23,6 +23,22 @@ pub struct EngineConfig {
     /// the context-insensitive `L_FT`-only analysis (§3.2), which must
     /// agree exactly with the Andersen oracle.
     pub context_sensitive: bool,
+    /// Deterministic reuse accounting (DYNSUM): a summary-cache hit
+    /// charges the summary's recorded cold cost against the query budget
+    /// instead of being free, making every query's outcome a pure
+    /// function of `(pag, config, query)` — the property behind
+    /// [`Session::run_batch`](crate::Session::run_batch)'s byte-identical
+    /// parallel results.
+    ///
+    /// The price is resolution rate: queries that only fit the budget
+    /// because warm hits were free now abort over-budget exactly as they
+    /// would on a cold engine (the medium-profile perf report went from
+    /// 33 to 59 unresolved across the three clients). Set `false` to
+    /// restore the paper's free-reuse economics for single-engine
+    /// replication runs — with it off, warm results may depend on query
+    /// order and cache state, and `run_batch` results may vary with the
+    /// thread count.
+    pub deterministic_reuse: bool,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +50,7 @@ impl Default for EngineConfig {
             cache_summaries: true,
             max_refinements: 32,
             context_sensitive: true,
+            deterministic_reuse: true,
         }
     }
 }
@@ -53,7 +70,12 @@ impl EngineConfig {
 /// `true` when the (possibly over-approximate) points-to set already
 /// answers the client's question positively, allowing REFINEPTS to stop
 /// refining early.
-pub type ClientCheck<'a> = &'a dyn Fn(&PointsToSet) -> bool;
+///
+/// The `Sync` bound lets one predicate reference cross the threads of a
+/// [`Session::run_batch`](crate::Session::run_batch) without cloning
+/// tricks; predicates are read-only views over frozen analysis inputs,
+/// so the bound costs client code nothing in practice.
+pub type ClientCheck<'a> = &'a (dyn Fn(&PointsToSet) -> bool + Sync);
 
 /// A predicate that is never satisfied — forces full precision.
 pub fn never_satisfied(_: &PointsToSet) -> bool {

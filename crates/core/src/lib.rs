@@ -18,6 +18,14 @@
 //! test suite verifies this on hand-written and random graphs, plus
 //! subset-soundness against the exhaustive Andersen oracle.
 //!
+//! Each engine is split into a shareable half (frozen PAG + config +
+//! DYNSUM's summary cache / STASUM's precomputed store) and a per-thread
+//! scratch half. The [`Session`] API packages the former and hands out
+//! `Send` [`QueryHandle`]s owning the latter; [`Session::run_batch`]
+//! runs query batches across threads with results byte-identical to
+//! sequential execution (deterministic budget accounting — see
+//! [`Summary::cost`]).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -51,6 +59,7 @@ mod norefine;
 pub mod ppta;
 mod refinepts;
 mod search;
+mod session;
 mod stasum;
 mod summary;
 
@@ -59,5 +68,6 @@ pub use dynsum::DynSum;
 pub use engine::{never_satisfied, ClientCheck, DemandPointsTo, EngineConfig};
 pub use norefine::NoRefine;
 pub use refinepts::RefinePts;
+pub use session::{EngineKind, QueryHandle, Session, SessionQuery, SummaryShard};
 pub use stasum::{StaSum, StaSumOptions, StaSumStats};
 pub use summary::{Summary, SummaryCache, SummaryKey};

@@ -1,10 +1,48 @@
 //! NOREFINE — the refinement-free, cache-free baseline (Table 2).
 
-use dynsum_cfl::{Budget, CtxId, QueryResult, QueryStats, StackPool};
-use dynsum_pag::{CallSiteId, FieldId, Pag, VarId};
+use dynsum_cfl::{Budget, QueryResult, QueryStats};
+use dynsum_pag::{CallSiteId, Pag, VarId};
 
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
-use crate::search::{search, Refinement, SearchScratch};
+use crate::search::{search, Refinement, SearchParts};
+
+/// Runs one NOREFINE query over borrowed per-handle state. Shared by the
+/// legacy [`NoRefine`] engine and [`Session`](crate::Session) query
+/// handles: the engine is stateless across queries, so everything it
+/// needs besides the frozen PAG and config lives in `parts`.
+///
+/// The context pool is per-query scratch (cleared here), so the returned
+/// result — including the raw context ids inside the points-to set — is
+/// a deterministic function of `(pag, config, v, ctx)` alone.
+pub(crate) fn norefine_query(
+    pag: &Pag,
+    config: &EngineConfig,
+    parts: &mut SearchParts,
+    v: VarId,
+    ctx: &[CallSiteId],
+) -> QueryResult {
+    parts.ctxs.clear();
+    let c0 = parts.ctxs.from_slice(ctx);
+    let mut budget = Budget::new(config.budget);
+    let mut stats = QueryStats::default();
+    let out = search(
+        pag,
+        &mut parts.fields,
+        &mut parts.ctxs,
+        &mut parts.scratch,
+        config,
+        Refinement::All,
+        v,
+        c0,
+        &mut budget,
+        &mut stats,
+    );
+    if out.complete {
+        QueryResult::resolved(out.pts, stats)
+    } else {
+        QueryResult::over_budget(out.pts, stats)
+    }
+}
 
 /// The NOREFINE engine: Sridharan–Bodík demand-driven CFL-reachability
 /// with every load explored field-sensitively from the start, no
@@ -32,9 +70,7 @@ use crate::search::{search, Refinement, SearchScratch};
 #[derive(Debug)]
 pub struct NoRefine<'p> {
     pag: &'p Pag,
-    fields: StackPool<FieldId>,
-    ctxs: StackPool<CallSiteId>,
-    scratch: SearchScratch,
+    parts: SearchParts,
     config: EngineConfig,
 }
 
@@ -48,9 +84,7 @@ impl<'p> NoRefine<'p> {
     pub fn with_config(pag: &'p Pag, config: EngineConfig) -> Self {
         NoRefine {
             pag,
-            fields: StackPool::new(),
-            ctxs: StackPool::new(),
-            scratch: SearchScratch::default(),
+            parts: SearchParts::default(),
             config,
         }
     }
@@ -76,30 +110,7 @@ impl<'p> NoRefine<'p> {
 
     /// Answers `pointsTo(v, c)` for an explicit initial context.
     pub fn points_to_in(&mut self, v: VarId, ctx: &[CallSiteId]) -> QueryResult {
-        let c0 = self.ctxs.from_slice(ctx);
-        self.run(v, c0)
-    }
-
-    fn run(&mut self, v: VarId, c0: CtxId) -> QueryResult {
-        let mut budget = Budget::new(self.config.budget);
-        let mut stats = QueryStats::default();
-        let out = search(
-            self.pag,
-            &mut self.fields,
-            &mut self.ctxs,
-            &mut self.scratch,
-            &self.config,
-            Refinement::All,
-            v,
-            c0,
-            &mut budget,
-            &mut stats,
-        );
-        if out.complete {
-            QueryResult::resolved(out.pts, stats)
-        } else {
-            QueryResult::over_budget(out.pts, stats)
-        }
+        norefine_query(self.pag, &self.config, &mut self.parts, v, ctx)
     }
 }
 
@@ -111,12 +122,11 @@ impl DemandPointsTo for NoRefine<'_> {
     /// No refinement: the predicate is ignored, the full field-sensitive
     /// answer is computed directly.
     fn query(&mut self, v: VarId, _satisfied: ClientCheck<'_>) -> QueryResult {
-        self.run(v, CtxId::EMPTY)
+        norefine_query(self.pag, &self.config, &mut self.parts, v, &[])
     }
 
     fn reset(&mut self) {
-        self.fields = StackPool::new();
-        self.ctxs = StackPool::new();
+        self.parts = SearchParts::default();
     }
 }
 

@@ -70,16 +70,32 @@ pub fn compute(
         config,
         budget,
         stats,
+        charged: 0,
         visited: &mut scratch.visited,
         objs: &mut scratch.objs,
         boundaries: &mut scratch.boundaries,
     };
     ppta.go(node, fstack, dir)?;
+    let cost = ppta.charged;
     let mut objs = Vec::with_capacity(scratch.objs.len());
     objs.extend(scratch.objs.iter().copied());
     let mut boundaries = Vec::with_capacity(scratch.boundaries.len());
     boundaries.extend(scratch.boundaries.iter().copied());
-    Ok(Summary { objs, boundaries })
+    // Canonical, pool-independent boundary order: the accumulator set is
+    // keyed by raw stack ids (interning history), but the driver walks
+    // boundaries in order and an over-budget query aborts mid-walk, so
+    // the order must depend only on content for partial results to be
+    // identical across engines, handles, and thread counts.
+    boundaries.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.2.cmp(&b.2))
+            .then_with(|| fields.cmp_stacks(a.1, b.1))
+    });
+    Ok(Summary {
+        objs,
+        boundaries,
+        cost,
+    })
 }
 
 struct Ppta<'a, 'p> {
@@ -88,6 +104,8 @@ struct Ppta<'a, 'p> {
     config: &'a EngineConfig,
     budget: &'a mut Budget,
     stats: &'a mut QueryStats,
+    /// Edges charged by this run — recorded as the summary's reuse cost.
+    charged: u64,
     visited: &'a mut FxHashSet<(NodeId, FieldStackId, Direction)>,
     objs: &'a mut BTreeSet<dynsum_pag::ObjId>,
     boundaries: &'a mut BTreeSet<(NodeId, FieldStackId, Direction)>,
@@ -97,6 +115,7 @@ impl Ppta<'_, '_> {
     fn charge(&mut self) -> Result<(), BudgetExceeded> {
         self.budget.charge()?;
         self.stats.edges_traversed += 1;
+        self.charged += 1;
         Ok(())
     }
 

@@ -1,10 +1,64 @@
 //! REFINEPTS — refinement-based demand-driven analysis (Algorithms 1–2).
 
-use dynsum_cfl::{Budget, CtxId, FxHashSet, PointsToSet, QueryResult, QueryStats, StackPool};
-use dynsum_pag::{CallSiteId, EdgeId, FieldId, Pag, VarId};
+use dynsum_cfl::{Budget, CtxId, FxHashSet, PointsToSet, QueryResult, QueryStats};
+use dynsum_pag::{EdgeId, Pag, VarId};
 
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
-use crate::search::{search, Refinement, SearchScratch};
+use crate::search::{search, Refinement, SearchParts};
+
+/// Runs one REFINEPTS query (the refinement loop of Algorithm 2) over
+/// borrowed per-handle state. Shared by the legacy [`RefinePts`] engine
+/// and [`Session`](crate::Session) query handles.
+pub(crate) fn refinepts_query(
+    pag: &Pag,
+    config: &EngineConfig,
+    parts: &mut SearchParts,
+    v: VarId,
+    satisfied: ClientCheck<'_>,
+) -> QueryResult {
+    parts.ctxs.clear();
+    let mut refined: FxHashSet<EdgeId> = FxHashSet::default();
+    let mut budget = Budget::new(config.budget);
+    let mut stats = QueryStats::default();
+    let mut last = PointsToSet::new();
+
+    for _ in 0..config.max_refinements {
+        stats.refinement_iterations += 1;
+        let out = search(
+            pag,
+            &mut parts.fields,
+            &mut parts.ctxs,
+            &mut parts.scratch,
+            config,
+            Refinement::Only(&refined),
+            v,
+            CtxId::EMPTY,
+            &mut budget,
+            &mut stats,
+        );
+        last = out.pts;
+        if !out.complete {
+            return QueryResult::over_budget(last, stats);
+        }
+        if satisfied(&last) {
+            return QueryResult::resolved(last, stats);
+        }
+        // fldsSeen only ever contains unrefined loads, so an empty
+        // set means no match edge fired: the answer is precise and
+        // further refinement cannot improve it.
+        let fresh: Vec<EdgeId> = out
+            .flds_seen
+            .iter()
+            .copied()
+            .filter(|e| !refined.contains(e))
+            .collect();
+        if fresh.is_empty() {
+            return QueryResult::resolved(last, stats);
+        }
+        refined.extend(fresh);
+    }
+    QueryResult::resolved(last, stats)
+}
 
 /// The REFINEPTS engine (Sridharan–Bodík PLDI'06, the paper's
 /// state-of-the-art baseline).
@@ -36,9 +90,7 @@ use crate::search::{search, Refinement, SearchScratch};
 #[derive(Debug)]
 pub struct RefinePts<'p> {
     pag: &'p Pag,
-    fields: StackPool<FieldId>,
-    ctxs: StackPool<CallSiteId>,
-    scratch: SearchScratch,
+    parts: SearchParts,
     config: EngineConfig,
 }
 
@@ -52,9 +104,7 @@ impl<'p> RefinePts<'p> {
     pub fn with_config(pag: &'p Pag, config: EngineConfig) -> Self {
         RefinePts {
             pag,
-            fields: StackPool::new(),
-            ctxs: StackPool::new(),
-            scratch: SearchScratch::default(),
+            parts: SearchParts::default(),
             config,
         }
     }
@@ -62,51 +112,6 @@ impl<'p> RefinePts<'p> {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
-    }
-
-    /// The refinement loop of Algorithm 2.
-    fn run(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
-        let mut refined: FxHashSet<EdgeId> = FxHashSet::default();
-        let mut budget = Budget::new(self.config.budget);
-        let mut stats = QueryStats::default();
-        let mut last = PointsToSet::new();
-
-        for _ in 0..self.config.max_refinements {
-            stats.refinement_iterations += 1;
-            let out = search(
-                self.pag,
-                &mut self.fields,
-                &mut self.ctxs,
-                &mut self.scratch,
-                &self.config,
-                Refinement::Only(&refined),
-                v,
-                CtxId::EMPTY,
-                &mut budget,
-                &mut stats,
-            );
-            last = out.pts;
-            if !out.complete {
-                return QueryResult::over_budget(last, stats);
-            }
-            if satisfied(&last) {
-                return QueryResult::resolved(last, stats);
-            }
-            // fldsSeen only ever contains unrefined loads, so an empty
-            // set means no match edge fired: the answer is precise and
-            // further refinement cannot improve it.
-            let fresh: Vec<EdgeId> = out
-                .flds_seen
-                .iter()
-                .copied()
-                .filter(|e| !refined.contains(e))
-                .collect();
-            if fresh.is_empty() {
-                return QueryResult::resolved(last, stats);
-            }
-            refined.extend(fresh);
-        }
-        QueryResult::resolved(last, stats)
     }
 }
 
@@ -116,12 +121,11 @@ impl DemandPointsTo for RefinePts<'_> {
     }
 
     fn query(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
-        self.run(v, satisfied)
+        refinepts_query(self.pag, &self.config, &mut self.parts, v, satisfied)
     }
 
     fn reset(&mut self) {
-        self.fields = StackPool::new();
-        self.ctxs = StackPool::new();
+        self.parts = SearchParts::default();
     }
 }
 

@@ -64,6 +64,18 @@ pub(crate) struct SearchScratch {
     wl: Vec<(NodeId, FieldStackId, Direction, CtxId)>,
 }
 
+/// The complete per-handle working state of the search-based engines
+/// (NOREFINE / REFINEPTS): interning pools plus worklist buffers. Owned
+/// by the legacy engine structs and by [`Session`](crate::Session) query
+/// handles alike — everything shareable lives in the session, everything
+/// mutable lives here.
+#[derive(Debug, Default)]
+pub(crate) struct SearchParts {
+    pub(crate) fields: StackPool<FieldId>,
+    pub(crate) ctxs: StackPool<CallSiteId>,
+    pub(crate) scratch: SearchScratch,
+}
+
 /// Runs one demand-driven search pass for `pointsTo(start, start_ctx)`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn search(

@@ -1,0 +1,741 @@
+//! The `Session` API: shared immutable analysis state plus cheap,
+//! `Send` per-thread query handles.
+//!
+//! The paper's economics are about serving *streams* of demand queries
+//! cheaply by reusing context-independent summaries (§4, Figure 5);
+//! those streams are embarrassingly parallel once the mutable per-query
+//! machinery is split off the shareable state. A [`Session`] freezes
+//! everything queries only read — the PAG, the [`EngineConfig`], the
+//! engine kind, DYNSUM's accumulated summary cache or STASUM's
+//! precomputed relative store — and [`Session::handle`] hands out
+//! lightweight [`QueryHandle`]s owning the interning pools, worklist
+//! buffers, and (for DYNSUM) a private cache *shard*. Handles implement
+//! [`DemandPointsTo`], so everything written against the legacy engines
+//! works against a handle unchanged.
+//!
+//! [`Session::run_batch`] executes a query batch across scoped threads
+//! with a **sharded, merge-on-join** cache discipline: every worker reads
+//! the session cache frozen at batch start, accumulates fresh summaries
+//! in its own shard, and the shards are merged back (re-interning
+//! field-stack ids) when the workers join. Combined with deterministic
+//! budget accounting (reusing a summary charges its recorded cold cost —
+//! see [`Summary::cost`]), every query's result is a pure function of
+//! `(pag, config, query)`: batches return results **byte-identical** to
+//! sequential execution at any thread count.
+
+use std::sync::Arc;
+
+use dynsum_cfl::{FieldStackId, FxHashMap, QueryResult, StackPool};
+use dynsum_pag::{FieldId, MethodId, Pag, VarId};
+
+use crate::driver::DriveParts;
+use crate::dynsum::{dynsum_query, DynSum};
+use crate::engine::{never_satisfied, ClientCheck, DemandPointsTo, EngineConfig};
+use crate::norefine::{norefine_query, NoRefine};
+use crate::refinepts::{refinepts_query, RefinePts};
+use crate::search::SearchParts;
+use crate::stasum::{stasum_precompute, stasum_query, StaSum, StaSumOptions, StaSumShared};
+use crate::summary::{Summary, SummaryCache};
+
+/// Reserved stack for batch worker threads: PPTA recursion is bounded by
+/// method-local graph size, but generated methods can be large, so the
+/// workers get the same generous reservation `main` typically has.
+const WORKER_STACK_BYTES: usize = 64 * 1024 * 1024;
+
+/// The four demand-driven engines of Table 2, constructible by name.
+///
+/// Used both to pick a [`Session`]'s engine and to build standalone
+/// [`DemandPointsTo`] boxes (the benchmark harness's historical API).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// NOREFINE baseline.
+    NoRefine,
+    /// REFINEPTS baseline.
+    RefinePts,
+    /// DYNSUM (the paper's contribution).
+    DynSum,
+    /// STASUM static-summary comparison point.
+    StaSum,
+}
+
+impl EngineKind {
+    /// All four engines, in the paper's table order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::NoRefine,
+        EngineKind::RefinePts,
+        EngineKind::DynSum,
+        EngineKind::StaSum,
+    ];
+
+    /// The three timed engines of Table 4, in the paper's row order.
+    pub const TABLE4: [EngineKind; 3] = [
+        EngineKind::NoRefine,
+        EngineKind::RefinePts,
+        EngineKind::DynSum,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::NoRefine => "NOREFINE",
+            EngineKind::RefinePts => "REFINEPTS",
+            EngineKind::DynSum => "DYNSUM",
+            EngineKind::StaSum => "STASUM",
+        }
+    }
+
+    /// Instantiates a fresh standalone engine over `pag`.
+    pub fn build<'p>(self, pag: &'p Pag, config: EngineConfig) -> Box<dyn DemandPointsTo + 'p> {
+        match self {
+            EngineKind::NoRefine => Box::new(NoRefine::with_config(pag, config)),
+            EngineKind::RefinePts => Box::new(RefinePts::with_config(pag, config)),
+            EngineKind::DynSum => Box::new(DynSum::with_config(pag, config)),
+            EngineKind::StaSum => {
+                Box::new(StaSum::precompute_with(pag, config, Default::default()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One query in a batch: the variable plus the client-satisfaction
+/// predicate (ignored by the engines without refinement).
+#[derive(Clone, Copy)]
+pub struct SessionQuery<'a> {
+    /// The queried variable (`pointsTo(var, ∅)`).
+    pub var: VarId,
+    /// The client predicate — must be `Sync` so one reference can serve
+    /// every worker thread (see [`ClientCheck`]).
+    pub satisfied: ClientCheck<'a>,
+}
+
+impl<'a> SessionQuery<'a> {
+    /// A full-precision query (the predicate is never satisfied).
+    pub fn new(var: VarId) -> SessionQuery<'static> {
+        SessionQuery {
+            var,
+            satisfied: &never_satisfied,
+        }
+    }
+
+    /// A query with a client predicate.
+    pub fn with_check(var: VarId, satisfied: ClientCheck<'a>) -> Self {
+        SessionQuery { var, satisfied }
+    }
+}
+
+impl std::fmt::Debug for SessionQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionQuery")
+            .field("var", &self.var)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The engine-specific shared (read-only between merges) half.
+#[derive(Debug)]
+enum SharedState {
+    /// NOREFINE and REFINEPTS carry no cross-query state at all.
+    NoRefine,
+    RefinePts,
+    /// DYNSUM: the accumulated summary cache plus the field-stack pool
+    /// its keys are interned in. Handles clone the pool (ids stay
+    /// aligned) and extend their clones privately.
+    DynSum {
+        cache: SummaryCache,
+        fields: StackPool<FieldId>,
+    },
+    /// STASUM: the frozen all-pairs relative summary store
+    /// (pool-independent inline field arrays).
+    StaSum(StaSumShared),
+}
+
+/// Immutable, shareable analysis state: a frozen PAG, an engine
+/// configuration and kind, and the engine's shareable half (DYNSUM's
+/// summary cache / STASUM's precomputed store).
+///
+/// `Session` is `Send + Sync`; [`handle`](Self::handle) hands out `Send`
+/// [`QueryHandle`]s that borrow it, so one warm session can serve any
+/// number of threads. Mutation (merging a handle's summary shard back,
+/// evicting summaries) goes through `&mut self` — between batches, never
+/// during one.
+///
+/// # Examples
+///
+/// ```
+/// use dynsum_core::{DemandPointsTo, EngineKind, Session};
+/// use dynsum_pag::PagBuilder;
+///
+/// let mut b = PagBuilder::new();
+/// let m = b.add_method("main", None)?;
+/// let v = b.add_local("v", m, None)?;
+/// let o = b.add_obj("o1", None, Some(m))?;
+/// b.add_new(o, v)?;
+/// let pag = b.finish();
+///
+/// let session = Session::new(&pag, EngineKind::DynSum);
+/// let mut handle = session.handle();
+/// assert!(handle.points_to(v).pts.contains_obj(o));
+/// # Ok::<(), dynsum_pag::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session<'p> {
+    pag: &'p Pag,
+    config: EngineConfig,
+    kind: EngineKind,
+    state: SharedState,
+}
+
+impl<'p> Session<'p> {
+    /// Creates a session with the default configuration. STASUM sessions
+    /// run their whole-program precomputation here.
+    pub fn new(pag: &'p Pag, kind: EngineKind) -> Self {
+        Self::with_config(pag, kind, EngineConfig::default())
+    }
+
+    /// Creates a session with an explicit configuration (STASUM uses
+    /// default [`StaSumOptions`]; see
+    /// [`with_stasum_options`](Self::with_stasum_options)).
+    pub fn with_config(pag: &'p Pag, kind: EngineKind, config: EngineConfig) -> Self {
+        let state = match kind {
+            EngineKind::NoRefine => SharedState::NoRefine,
+            EngineKind::RefinePts => SharedState::RefinePts,
+            EngineKind::DynSum => SharedState::DynSum {
+                cache: SummaryCache::new(),
+                fields: StackPool::new(),
+            },
+            EngineKind::StaSum => {
+                SharedState::StaSum(stasum_precompute(pag, &config, StaSumOptions::default()))
+            }
+        };
+        Session {
+            pag,
+            config,
+            kind,
+            state,
+        }
+    }
+
+    /// Creates a STASUM session with explicit precomputation options.
+    pub fn with_stasum_options(pag: &'p Pag, config: EngineConfig, options: StaSumOptions) -> Self {
+        Session {
+            pag,
+            config,
+            kind: EngineKind::StaSum,
+            state: SharedState::StaSum(stasum_precompute(pag, &config, options)),
+        }
+    }
+
+    /// The frozen graph under analysis.
+    pub fn pag(&self) -> &'p Pag {
+        self.pag
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Which engine this session runs.
+    pub fn engine(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Number of summaries in the shared state: DYNSUM's merged cache
+    /// size (the Figure 5 numerator) or STASUM's precomputed count; 0
+    /// for the memorization-free engines.
+    pub fn summary_count(&self) -> usize {
+        match &self.state {
+            SharedState::DynSum { cache, .. } => cache.len(),
+            SharedState::StaSum(shared) => shared.stats().summaries,
+            _ => 0,
+        }
+    }
+
+    /// Creates a per-thread query handle borrowing this session.
+    ///
+    /// Handles are `Send` and cheap: pools, worklist buffers, and (for
+    /// DYNSUM) an empty cache shard layered over the shared cache. Any
+    /// number may exist concurrently.
+    pub fn handle(&self) -> QueryHandle<'_, 'p> {
+        let scratch = match &self.state {
+            SharedState::NoRefine => HandleScratch::NoRefine(SearchParts::default()),
+            SharedState::RefinePts => HandleScratch::RefinePts(SearchParts::default()),
+            SharedState::DynSum { fields, .. } => HandleScratch::DynSum {
+                parts: DriveParts {
+                    // Clone so shared-cache keys resolve identically in
+                    // the handle's pool; private pushes extend the clone.
+                    fields: fields.clone(),
+                    ..DriveParts::default()
+                },
+                shard: SummaryCache::new(),
+            },
+            SharedState::StaSum(_) => HandleScratch::StaSum(DriveParts::default()),
+        };
+        QueryHandle {
+            session: self,
+            scratch,
+        }
+    }
+
+    /// Merges a handle's summary shard (see
+    /// [`QueryHandle::into_summaries`]) into the shared cache, returning
+    /// how many entries were new. Field-stack ids are re-interned into
+    /// the session pool; duplicate keys keep the existing entry (summary
+    /// contents are canonical per key). No-op for engines without a
+    /// cache.
+    pub fn absorb(&mut self, shard: SummaryShard) -> usize {
+        let SummaryShard {
+            cache: shard_cache,
+            fields: shard_fields,
+        } = shard;
+        match &mut self.state {
+            SharedState::DynSum { cache, fields } => {
+                cache.absorb_counters(&shard_cache);
+                let before = cache.len();
+                let mut memo: FxHashMap<FieldStackId, FieldStackId> = FxHashMap::default();
+                for (&(node, f, dir), sum) in shard_cache.entries() {
+                    // Translation is memoized, so deciding `changed`
+                    // first and re-walking only when a rewrite is needed
+                    // keeps the common case (handle pool is an
+                    // unextended clone: every id maps to itself) free of
+                    // per-summary allocation.
+                    let f2 = translate(&shard_fields, fields, &mut memo, f);
+                    let changed = f2 != f
+                        || sum.boundaries.iter().any(|&(_, bf, _)| {
+                            translate(&shard_fields, fields, &mut memo, bf) != bf
+                        });
+                    let entry = if changed {
+                        let boundaries = sum
+                            .boundaries
+                            .iter()
+                            .map(|&(n, bf, d)| {
+                                (n, translate(&shard_fields, fields, &mut memo, bf), d)
+                            })
+                            .collect();
+                        Arc::new(Summary {
+                            objs: sum.objs.clone(),
+                            boundaries,
+                            cost: sum.cost,
+                        })
+                    } else {
+                        Arc::clone(sum)
+                    };
+                    cache.insert_if_absent((node, f2, dir), entry);
+                }
+                cache.len() - before
+            }
+            _ => 0,
+        }
+    }
+
+    /// Evicts the shared summaries of one method (the incremental-edit
+    /// story — see [`DynSum::invalidate_method`]). Returns the number of
+    /// evicted entries; 0 for engines without a cache.
+    pub fn invalidate_method(&mut self, method: MethodId) -> usize {
+        let pag = self.pag;
+        match &mut self.state {
+            SharedState::DynSum { cache, .. } => {
+                cache.evict_where(|&(node, _, _)| pag.method_of(node) == Some(method))
+            }
+            _ => 0,
+        }
+    }
+
+    /// Runs a query batch on up to `threads` worker threads and returns
+    /// one result per query, in input order.
+    ///
+    /// Workers read the session cache frozen at batch start and collect
+    /// fresh summaries in private shards; the shards are merged back
+    /// here after all workers join (so later batches start warmer).
+    /// Results — resolution flags and points-to sets, including the
+    /// partial sets of over-budget queries — are **byte-identical to
+    /// sequential execution** for every thread count: summary reuse
+    /// charges its recorded cold cost against the per-query budget, so
+    /// no query's outcome depends on what any other query cached.
+    pub fn run_batch(&mut self, queries: &[SessionQuery<'_>], threads: usize) -> Vec<QueryResult> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, queries.len());
+        // One code path for every thread count: a 1-thread batch is a
+        // single chunk on a single worker, so it gets the same stack
+        // reservation and pays the same per-batch overhead as the
+        // multi-thread points it is compared against.
+        let sess: &Session<'p> = self;
+        let (results, shards) = std::thread::scope(|scope| {
+            let workers: Vec<_> = balanced_chunks(queries, threads)
+                .map(|chunk| {
+                    std::thread::Builder::new()
+                        .stack_size(WORKER_STACK_BYTES)
+                        .spawn_scoped(scope, move || {
+                            let mut h = sess.handle();
+                            let out: Vec<QueryResult> =
+                                chunk.iter().map(|q| h.query(q.var, q.satisfied)).collect();
+                            (out, h.into_summaries())
+                        })
+                        .expect("failed to spawn query worker")
+                })
+                .collect();
+            let mut results = Vec::with_capacity(queries.len());
+            let mut shards = Vec::with_capacity(threads);
+            for worker in workers {
+                let (out, shard) = worker.join().expect("query worker panicked");
+                results.extend(out);
+                shards.push(shard);
+            }
+            (results, shards)
+        });
+        for shard in shards {
+            self.absorb(shard);
+        }
+        results
+    }
+
+    /// [`run_batch`](Self::run_batch) at full precision (no client
+    /// predicates).
+    pub fn run_batch_vars(&mut self, vars: &[VarId], threads: usize) -> Vec<QueryResult> {
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        self.run_batch(&queries, threads)
+    }
+}
+
+/// Splits `items` into at most `n` contiguous chunks whose lengths
+/// differ by at most one — the deterministic work partition behind
+/// [`Session::run_batch`].
+fn balanced_chunks<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    (0..n).scan(0usize, move |start, i| {
+        let size = base + usize::from(i < extra);
+        let s = *start;
+        *start += size;
+        Some(&items[s..s + size])
+    })
+}
+
+/// Translates a field-stack id interned in `from` into the equivalent id
+/// in `to`, re-interning as needed. Memoized per merge.
+fn translate(
+    from: &StackPool<FieldId>,
+    to: &mut StackPool<FieldId>,
+    memo: &mut FxHashMap<FieldStackId, FieldStackId>,
+    id: FieldStackId,
+) -> FieldStackId {
+    if id.is_empty() {
+        return FieldStackId::EMPTY;
+    }
+    if let Some(&t) = memo.get(&id) {
+        return t;
+    }
+    // Walk down to a translated suffix, then re-intern back up.
+    let mut chain: Vec<(FieldStackId, FieldId)> = Vec::new();
+    let mut cur = id;
+    let mut base = FieldStackId::EMPTY;
+    while !cur.is_empty() {
+        if let Some(&t) = memo.get(&cur) {
+            base = t;
+            break;
+        }
+        let (top, rest) = from.pop(cur).expect("non-empty stack");
+        chain.push((cur, top));
+        cur = rest;
+    }
+    let mut t = base;
+    for &(orig, elem) in chain.iter().rev() {
+        t = to.push(t, elem);
+        memo.insert(orig, t);
+    }
+    t
+}
+
+/// A handle's detached summary shard: the summaries it computed plus the
+/// field-stack pool their keys are interned in. Produced by
+/// [`QueryHandle::into_summaries`], consumed by [`Session::absorb`].
+#[derive(Debug, Default)]
+pub struct SummaryShard {
+    cache: SummaryCache,
+    fields: StackPool<FieldId>,
+}
+
+impl SummaryShard {
+    /// Number of summaries carried.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when the shard carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// The engine-specific per-handle scratch half.
+#[derive(Debug)]
+enum HandleScratch {
+    NoRefine(SearchParts),
+    RefinePts(SearchParts),
+    DynSum {
+        parts: DriveParts,
+        shard: SummaryCache,
+    },
+    StaSum(DriveParts),
+}
+
+/// A cheap, `Send` per-thread query endpoint borrowing a [`Session`].
+///
+/// Owns everything a query mutates — interning pools, worklist and PPTA
+/// scratch, and (DYNSUM) a private summary shard layered over the shared
+/// session cache. Implements [`DemandPointsTo`], so existing client code
+/// runs against a handle unchanged.
+#[derive(Debug)]
+pub struct QueryHandle<'s, 'p> {
+    session: &'s Session<'p>,
+    scratch: HandleScratch,
+}
+
+impl QueryHandle<'_, '_> {
+    /// The session this handle queries.
+    pub fn session(&self) -> &Session<'_> {
+        self.session
+    }
+
+    /// Summaries accumulated in this handle's private shard (0 for
+    /// engines without a cache).
+    pub fn shard_len(&self) -> usize {
+        match &self.scratch {
+            HandleScratch::DynSum { shard, .. } => shard.len(),
+            _ => 0,
+        }
+    }
+
+    /// Detaches the handle's summary shard for
+    /// [`Session::absorb`]. Empty for engines without a cache.
+    pub fn into_summaries(self) -> SummaryShard {
+        match self.scratch {
+            HandleScratch::DynSum { parts, shard } => SummaryShard {
+                cache: shard,
+                fields: parts.fields,
+            },
+            _ => SummaryShard::default(),
+        }
+    }
+}
+
+impl DemandPointsTo for QueryHandle<'_, '_> {
+    fn name(&self) -> &'static str {
+        self.session.kind.name()
+    }
+
+    fn query(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
+        let pag = self.session.pag;
+        let config = &self.session.config;
+        match (&mut self.scratch, &self.session.state) {
+            (HandleScratch::NoRefine(parts), _) => norefine_query(pag, config, parts, v, &[]),
+            (HandleScratch::RefinePts(parts), _) => {
+                refinepts_query(pag, config, parts, v, satisfied)
+            }
+            (HandleScratch::DynSum { parts, shard }, SharedState::DynSum { cache, .. }) => {
+                dynsum_query(pag, config, Some(cache), shard, parts, v, &[], None)
+            }
+            (HandleScratch::StaSum(parts), SharedState::StaSum(shared)) => {
+                stasum_query(pag, config, shared, parts, v, &[])
+            }
+            _ => unreachable!("handle scratch always matches its session's state"),
+        }
+    }
+
+    /// Shared summaries plus this handle's unmerged shard.
+    fn summary_count(&self) -> usize {
+        self.session.summary_count() + self.shard_len()
+    }
+
+    /// Drops the handle's private state (shard included); the session's
+    /// shared summaries are untouched.
+    fn reset(&mut self) {
+        self.scratch = self.session.handle().scratch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsum_pag::{ObjId, PagBuilder};
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn session_is_send_sync_and_handles_are_send() {
+        assert_send::<Session<'static>>();
+        assert_sync::<Session<'static>>();
+        assert_send::<QueryHandle<'static, 'static>>();
+        assert_send::<SessionQuery<'static>>();
+        assert_sync::<SessionQuery<'static>>();
+        assert_send::<SummaryShard>();
+        assert_send::<EngineKind>();
+    }
+
+    /// id(p){return p} from two sites — the canonical context test.
+    fn two_callers() -> (Pag, Vec<VarId>, ObjId, ObjId) {
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let id = b.add_method("id", None).unwrap();
+        let a1 = b.add_local("a1", main, None).unwrap();
+        let a2 = b.add_local("a2", main, None).unwrap();
+        let r1 = b.add_local("r1", main, None).unwrap();
+        let r2 = b.add_local("r2", main, None).unwrap();
+        let p = b.add_local("p", id, None).unwrap();
+        let ret = b.add_local("ret", id, None).unwrap();
+        let o1 = b.add_obj("o1", None, Some(main)).unwrap();
+        let o2 = b.add_obj("o2", None, Some(main)).unwrap();
+        b.add_new(o1, a1).unwrap();
+        b.add_new(o2, a2).unwrap();
+        b.add_assign(p, ret).unwrap();
+        let s1 = b.add_call_site("1", main).unwrap();
+        let s2 = b.add_call_site("2", main).unwrap();
+        b.add_entry(s1, a1, p).unwrap();
+        b.add_entry(s2, a2, p).unwrap();
+        b.add_exit(s1, ret, r1).unwrap();
+        b.add_exit(s2, ret, r2).unwrap();
+        (b.finish(), vec![r1, r2, a1, a2, ret, p], o1, o2)
+    }
+
+    #[test]
+    fn handles_agree_with_legacy_engines_for_every_kind() {
+        let (pag, vars, ..) = two_callers();
+        for kind in EngineKind::ALL {
+            let session = Session::new(&pag, kind);
+            let mut handle = session.handle();
+            let mut legacy = kind.build(&pag, EngineConfig::default());
+            assert_eq!(handle.name(), legacy.name());
+            for &v in &vars {
+                let a = handle.points_to(v);
+                let b = legacy.points_to(v);
+                assert_eq!(a.resolved, b.resolved, "{kind} on {v:?}");
+                assert_eq!(a.pts, b.pts, "{kind} on {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_at_any_thread_count() {
+        let (pag, vars, ..) = two_callers();
+        let sequential: Vec<QueryResult> = {
+            let mut engine = DynSum::new(&pag);
+            vars.iter().map(|&v| engine.points_to(v)).collect()
+        };
+        for threads in [1, 2, 4, 7] {
+            let mut session = Session::new(&pag, EngineKind::DynSum);
+            let results = session.run_batch_vars(&vars, threads);
+            assert_eq!(results.len(), sequential.len());
+            for (got, want) in results.iter().zip(&sequential) {
+                assert_eq!(got.resolved, want.resolved, "threads={threads}");
+                assert_eq!(got.pts, want.pts, "threads={threads}");
+            }
+            assert!(session.summary_count() > 0, "shards merged on join");
+        }
+    }
+
+    #[test]
+    fn merged_shards_warm_later_batches() {
+        let (pag, vars, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        session.run_batch_vars(&vars, 2);
+        let after_first = session.summary_count();
+        assert!(after_first > 0);
+        // A warm handle over the merged cache hits it immediately.
+        let mut handle = session.handle();
+        let r = handle.points_to(vars[0]);
+        assert!(r.stats.cache_hits > 0, "batch summaries must be reusable");
+        // Re-running the same batch discovers nothing new.
+        session.run_batch_vars(&vars, 4);
+        assert_eq!(session.summary_count(), after_first);
+    }
+
+    #[test]
+    fn absorb_reinterns_shard_stacks() {
+        // A graph whose cached summaries carry non-empty field stacks in
+        // their keys and boundaries, so absorbing the shard exercises the
+        // id re-interning path: r = get(c) where get loads this.f.
+        let mut b = PagBuilder::new();
+        let main = b.add_method("main", None).unwrap();
+        let get = b.add_method("get", None).unwrap();
+        let f = b.field("f");
+        let this_g = b.add_local("this_g", get, None).unwrap();
+        let ret = b.add_local("ret", get, None).unwrap();
+        b.add_load(f, this_g, ret).unwrap();
+        let c = b.add_local("c", main, None).unwrap();
+        let x = b.add_local("x", main, None).unwrap();
+        let r = b.add_local("r", main, None).unwrap();
+        let oc = b.add_obj("oc", None, Some(main)).unwrap();
+        let ox = b.add_obj("ox", None, Some(main)).unwrap();
+        b.add_new(oc, c).unwrap();
+        b.add_new(ox, x).unwrap();
+        b.add_store(f, x, c).unwrap();
+        let s = b.add_call_site("1", main).unwrap();
+        b.add_entry(s, c, this_g).unwrap();
+        b.add_exit(s, ret, r).unwrap();
+        let pag = b.finish();
+
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        let shard = {
+            let mut h = session.handle();
+            h.points_to(r);
+            h.into_summaries()
+        };
+        assert!(!shard.is_empty());
+        let added = session.absorb(shard);
+        assert_eq!(session.summary_count(), added);
+        // The merged summaries answer correctly from the shared cache.
+        let mut h = session.handle();
+        let res = h.points_to(r);
+        assert!(res.resolved);
+        assert!(res.pts.contains_obj(ox));
+        assert!(res.stats.cache_hits > 0);
+        // Absorbing the same facts twice adds nothing.
+        let shard2 = h.into_summaries();
+        assert_eq!(session.absorb(shard2), 0);
+    }
+
+    #[test]
+    fn refinepts_session_respects_client_predicates() {
+        let (pag, vars, o1, _) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::RefinePts);
+        let check = |pts: &dynsum_cfl::PointsToSet| pts.contains_obj(o1);
+        let queries = [
+            SessionQuery::with_check(vars[0], &check),
+            SessionQuery::new(vars[1]),
+        ];
+        let results = session.run_batch(&queries, 2);
+        assert!(results[0].resolved && results[1].resolved);
+    }
+
+    #[test]
+    fn session_invalidation_evicts_method_summaries() {
+        let (pag, vars, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        session.run_batch_vars(&vars, 2);
+        let before = session.summary_count();
+        let id = pag.find_method("id").unwrap();
+        let evicted = session.invalidate_method(id);
+        assert!(evicted > 0);
+        assert_eq!(session.summary_count(), before - evicted);
+        // Queries still come out right afterwards.
+        let mut h = session.handle();
+        assert!(h.points_to(vars[0]).resolved);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (pag, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        assert!(session.run_batch_vars(&[], 4).is_empty());
+    }
+}

@@ -13,22 +13,29 @@
 //! a top prefix of `f`. At query time the same worklist driver as DYNSUM
 //! instantiates these precomputed summaries instead of running PPTA.
 //!
-//! The cost is what the paper criticizes: summaries are computed for
-//! *every* boundary node whether or not any query ever reaches it, which
-//! is why Figure 5 shows DYNSUM computing only 37–48% as many summaries.
+//! Relative summaries store their `need`/`have` sequences as **inline
+//! field arrays** rather than interned stack ids: the frozen store is
+//! then independent of any field-stack pool, so it can be shared across
+//! [`Session`](crate::Session) query threads, and instantiation matches
+//! prefixes against the arriving stack directly with no per-entry
+//! allocation (the ROADMAP's "STASUM instantiation cost" item).
+//!
+//! The precomputation cost is what the paper criticizes: summaries are
+//! computed for *every* boundary node whether or not any query ever
+//! reaches it, which is why Figure 5 shows DYNSUM computing only 37–48%
+//! as many summaries.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashMap, FxHashSet, QueryResult,
-    QueryStats, StackPool, StepKind, Trace,
+    Budget, BudgetExceeded, Direction, FieldStackId, FxHashMap, FxHashSet, QueryResult, QueryStats,
+    StackPool, StepKind, Trace,
 };
 use dynsum_pag::{AdjClass, CallSiteId, FieldId, NodeId, NodeRef, ObjId, Pag, VarId};
 
-use crate::driver::{drive, DriveScratch};
+use crate::driver::{drive, DriveParts};
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
 use crate::ppta;
-use crate::ppta::PptaScratch;
 use crate::summary::Summary;
 
 /// Precomputation options for STASUM.
@@ -67,23 +74,193 @@ pub struct StaSumStats {
     pub precompute_edges: u64,
 }
 
+/// One relative boundary continuation: applies when [`need`](Self::need)
+/// is a top prefix of the arriving stack (strictly shorter than it if
+/// [`strict`](Self::strict)); the instantiated stack is
+/// `pop(need) ++ have`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RelBoundary {
+    node: NodeId,
+    /// Fields consumed from the arriving stack, in consumption order
+    /// (topmost arriving field first).
+    need: Box<[FieldId]>,
+    /// Fields pushed on the remainder, in push order (bottom-to-top).
+    have: Box<[FieldId]>,
+    dir: Direction,
+    /// Marks continuations that passed through a `new new̅` flip while
+    /// the concrete stack depth was unknown: the flip is only legal on a
+    /// non-empty stack, so the entry applies only when the arriving
+    /// stack is *strictly deeper* than `need`.
+    strict: bool,
+}
+
 /// A relative summary: objects and boundaries qualified by the `need`
-/// prefix they consume from the arriving field stack.
-///
-/// The `strict` flag on a boundary marks continuations that passed
-/// through a `new new̅` flip while the concrete stack depth was unknown:
-/// the flip is only legal on a non-empty stack, so such entries apply
-/// only when the arriving stack is *strictly deeper* than `need`.
+/// prefix they consume from the arriving field stack. Pool-independent
+/// (inline field arrays), hence freely shareable across threads.
 #[derive(Debug, Default, Clone)]
 struct RelSummary {
     /// `(object, need)` — applies when the arriving stack equals `need`.
-    objs: Vec<(ObjId, FieldStackId)>,
-    /// `(node, need, have, dir, strict)` — applies when `need` is a top
-    /// prefix of the arriving stack (strictly shorter than it if
-    /// `strict`); the instantiated stack is `pop(need) ++ have`.
-    boundaries: Vec<(NodeId, FieldStackId, FieldStackId, Direction, bool)>,
+    objs: Vec<(ObjId, Box<[FieldId]>)>,
+    boundaries: Vec<RelBoundary>,
     truncated: bool,
     aborted: bool,
+}
+
+/// The frozen product of STASUM precomputation: the all-pairs relative
+/// summary store plus its statistics. Immutable after construction, so
+/// one copy serves any number of engines/handles concurrently.
+#[derive(Debug)]
+pub(crate) struct StaSumShared {
+    rel: FxHashMap<(NodeId, Direction), RelSummary>,
+    options: StaSumOptions,
+    stats: StaSumStats,
+}
+
+impl StaSumShared {
+    pub(crate) fn stats(&self) -> StaSumStats {
+        self.stats
+    }
+}
+
+/// Runs the whole-program precomputation (every boundary node × the
+/// directions its global edges demand).
+pub(crate) fn stasum_precompute(
+    pag: &Pag,
+    config: &EngineConfig,
+    options: StaSumOptions,
+) -> StaSumShared {
+    let mut shared = StaSumShared {
+        rel: FxHashMap::default(),
+        options,
+        stats: StaSumStats::default(),
+    };
+    // Interning pool private to the precomputation: the frozen summaries
+    // carry inline arrays, so nothing outlives this pool.
+    let mut fields: StackPool<FieldId> = StackPool::new();
+    // S1 summaries are consumed where the driver lands after walking a
+    // global edge backwards (nodes with global out-edges); S2 where it
+    // lands walking forwards (nodes with global in-edges).
+    for (v, _) in pag.vars() {
+        let n = pag.var_node(v);
+        if !pag.has_local_edge(n) {
+            continue;
+        }
+        if pag.has_global_out(n) {
+            precompute_node(pag, config, &mut fields, &mut shared, n, Direction::S1);
+        }
+        if pag.has_global_in(n) {
+            precompute_node(pag, config, &mut fields, &mut shared, n, Direction::S2);
+        }
+    }
+    shared
+}
+
+fn precompute_node(
+    pag: &Pag,
+    config: &EngineConfig,
+    fields: &mut StackPool<FieldId>,
+    shared: &mut StaSumShared,
+    n: NodeId,
+    dir: Direction,
+) {
+    let mut rp = RelPpta {
+        pag,
+        fields,
+        options: &shared.options,
+        max_have_depth: config.max_field_depth,
+        budget: Budget::new(shared.options.node_budget),
+        visited: FxHashSet::default(),
+        out: RawRelSummary::default(),
+        edges: 0,
+    };
+    let aborted = rp
+        .go(n, FieldStackId::EMPTY, FieldStackId::EMPTY, dir, false)
+        .is_err();
+    let edges = rp.edges;
+    let raw = rp.out;
+    // Freeze: resolve the pool-relative stack ids into inline arrays.
+    let summary = RelSummary {
+        objs: raw
+            .objs
+            .iter()
+            .map(|&(o, need)| (o, fields.to_vec(need).into_boxed_slice()))
+            .collect(),
+        boundaries: raw
+            .boundaries
+            .iter()
+            .map(|&(node, need, have, dir, strict)| RelBoundary {
+                node,
+                need: fields.to_vec(need).into_boxed_slice(),
+                have: fields.to_vec(have).into_boxed_slice(),
+                dir,
+                strict,
+            })
+            .collect(),
+        truncated: raw.truncated,
+        aborted,
+    };
+    shared.stats.summaries += 1;
+    shared.stats.entries += summary.objs.len() + summary.boundaries.len();
+    shared.stats.precompute_edges += edges;
+    if summary.truncated {
+        shared.stats.truncated += 1;
+    }
+    if summary.aborted {
+        shared.stats.aborted += 1;
+    }
+    shared.rel.insert((n, dir), summary);
+}
+
+/// Runs one STASUM query over borrowed per-handle state. Shared by the
+/// legacy [`StaSum`] engine and [`Session`](crate::Session) query
+/// handles; `shared` is the frozen precomputation product.
+pub(crate) fn stasum_query(
+    pag: &Pag,
+    config: &EngineConfig,
+    shared: &StaSumShared,
+    parts: &mut DriveParts,
+    v: VarId,
+    ctx: &[CallSiteId],
+) -> QueryResult {
+    let DriveParts {
+        fields,
+        ctxs,
+        drive: drive_scratch,
+        ppta: ppta_scratch,
+    } = parts;
+    ctxs.clear();
+    let c0 = ctxs.from_slice(ctx);
+    let mut provider = |fields: &mut StackPool<FieldId>,
+                        budget: &mut Budget,
+                        stats: &mut QueryStats,
+                        u: NodeId,
+                        f: FieldStackId,
+                        s: Direction|
+     -> Result<(Arc<Summary>, StepKind), BudgetExceeded> {
+        if let Some(rs) = shared.rel.get(&(u, s)) {
+            if let Some(sum) = instantiate(fields, &shared.options, rs, f) {
+                stats.cache_hits += 1;
+                return Ok((Arc::new(sum), StepKind::PptaReused));
+            }
+        }
+        // No precomputed summary (query root) or unusable one
+        // (truncated/aborted): concrete PPTA, not memorized — STASUM
+        // is static, it learns nothing new at query time.
+        stats.cache_misses += 1;
+        let sum = ppta::compute(pag, fields, ppta_scratch, config, budget, stats, u, f, s)?;
+        Ok((Arc::new(sum), StepKind::PptaComputed))
+    };
+    drive(
+        pag,
+        fields,
+        ctxs,
+        drive_scratch,
+        config,
+        pag.var_node(v),
+        c0,
+        &mut provider,
+        None::<&mut Trace>,
+    )
 }
 
 /// The STASUM engine.
@@ -107,14 +284,9 @@ struct RelSummary {
 #[derive(Debug)]
 pub struct StaSum<'p> {
     pag: &'p Pag,
-    fields: StackPool<FieldId>,
-    ctxs: StackPool<CallSiteId>,
     config: EngineConfig,
-    options: StaSumOptions,
-    rel: FxHashMap<(NodeId, Direction), Rc<RelSummary>>,
-    stats: StaSumStats,
-    scratch: DriveScratch,
-    ppta_scratch: PptaScratch,
+    shared: StaSumShared,
+    parts: DriveParts,
 }
 
 impl<'p> StaSum<'p> {
@@ -125,119 +297,31 @@ impl<'p> StaSum<'p> {
 
     /// Precomputes with explicit configuration and options.
     pub fn precompute_with(pag: &'p Pag, config: EngineConfig, options: StaSumOptions) -> Self {
-        let mut this = StaSum {
+        StaSum {
             pag,
-            fields: StackPool::new(),
-            ctxs: StackPool::new(),
             config,
-            options,
-            rel: FxHashMap::default(),
-            stats: StaSumStats::default(),
-            scratch: DriveScratch::default(),
-            ppta_scratch: PptaScratch::default(),
-        };
-        this.run_precompute();
-        this
-    }
-
-    fn run_precompute(&mut self) {
-        // S1 summaries are consumed where the driver lands after walking a
-        // global edge backwards (nodes with global out-edges); S2 where it
-        // lands walking forwards (nodes with global in-edges).
-        for (v, _) in self.pag.vars() {
-            let n = self.pag.var_node(v);
-            if !self.pag.has_local_edge(n) {
-                continue;
-            }
-            if self.pag.has_global_out(n) {
-                self.precompute_node(n, Direction::S1);
-            }
-            if self.pag.has_global_in(n) {
-                self.precompute_node(n, Direction::S2);
-            }
+            shared: stasum_precompute(pag, &config, options),
+            parts: DriveParts::default(),
         }
-    }
-
-    fn precompute_node(&mut self, n: NodeId, dir: Direction) {
-        let mut rp = RelPpta {
-            pag: self.pag,
-            fields: &mut self.fields,
-            options: &self.options,
-            max_have_depth: self.config.max_field_depth,
-            budget: Budget::new(self.options.node_budget),
-            visited: FxHashSet::default(),
-            out: RelSummary::default(),
-            edges: 0,
-        };
-        let aborted = rp
-            .go(n, FieldStackId::EMPTY, FieldStackId::EMPTY, dir, false)
-            .is_err();
-        let mut summary = rp.out;
-        summary.aborted = aborted;
-        self.stats.summaries += 1;
-        self.stats.entries += summary.objs.len() + summary.boundaries.len();
-        self.stats.precompute_edges += rp.edges;
-        if summary.truncated {
-            self.stats.truncated += 1;
-        }
-        if summary.aborted {
-            self.stats.aborted += 1;
-        }
-        self.rel.insert((n, dir), Rc::new(summary));
     }
 
     /// Precomputation statistics.
     pub fn precompute_stats(&self) -> StaSumStats {
-        self.stats
+        self.shared.stats
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
-
-    fn run(&mut self, v: VarId, c0: CtxId) -> QueryResult {
-        let pag = self.pag;
-        let config = self.config;
-        let options = self.options;
-        let rel = &self.rel;
-        let ppta_scratch = &mut self.ppta_scratch;
-        let mut provider = |fields: &mut StackPool<FieldId>,
-                            budget: &mut Budget,
-                            stats: &mut QueryStats,
-                            u: NodeId,
-                            f: FieldStackId,
-                            s: Direction|
-         -> Result<(Rc<Summary>, StepKind), BudgetExceeded> {
-            if let Some(rs) = rel.get(&(u, s)) {
-                if let Some(sum) = instantiate(fields, &options, rs, f) {
-                    stats.cache_hits += 1;
-                    return Ok((Rc::new(sum), StepKind::PptaReused));
-                }
-            }
-            // No precomputed summary (query root) or unusable one
-            // (truncated/aborted): concrete PPTA, not memorized — STASUM
-            // is static, it learns nothing new at query time.
-            stats.cache_misses += 1;
-            let sum = ppta::compute(pag, fields, ppta_scratch, &config, budget, stats, u, f, s)?;
-            Ok((Rc::new(sum), StepKind::PptaComputed))
-        };
-        drive(
-            pag,
-            &mut self.fields,
-            &mut self.ctxs,
-            &mut self.scratch,
-            &config,
-            pag.var_node(v),
-            c0,
-            &mut provider,
-            None::<&mut Trace>,
-        )
-    }
 }
 
 /// Instantiates a relative summary against a concrete arriving stack.
 /// Returns `None` when the summary cannot be trusted for this stack.
+///
+/// Instantiated summaries carry [`cost`](Summary::cost) 0: STASUM's
+/// store is frozen before the first query, so its queries are already
+/// independent of each other and need no deterministic reuse charging.
 fn instantiate(
     fields: &mut StackPool<FieldId>,
     options: &StaSumOptions,
@@ -252,33 +336,43 @@ fn instantiate(
     if rel.truncated && fields.depth(f) > options.max_need_depth {
         return None;
     }
+    let depth = fields.depth(f);
     let mut objs = Vec::new();
-    for &(o, need) in &rel.objs {
-        let nv = fields.to_vec(need);
-        if fields.depth(f) == nv.len() && fields.is_top_prefix(f, &nv) {
-            objs.push(o);
+    for (o, need) in &rel.objs {
+        if depth == need.len() && fields.is_top_prefix(f, need) {
+            objs.push(*o);
         }
     }
     let mut boundaries = Vec::new();
-    for &(n, need, have, d, strict) in &rel.boundaries {
-        let nv = fields.to_vec(need);
-        if strict && fields.depth(f) <= nv.len() {
+    for b in &rel.boundaries {
+        if b.strict && depth <= b.need.len() {
             continue;
         }
-        if fields.is_top_prefix(f, &nv) {
-            let base = fields.pop_n(f, nv.len()).expect("prefix checked");
-            let mut stack = base;
-            for g in fields.to_vec(have) {
+        if fields.is_top_prefix(f, &b.need) {
+            let mut stack = fields.pop_n(f, b.need.len()).expect("prefix checked");
+            for &g in b.have.iter() {
                 stack = fields.push(stack, g);
             }
-            boundaries.push((n, stack, d));
+            boundaries.push((b.node, stack, b.dir));
         }
     }
     objs.sort_unstable();
     objs.dedup();
-    boundaries.sort_unstable();
+    // Canonical, pool-independent order (content, not raw ids): the
+    // driver walks boundaries in order and may abort mid-walk on budget
+    // exhaustion, so partial results must not depend on interning
+    // history (see `ppta::compute`).
+    boundaries.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.2.cmp(&b.2))
+            .then_with(|| fields.cmp_stacks(a.1, b.1))
+    });
     boundaries.dedup();
-    Some(Summary { objs, boundaries })
+    Some(Summary {
+        objs,
+        boundaries,
+        cost: 0,
+    })
 }
 
 impl DemandPointsTo for StaSum<'_> {
@@ -288,19 +382,34 @@ impl DemandPointsTo for StaSum<'_> {
 
     /// STASUM has no refinement; the predicate is ignored.
     fn query(&mut self, v: VarId, _satisfied: ClientCheck<'_>) -> QueryResult {
-        self.run(v, CtxId::EMPTY)
+        stasum_query(
+            self.pag,
+            &self.config,
+            &self.shared,
+            &mut self.parts,
+            v,
+            &[],
+        )
     }
 
     /// The number of *precomputed* summaries — the Figure 5 denominator.
     fn summary_count(&self) -> usize {
-        self.stats.summaries
+        self.shared.stats.summaries
     }
 
     fn reset(&mut self) {
         // Static state is kept (recomputing it is the whole cost of
-        // STASUM); only the per-query pools are refreshed.
-        self.ctxs = StackPool::new();
+        // STASUM); only the per-query scratch is refreshed.
+        self.parts = DriveParts::default();
     }
+}
+
+/// The raw (pool-relative) accumulator RelPpta fills before freezing.
+#[derive(Debug, Default)]
+struct RawRelSummary {
+    objs: Vec<(ObjId, FieldStackId)>,
+    boundaries: Vec<(NodeId, FieldStackId, FieldStackId, Direction, bool)>,
+    truncated: bool,
 }
 
 /// Relative-stack PPTA: Algorithm 3 with the `(need, have)` split.
@@ -311,7 +420,7 @@ struct RelPpta<'a, 'p> {
     max_have_depth: usize,
     budget: Budget,
     visited: FxHashSet<(NodeId, FieldStackId, FieldStackId, Direction, bool)>,
-    out: RelSummary,
+    out: RawRelSummary,
     edges: u64,
 }
 
@@ -574,12 +683,34 @@ mod tests {
         // base `this_s` in S2 (arriving via entry) must have consumed a
         // `need` field: find any boundary with non-empty need or objs
         // qualified by need.
-        let any_need = e.rel.values().any(|r| {
-            r.objs.iter().any(|&(_, need)| !need.is_empty())
-                || r.boundaries
-                    .iter()
-                    .any(|&(_, need, _, _, _)| !need.is_empty())
+        let any_need = e.shared.rel.values().any(|r| {
+            r.objs.iter().any(|(_, need)| !need.is_empty())
+                || r.boundaries.iter().any(|b| !b.need.is_empty())
         });
         assert!(any_need, "relative summaries must exercise the need stack");
+    }
+
+    #[test]
+    fn frozen_summaries_are_pool_independent() {
+        // Two fresh engines over the same PAG must freeze identical
+        // inline entries regardless of interning history, and a second
+        // query-time pool must instantiate them identically.
+        let (pag, r1, ..) = vector_pag();
+        let a = StaSum::precompute(&pag);
+        let b = StaSum::precompute(&pag);
+        for (key, ra) in &a.shared.rel {
+            let rb = &b.shared.rel[key];
+            assert_eq!(ra.objs, rb.objs);
+            assert_eq!(ra.boundaries, rb.boundaries);
+        }
+        let mut e1 = a;
+        let mut e2 = b;
+        // Warm e2's pools with other queries first: raw pool ids now
+        // differ between the two engines; results must not.
+        let warm: Vec<VarId> = pag.vars().map(|(v, _)| v).take(4).collect();
+        for v in warm {
+            e2.points_to(v);
+        }
+        assert_eq!(e1.points_to(r1).pts, e2.points_to(r1).pts);
     }
 }

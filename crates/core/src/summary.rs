@@ -1,6 +1,6 @@
 //! Partial points-to summaries and the cross-query summary cache.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dynsum_cfl::{Direction, FieldStackId, FxHashMap};
 use dynsum_pag::{NodeId, ObjId, Pag};
@@ -24,6 +24,17 @@ pub struct Summary {
     pub objs: Vec<ObjId>,
     /// Boundary configurations awaiting global-edge continuation.
     pub boundaries: Vec<(NodeId, FieldStackId, Direction)>,
+    /// Edge traversals charged while computing this summary cold.
+    ///
+    /// Reusing a cached summary charges this amount against the query
+    /// budget in one lump (instead of re-traversing), so a query's
+    /// resolved/over-budget outcome — and therefore its points-to set —
+    /// is *identical* whether summaries are reused or recomputed. That
+    /// cache-independence is what makes [`Session::run_batch`]
+    /// (crate::Session::run_batch) results byte-identical to sequential
+    /// execution at any thread count. Wall-clock time still gets the
+    /// full reuse speedup; only the accounting is deterministic.
+    pub cost: u64,
 }
 
 impl Summary {
@@ -39,6 +50,7 @@ impl Summary {
             } else {
                 Vec::new()
             },
+            cost: 0,
         }
     }
 
@@ -65,17 +77,25 @@ impl Summary {
 }
 
 /// Key of a cached summary: the `(u, f, s)` triple of Algorithm 4 line 5.
+///
+/// The [`FieldStackId`] component is relative to the field-stack pool of
+/// whichever engine/handle interned it; caches are only ever consulted
+/// with ids from the same pool (or a clone of it), and
+/// [`Session::absorb`](crate::Session::absorb) re-interns ids when a
+/// handle's shard is merged back into the session pool.
 pub type SummaryKey = (NodeId, FieldStackId, Direction);
 
 /// DYNSUM's cross-query summary cache (the paper's `Cache`).
 ///
-/// Entries are reference-counted so cache hits are O(1) clones; the entry
-/// count is the quantity compared against STASUM in Figure 5.
+/// Entries are reference-counted ([`Arc`], so caches can be shared
+/// across [`Session`](crate::Session) query threads) and cache hits are
+/// O(1) clones; the entry count is the quantity compared against STASUM
+/// in Figure 5.
 #[derive(Debug, Default, Clone)]
 pub struct SummaryCache {
     // Keyed by dense in-tree ids: safe (and much cheaper) under the
     // non-DoS-resistant fast hasher.
-    map: FxHashMap<SummaryKey, Rc<Summary>>,
+    map: FxHashMap<SummaryKey, Arc<Summary>>,
     hits: u64,
     misses: u64,
 }
@@ -86,22 +106,42 @@ impl SummaryCache {
         SummaryCache::default()
     }
 
-    /// Looks up a summary, counting a hit or miss.
-    pub fn lookup(&mut self, key: SummaryKey) -> Option<Rc<Summary>> {
-        match self.map.get(&key) {
+    /// Looks up a summary, counting a hit or miss (the convenience form
+    /// of [`get`](Self::get) + [`record_hit`](Self::record_hit) /
+    /// [`record_miss`](Self::record_miss) for single-cache users).
+    pub fn lookup(&mut self, key: SummaryKey) -> Option<Arc<Summary>> {
+        match self.get(key) {
             Some(s) => {
-                self.hits += 1;
-                Some(Rc::clone(s))
+                self.record_hit();
+                Some(s)
             }
             None => {
-                self.misses += 1;
+                self.record_miss();
                 None
             }
         }
     }
 
+    /// Looks up a summary without touching the hit/miss counters — the
+    /// read-only operation parallel query handles use against a shared
+    /// (frozen) session cache.
+    pub fn get(&self, key: SummaryKey) -> Option<Arc<Summary>> {
+        self.map.get(&key).map(Arc::clone)
+    }
+
+    /// Records a hit that was served elsewhere (e.g. from a session's
+    /// shared cache through [`get`](Self::get)).
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss observed against a layered lookup.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
     /// Inserts a freshly computed summary.
-    pub fn insert(&mut self, key: SummaryKey, summary: Rc<Summary>) {
+    pub fn insert(&mut self, key: SummaryKey, summary: Arc<Summary>) {
         self.map.insert(key, summary);
     }
 
@@ -123,6 +163,27 @@ impl SummaryCache {
     /// Lifetime cache misses.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Iterates over the cached entries (used when merging a handle's
+    /// shard back into a session cache).
+    pub fn entries(&self) -> impl Iterator<Item = (&SummaryKey, &Arc<Summary>)> {
+        self.map.iter()
+    }
+
+    /// Folds another cache's hit/miss counters into this one (entry
+    /// merging is done separately because shard keys may need their
+    /// field-stack ids re-interned first).
+    pub fn absorb_counters(&mut self, other: &SummaryCache) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Inserts `summary` only if `key` is absent. Concurrent shards can
+    /// compute the same key independently; contents are canonical per
+    /// key, so first-in wins and later duplicates are dropped.
+    pub fn insert_if_absent(&mut self, key: SummaryKey, summary: Arc<Summary>) {
+        self.map.entry(key).or_insert(summary);
     }
 
     /// Clears entries and counters.
@@ -165,6 +226,7 @@ mod tests {
         let s2 = Summary::trivial(&pag, na, FieldStackId::EMPTY, Direction::S2);
         assert_eq!(s2.boundaries.len(), 1);
         assert_eq!(s2.len(), 1);
+        assert_eq!(s2.cost, 0, "trivial summaries charge nothing on reuse");
 
         // `p` has a global in-edge only.
         let s1 = Summary::trivial(&pag, np, FieldStackId::EMPTY, Direction::S1);
@@ -181,7 +243,7 @@ mod tests {
         let mut c = SummaryCache::new();
         let key = (NodeId::from_raw(0), FieldStackId::EMPTY, Direction::S1);
         assert!(c.lookup(key).is_none());
-        c.insert(key, Rc::new(Summary::default()));
+        c.insert(key, Arc::new(Summary::default()));
         assert!(c.lookup(key).is_some());
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
@@ -189,5 +251,23 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn get_is_counter_free_and_insert_if_absent_keeps_first() {
+        let mut c = SummaryCache::new();
+        let key = (NodeId::from_raw(1), FieldStackId::EMPTY, Direction::S2);
+        assert!(c.get(key).is_none());
+        let first = Arc::new(Summary {
+            cost: 7,
+            ..Summary::default()
+        });
+        c.insert_if_absent(key, Arc::clone(&first));
+        c.insert_if_absent(key, Arc::new(Summary::default()));
+        assert_eq!(c.get(key).unwrap().cost, 7, "first insert wins");
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        c.record_hit();
+        c.record_miss();
+        assert_eq!((c.hits(), c.misses()), (1, 1));
     }
 }

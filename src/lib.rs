@@ -48,6 +48,53 @@
 //! assert_eq!(result.pts.objects().len(), 1);
 //! # Ok::<(), dynsum::CompileError>(())
 //! ```
+//!
+//! ## Example: a shared session serving a parallel query batch
+//!
+//! A [`Session`] freezes the shareable analysis state (PAG, config, the
+//! summary cache) and hands out cheap `Send` handles; `run_batch` fans a
+//! query batch across worker threads with results byte-identical to
+//! sequential execution:
+//!
+//! ```
+//! use dynsum::{compile, DemandPointsTo, EngineKind, Session, SessionQuery};
+//!
+//! let program = "
+//!     class Box {
+//!         Object item;
+//!         void put(Object x) { this.item = x; }
+//!         Object take() { return this.item; }
+//!     }
+//!     class Main {
+//!         static void main() {
+//!             Box b = new Box();
+//!             b.put(new Main());
+//!             Object got = b.take();
+//!         }
+//!     }
+//! ";
+//! let compiled = compile(program)?;
+//! let mut session = Session::new(&compiled.pag, EngineKind::DynSum);
+//!
+//! // A handle is a full DemandPointsTo engine over the shared state.
+//! let got = compiled.pag.find_var("Main.main#got").expect("var exists");
+//! let mut handle = session.handle();
+//! assert!(handle.points_to(got).resolved);
+//!
+//! // Batches fan out across scoped threads; summary shards merge back
+//! // on join, so later batches start warm.
+//! let queries: Vec<SessionQuery> = compiled
+//!     .info
+//!     .derefs
+//!     .iter()
+//!     .map(|d| SessionQuery::new(d.base))
+//!     .collect();
+//! let results = session.run_batch(&queries, 2);
+//! assert_eq!(results.len(), queries.len());
+//! assert!(results.iter().all(|r| r.resolved));
+//! assert!(session.summary_count() > 0);
+//! # Ok::<(), dynsum::CompileError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,6 +122,13 @@ pub use dynsum_workloads as workloads;
 
 pub use dynsum_andersen::Andersen;
 pub use dynsum_cfl::{Budget, PointsToSet, QueryResult};
-pub use dynsum_core::{DemandPointsTo, DynSum, EngineConfig, NoRefine, RefinePts, StaSum};
+pub use dynsum_clients::{
+    run_batches, run_batches_parallel, run_client, split_batches, BatchReport, ClientKind,
+    ClientReport,
+};
+pub use dynsum_core::{
+    DemandPointsTo, DynSum, EngineConfig, EngineKind, NoRefine, QueryHandle, RefinePts, Session,
+    SessionQuery, StaSum, SummaryShard,
+};
 pub use dynsum_frontend::{compile, compile_with, CallGraphMode, CompileError};
 pub use dynsum_pag::{Pag, PagBuilder};
