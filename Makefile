@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-check bench-report bench-parallel fmt lint clean
+.PHONY: verify build test bench-check bench-report bench-parallel bench-cache fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -25,6 +25,12 @@ bench-report:
 # BENCH_report_parallel.json (BENCH_report.json stays the recorded point).
 bench-parallel:
 	$(CARGO) run --release -p dynsum-bench --bin perf_report -- --profile medium --threads 8 --out BENCH_report_parallel.json
+
+# The cache_pressure sweep on the small profile -> BENCH_report_cache.json.
+# Exits non-zero if any swept cap point diverges from the sequential path
+# (the same results_identical_vs_sequential gate CI enforces).
+bench-cache:
+	$(CARGO) run --release -p dynsum-bench --bin perf_report -- --profile small --threads 1 --out BENCH_report_cache.json
 
 fmt:
 	$(CARGO) fmt --all

@@ -149,11 +149,37 @@ fn main() {
             }
         );
     }
+    eprintln!(
+        "  run_batch overhead vs legacy engine @ 1 thread: {:+.1}%",
+        report.run_batch_overhead_vs_legacy_pct
+    );
+    for p in &report.cache_pressure {
+        eprintln!(
+            "  cache_pressure cap {:>9}: {:>8.1} q/s  hit rate {:>5.1}%  {:>6} evictions  \
+             {:>6} resident  results {}",
+            p.cap.map_or("uncapped".to_owned(), |c| c.to_string()),
+            p.qps,
+            p.hit_rate * 100.0,
+            p.evictions,
+            p.final_summaries,
+            if p.results_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
     eprintln!("wrote {out_path}");
-    // The identity check is a gate, not a footnote: CI runs this binary,
-    // so divergence from the sequential path must fail the build.
+    // The identity checks are a gate, not a footnote: CI runs this
+    // binary, so divergence from the sequential path — in the
+    // thread-scaling series or at any swept cache cap — must fail the
+    // build.
     if report.session_scaling.iter().any(|p| !p.results_identical) {
         eprintln!("ERROR: Session::run_batch results diverged from the sequential path");
+        std::process::exit(1);
+    }
+    if report.cache_pressure.iter().any(|p| !p.results_identical) {
+        eprintln!("ERROR: a cache_pressure cap point diverged from the sequential path");
         std::process::exit(1);
     }
 }

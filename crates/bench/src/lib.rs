@@ -33,7 +33,8 @@ pub use experiments::{
 };
 pub use options::{EngineKind, ExperimentOptions};
 pub use perf::{
-    perf_report, perf_report_with_threads, render_perf_json, BatchPerf, EnginePerf, PerfProfile,
-    PerfReport, ThreadScalePerf, DEFAULT_THREAD_COUNTS, PERF_BATCHES, PERF_ENGINES,
+    perf_report, perf_report_with_threads, render_perf_json, BatchPerf, CachePressurePerf,
+    EnginePerf, PerfProfile, PerfReport, ThreadScalePerf, DEFAULT_THREAD_COUNTS, PERF_BATCHES,
+    PERF_ENGINES,
 };
 pub use table::Table;

@@ -121,6 +121,34 @@ pub struct BatchPerf {
     pub batch_queries: Vec<usize>,
 }
 
+/// One point of the summary-cache pressure sweep: the DYNSUM batched
+/// NullDeref streams executed on a 1-thread session under a
+/// `max_cached_summaries` cap, with per-query results checked against
+/// the sequential path (eviction must never change them) and the
+/// hit-rate/throughput trade-off recorded.
+#[derive(Debug, Clone)]
+pub struct CachePressurePerf {
+    /// The cap swept (`None` = uncapped reference point).
+    pub cap: Option<usize>,
+    /// Wall-clock milliseconds across all `run_batch` calls.
+    pub wall_ms: f64,
+    /// Queries answered.
+    pub queries: usize,
+    /// Queries answered per wall-clock second.
+    pub qps: f64,
+    /// Shared-cache hit rate over the whole stream.
+    pub hit_rate: f64,
+    /// Entries evicted by the cap across the stream.
+    pub evictions: u64,
+    /// Summaries resident at stream end in the largest of the
+    /// per-benchmark sessions (the cap applies per session, so this is
+    /// ≤ cap when capped).
+    pub final_summaries: usize,
+    /// `true` when every query matched the sequential engine byte for
+    /// byte.
+    pub results_identical: bool,
+}
+
 /// One point of the `Session::run_batch` thread-scaling series: the
 /// DYNSUM batched NullDeref streams executed on a shared session at a
 /// fixed worker-thread count, with per-query results checked against the
@@ -169,6 +197,15 @@ pub struct PerfReport {
     /// The `Session::run_batch` thread-scaling series over the same
     /// streams (sharded summary cache, merge-on-join).
     pub session_scaling: Vec<ThreadScalePerf>,
+    /// The summary-cache pressure sweep: uncapped plus at least three
+    /// `max_cached_summaries` cap points at 1 thread, each verified
+    /// result-identical to the sequential path.
+    pub cache_pressure: Vec<CachePressurePerf>,
+    /// Per-batch overhead of the 1-thread `Session::run_batch` path
+    /// relative to the legacy persistent `DynSum` engine on the same
+    /// streams, in percent (positive = session slower). The merge,
+    /// snapshot, and handle-reuse machinery should keep this small.
+    pub run_batch_overhead_vs_legacy_pct: f64,
 }
 
 /// Number of batches in the throughput measurement (§5.3 uses 10).
@@ -336,6 +373,98 @@ pub fn perf_report_with_threads(
             0.0
         };
     }
+    // Per-batch overhead of the session path vs the legacy persistent
+    // engine, both at 1 worker over the same batched streams. Measured
+    // as a paired comparison: five rounds, each producing one
+    // legacy/session throughput ratio from back-to-back runs, with the
+    // in-round order alternating (a drifting/throttling host slows
+    // whichever side runs later, and alternation flips that bias's
+    // sign); the median round ratio is the recorded figure, robust to
+    // both drift and one-off scheduler spikes.
+    let measure_legacy = || {
+        let mut queries_n = 0usize;
+        let mut secs = 0.0f64;
+        for w in &workloads {
+            let mut engine = DynSum::with_config(&w.pag, config);
+            for batch in dynsum_clients::split_batches(
+                queries_for(ClientKind::NullDeref, &w.info),
+                PERF_BATCHES,
+            ) {
+                let started = Instant::now();
+                for q in &batch {
+                    engine.points_to(q.var);
+                }
+                secs += started.elapsed().as_secs_f64();
+                queries_n += batch.len();
+            }
+        }
+        if secs > 0.0 {
+            queries_n as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    let measure_session = || {
+        let mut queries_n = 0usize;
+        let mut secs = 0.0f64;
+        for w in &workloads {
+            let mut session = Session::with_config(&w.pag, dynsum_core::EngineKind::DynSum, config);
+            for batch in dynsum_clients::split_batches(
+                queries_for(ClientKind::NullDeref, &w.info),
+                PERF_BATCHES,
+            ) {
+                let sq: Vec<SessionQuery<'_>> =
+                    batch.iter().map(|q| SessionQuery::new(q.var)).collect();
+                let started = Instant::now();
+                session.run_batch(&sq, 1);
+                secs += started.elapsed().as_secs_f64();
+                queries_n += batch.len();
+            }
+        }
+        if secs > 0.0 {
+            queries_n as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    let mut round_ratios = Vec::with_capacity(5);
+    for round in 0..5 {
+        let (legacy_qps, session_qps) = if round % 2 == 0 {
+            let l = measure_legacy();
+            (l, measure_session())
+        } else {
+            let s = measure_session();
+            (measure_legacy(), s)
+        };
+        if legacy_qps > 0.0 && session_qps > 0.0 {
+            round_ratios.push(legacy_qps / session_qps);
+        }
+    }
+    round_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let run_batch_overhead_vs_legacy_pct = round_ratios
+        .get(round_ratios.len() / 2)
+        .map_or(0.0, |median| (median - 1.0) * 100.0);
+
+    // The cache-pressure sweep: uncapped first (its natural cache size
+    // anchors the swept caps), then caps at 1/2, 1/8 and 0 of it —
+    // hit rate and throughput fall as the cap tightens while results
+    // stay byte-identical (eviction is outcome-free by construction).
+    let uncapped = cache_pressure_point(&workloads, config, &baseline, None);
+    let natural = uncapped.final_summaries.max(1);
+    let mut caps: Vec<usize> = vec![natural.div_ceil(2), natural.div_ceil(8), 0];
+    caps.dedup();
+    if caps.len() < 3 {
+        caps = vec![2, 1, 0];
+    }
+    let mut cache_pressure = vec![uncapped];
+    for cap in caps {
+        cache_pressure.push(cache_pressure_point(
+            &workloads,
+            config,
+            &baseline,
+            Some(cap),
+        ));
+    }
 
     PerfReport {
         profile: profile_name.to_owned(),
@@ -348,6 +477,73 @@ pub fn perf_report_with_threads(
         dynsum_batches,
         dynsum_batch_throughput_qps,
         session_scaling,
+        cache_pressure,
+        run_batch_overhead_vs_legacy_pct,
+    }
+}
+
+/// Runs the batched NullDeref streams on a 1-thread session under one
+/// `max_cached_summaries` setting, checking every query against the
+/// sequential baseline fingerprints.
+fn cache_pressure_point(
+    workloads: &[dynsum_workloads::Workload],
+    config: dynsum_core::EngineConfig,
+    baseline: &[Vec<ResultFingerprint>],
+    cap: Option<usize>,
+) -> CachePressurePerf {
+    let config = dynsum_core::EngineConfig {
+        max_cached_summaries: cap,
+        ..config
+    };
+    let mut queries_total = 0usize;
+    let mut secs = 0.0f64;
+    let mut results_identical = true;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut evictions = 0u64;
+    let mut final_summaries = 0usize;
+    for (wi, w) in workloads.iter().enumerate() {
+        let mut session = Session::with_config(&w.pag, dynsum_core::EngineKind::DynSum, config);
+        let stream = queries_for(ClientKind::NullDeref, &w.info);
+        let mut qi = 0usize;
+        for batch in dynsum_clients::split_batches(stream, PERF_BATCHES) {
+            let sq: Vec<SessionQuery<'_>> =
+                batch.iter().map(|q| SessionQuery::new(q.var)).collect();
+            let started = Instant::now();
+            let results = session.run_batch(&sq, 1);
+            secs += started.elapsed().as_secs_f64();
+            for r in &results {
+                if fingerprint(r) != baseline[wi][qi] {
+                    results_identical = false;
+                }
+                qi += 1;
+            }
+            queries_total += results.len();
+        }
+        let stats = session.cache_stats();
+        hits += stats.hits;
+        misses += stats.misses;
+        evictions += stats.evictions;
+        final_summaries = final_summaries.max(session.summary_count());
+    }
+    let lookups = hits + misses;
+    CachePressurePerf {
+        cap,
+        wall_ms: secs * 1e3,
+        queries: queries_total,
+        qps: if secs > 0.0 {
+            queries_total as f64 / secs
+        } else {
+            0.0
+        },
+        hit_rate: if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        evictions,
+        final_summaries,
+        results_identical,
     }
 }
 
@@ -462,6 +658,37 @@ pub fn render_perf_json(r: &PerfReport) -> String {
             "    },\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"run_batch_1thread_overhead_vs_legacy_pct\": {},\n",
+        json_f64(r.run_batch_overhead_vs_legacy_pct)
+    ));
+    out.push_str("  \"cache_pressure\": [\n");
+    for (i, p) in r.cache_pressure.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"cap\": {},\n",
+            p.cap.map_or("null".to_owned(), |c| c.to_string())
+        ));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(p.wall_ms)));
+        out.push_str(&format!("      \"queries\": {},\n", p.queries));
+        out.push_str(&format!("      \"qps\": {},\n", json_f64(p.qps)));
+        out.push_str(&format!("      \"hit_rate\": {},\n", json_f64(p.hit_rate)));
+        out.push_str(&format!("      \"evictions\": {},\n", p.evictions));
+        out.push_str(&format!(
+            "      \"final_summaries\": {},\n",
+            p.final_summaries
+        ));
+        out.push_str(&format!(
+            "      \"results_identical_vs_sequential\": {}\n",
+            p.results_identical
+        ));
+        out.push_str(if i + 1 == r.cache_pressure.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -503,12 +730,38 @@ mod tests {
             );
         }
 
+        // The cache-pressure sweep: uncapped + ≥3 cap points, every one
+        // result-identical, caps actually enforced, and pressure visible
+        // (the capped points evict).
+        assert!(r.cache_pressure.len() >= 4);
+        assert_eq!(r.cache_pressure[0].cap, None);
+        assert!(r.cache_pressure.iter().skip(1).all(|p| p.cap.is_some()));
+        for p in &r.cache_pressure {
+            assert!(p.queries > 0);
+            assert!(
+                p.results_identical,
+                "cap {:?} diverged from the sequential path",
+                p.cap
+            );
+            if let Some(cap) = p.cap {
+                assert!(p.final_summaries <= cap, "cap {cap} not enforced");
+            }
+        }
+        assert!(
+            r.cache_pressure.iter().any(|p| p.evictions > 0),
+            "the tight cap points must actually evict"
+        );
+        assert!(r.run_batch_overhead_vs_legacy_pct.is_finite());
+
         let json = render_perf_json(&r);
         assert!(json.contains("\"session_scaling\""));
         assert!(json.contains("\"results_identical_vs_sequential\": true"));
         assert!(json.contains("\"DYNSUM\""));
         assert!(json.contains("\"dynsum_batch_throughput_qps\""));
         assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"cache_pressure\""));
+        assert!(json.contains("\"run_batch_1thread_overhead_vs_legacy_pct\""));
+        assert!(json.contains("\"cap\": null"), "uncapped point recorded");
         // Brackets balance (cheap well-formedness check without a parser).
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(

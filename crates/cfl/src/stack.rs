@@ -10,6 +10,7 @@
 
 use std::hash::Hash;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use crate::hash::FxHashMap;
 
@@ -87,7 +88,43 @@ impl<E> std::fmt::Debug for StackId<E> {
     }
 }
 
+/// The flat storage of a pool (or of a pool's frozen prefix): the node
+/// arena plus the interning table. Table keys are `(element, parent raw
+/// id)` with **global** raw ids, so a frozen core and a private
+/// extension compose without rewriting either.
+#[derive(Debug, Clone)]
+struct PoolCore<E> {
+    /// `nodes[i]` backs `StackId(first + i)` where `first` is 1 for a
+    /// base core and `base_len + 1` for an extension.
+    nodes: Vec<(E, StackId<E>, u32)>,
+    /// Interning table; push is one probe of this map. Keyed by dense
+    /// in-tree ids, so the fast non-SipHash hasher is safe here.
+    table: FxHashMap<(E, u32), StackId<E>>,
+}
+
+// Manual impl: a derive would bound `E: Default`, which element types
+// need not satisfy.
+impl<E> Default for PoolCore<E> {
+    fn default() -> Self {
+        PoolCore {
+            nodes: Vec::new(),
+            table: FxHashMap::default(),
+        }
+    }
+}
+
 /// Arena of hash-consed stacks over element type `E`.
+///
+/// A pool is a **frozen shared prefix** (an `Arc` installed by
+/// [`freeze`](Self::freeze), shared O(1) between clones) plus a private
+/// copy-on-extend tail. Cloning a freshly frozen pool is a reference
+/// bump, not a deep copy — that is how a
+/// [`Session`](../dynsum_core/struct.Session.html) hands every batch
+/// worker an aligned field-stack pool without re-copying the interning
+/// table each batch. Ids stay globally aligned across a pool and all
+/// clones taken after the same freeze: pushes that re-derive a frozen
+/// stack return its frozen id, and fresh pushes extend privately past
+/// the frozen prefix exactly as they would have extended the original.
 ///
 /// # Examples
 ///
@@ -107,51 +144,103 @@ impl<E> std::fmt::Debug for StackId<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StackPool<E> {
-    /// `nodes[i]` backs `StackId(i + 1)`.
-    nodes: Vec<(E, StackId<E>, u32)>,
-    /// Interning table; push is one probe of this map. Keyed by dense
-    /// in-tree ids, so the fast non-SipHash hasher is safe here.
-    table: FxHashMap<(E, u32), StackId<E>>,
+    /// Frozen prefix (ids `1..=base_len`), shared between clones;
+    /// `None` until the first [`freeze`](Self::freeze).
+    base: Option<Arc<PoolCore<E>>>,
+    /// `base.nodes.len()`, cached flat: `node()` runs on every stack
+    /// pop/peek/depth of the inner analysis loops, and reading the
+    /// length through the `Arc` would put a pointer chase on that path.
+    base_len: u32,
+    /// Private extension; `ext.nodes[i]` backs `StackId(base_len+i+1)`.
+    ext: PoolCore<E>,
 }
 
 impl<E: Copy + Eq + Hash> StackPool<E> {
     /// Creates a pool containing only the empty stack.
     pub fn new() -> Self {
         StackPool {
-            nodes: Vec::new(),
-            table: FxHashMap::default(),
+            base: None,
+            base_len: 0,
+            ext: PoolCore::default(),
         }
     }
 
     /// Number of distinct non-empty stacks interned so far.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len as usize + self.ext.nodes.len()
     }
 
     /// `true` when no non-empty stack has been interned.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     #[inline]
     fn node(&self, s: StackId<E>) -> Option<&(E, StackId<E>, u32)> {
         if s.raw == 0 {
-            None
+            return None;
+        }
+        let i = (s.raw - 1) as usize;
+        let base_len = self.base_len as usize;
+        if i < base_len {
+            Some(&self.base.as_ref().expect("base_len > 0").nodes[i])
         } else {
-            Some(&self.nodes[(s.raw - 1) as usize])
+            Some(&self.ext.nodes[i - base_len])
         }
     }
 
     /// Pushes `elem`, returning the interned result.
     pub fn push(&mut self, s: StackId<E>, elem: E) -> StackId<E> {
-        if let Some(&id) = self.table.get(&(elem, s.raw)) {
+        let key = (elem, s.raw);
+        if self.base_len > 0 {
+            if let Some(&id) = self.base.as_ref().expect("base_len > 0").table.get(&key) {
+                return id;
+            }
+        }
+        if let Some(&id) = self.ext.table.get(&key) {
             return id;
         }
         let depth = self.depth(s) as u32 + 1;
-        let id = StackId::from_raw(self.nodes.len() as u32 + 1);
-        self.nodes.push((elem, s, depth));
-        self.table.insert((elem, s.raw), id);
+        let id = StackId::from_raw(self.len() as u32 + 1);
+        self.ext.nodes.push((elem, s, depth));
+        self.ext.table.insert(key, id);
         id
+    }
+
+    /// Freezes the pool's current contents into the shared prefix, so
+    /// that [`Clone`] is an O(1) reference bump instead of a deep copy
+    /// until the next private push. Interned ids are unchanged. A no-op
+    /// when nothing was pushed since the last freeze.
+    ///
+    /// When this pool holds the only reference to its current prefix
+    /// (the steady state of a session pool whose per-batch clones have
+    /// been dropped), the rebuild moves the existing storage and costs
+    /// only the private tail; otherwise the prefix is copied once.
+    pub fn freeze(&mut self) {
+        if self.ext.nodes.is_empty() {
+            return;
+        }
+        let mut core = match self.base.take() {
+            Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()),
+            None => PoolCore::default(),
+        };
+        core.nodes.append(&mut self.ext.nodes);
+        core.table.extend(self.ext.table.drain());
+        self.base_len = core.nodes.len() as u32;
+        self.base = Some(Arc::new(core));
+    }
+
+    /// Length of the frozen prefix this pool shares with `other`: ids
+    /// `1..=shared_base_len` intern the **same stacks** in both pools
+    /// (they hold the same `Arc`). 0 when the pools share nothing —
+    /// callers must then translate every id. The cheap identity test
+    /// behind [`Session::absorb`](../dynsum_core/struct.Session.html)'s
+    /// fast path.
+    pub fn shared_base_len(&self, other: &StackPool<E>) -> usize {
+        match (&self.base, &other.base) {
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => a.nodes.len(),
+            _ => 0,
+        }
     }
 
     /// Pops the top element, returning it with the remaining stack;
@@ -186,7 +275,9 @@ impl<E: Copy + Eq + Hash> StackPool<E> {
     }
 
     /// Forgets every interned stack (the empty stack remains valid),
-    /// keeping the backing allocations for reuse.
+    /// keeping the private backing allocations for reuse. Any frozen
+    /// shared prefix is dropped too — after `clear` the pool interns
+    /// exactly like a fresh one.
     ///
     /// Outstanding non-empty [`StackId`]s are invalidated. Engines use
     /// this to make pools **per-query scratch**: clearing at query start
@@ -195,8 +286,10 @@ impl<E: Copy + Eq + Hash> StackPool<E> {
     /// property that lets parallel query batches return results
     /// byte-identical to sequential execution.
     pub fn clear(&mut self) {
-        self.nodes.clear();
-        self.table.clear();
+        self.base = None;
+        self.base_len = 0;
+        self.ext.nodes.clear();
+        self.ext.table.clear();
     }
 
     /// Interns a stack from elements given bottom-to-top.
@@ -357,6 +450,91 @@ mod tests {
         assert_eq!(a, b);
         let mut fresh = StackPool::new();
         assert_eq!(fresh.from_slice(&[7, 8, 9]), b);
+    }
+
+    #[test]
+    fn freeze_preserves_ids_and_shares_storage() {
+        let mut pool = StackPool::new();
+        let a = pool.from_slice(&[1, 2, 3]);
+        let b = pool.from_slice(&[4]);
+        pool.freeze();
+        // Frozen contents answer identically.
+        assert_eq!(pool.to_vec(a), vec![1, 2, 3]);
+        assert_eq!(pool.to_vec(b), vec![4]);
+        assert_eq!(pool.len(), 4);
+        // Re-pushing a frozen stack returns its frozen id.
+        assert_eq!(pool.from_slice(&[1, 2, 3]), a);
+        // A clone taken after freeze shares the whole prefix.
+        let snap = pool.clone();
+        assert_eq!(pool.shared_base_len(&snap), 4);
+        assert_eq!(snap.to_vec(a), vec![1, 2, 3]);
+        // Freezing again with no new pushes is a no-op (still shared).
+        pool.freeze();
+        assert_eq!(pool.shared_base_len(&snap), 4);
+    }
+
+    #[test]
+    fn snapshot_extends_like_a_deep_clone() {
+        // The alignment invariant absorb relies on: a post-freeze clone
+        // pushed further interns exactly the ids a deep copy would.
+        let mut pool = StackPool::new();
+        pool.from_slice(&[7, 8]);
+        pool.freeze();
+        let mut snap = pool.clone();
+        let mut deep = StackPool::new();
+        deep.from_slice(&[7, 8]);
+        let s1 = snap.from_slice(&[7, 9]);
+        let s2 = deep.from_slice(&[7, 9]);
+        assert_eq!(s1, s2);
+        assert_eq!(snap.len(), deep.len());
+        // Private extension does not leak back into the original.
+        assert_eq!(pool.len(), 2);
+        // Ids at or below the shared prefix denote the same stacks.
+        let shared = pool.shared_base_len(&snap);
+        assert_eq!(shared, 2);
+        for raw in 1..=shared as u32 {
+            let id = StackId::from_raw(raw);
+            assert_eq!(pool.to_vec(id), snap.to_vec(id));
+        }
+    }
+
+    #[test]
+    fn unrelated_pools_share_nothing() {
+        let mut a = StackPool::new();
+        a.from_slice(&[1]);
+        a.freeze();
+        let mut b = StackPool::new();
+        b.from_slice(&[1]);
+        b.freeze();
+        assert_eq!(a.shared_base_len(&b), 0, "distinct Arcs never alias");
+        let unfrozen: StackPool<u16> = StackPool::new();
+        assert_eq!(unfrozen.shared_base_len(&unfrozen.clone()), 0);
+    }
+
+    #[test]
+    fn clear_drops_the_frozen_prefix() {
+        let mut pool = StackPool::new();
+        let a = pool.from_slice(&[5, 6]);
+        pool.freeze();
+        let snap = pool.clone();
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.shared_base_len(&snap), 0);
+        // Interning after clear matches a fresh pool again.
+        assert_eq!(pool.from_slice(&[5, 6]), a);
+    }
+
+    #[test]
+    fn freeze_mid_stream_keeps_push_pop_consistent() {
+        let mut pool = StackPool::new();
+        let s1 = pool.from_slice(&[1, 2]);
+        pool.freeze();
+        let s2 = pool.push(s1, 3); // crosses the frozen/private border
+        assert_eq!(pool.pop(s2), Some((3, s1)));
+        assert_eq!(pool.depth(s2), 3);
+        assert_eq!(pool.to_vec(s2), vec![1, 2, 3]);
+        assert!(pool.is_top_prefix(s2, &[3, 2, 1]));
+        assert_eq!(pool.pop_n(s2, 2), Some(pool.from_slice(&[1])));
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub(crate) fn dynsum_query(
      -> Result<(Arc<Summary>, StepKind), BudgetExceeded> {
         let key = (u, f, s);
         if cache_on {
-            if let Some(sum) = cache.get(key).or_else(|| base.and_then(|b| b.get(key))) {
+            // Base first: on a warm stream most hits live in the shared
+            // session cache, so probing it before the (small, disjoint)
+            // shard saves a hash probe on the hot path. A key is never
+            // in both — shard inserts only keys that missed both.
+            if let Some(sum) = base.and_then(|b| b.get(key)).or_else(|| cache.get(key)) {
                 cache.record_hit();
                 stats.cache_hits += 1;
                 if config.deterministic_reuse {
@@ -95,7 +99,7 @@ pub(crate) fn dynsum_query(
         Ok((arc, StepKind::PptaComputed))
     };
 
-    drive(
+    let result = drive(
         pag,
         fields,
         ctxs,
@@ -105,7 +109,16 @@ pub(crate) fn dynsum_query(
         c0,
         &mut provider,
         trace,
-    )
+    );
+    // Size-capped lifecycle: sweep the mutable cache down to the cap
+    // after every query. For the legacy engine that bounds the whole
+    // cache; for a session handle it bounds the in-flight shard (the
+    // shared cache is capped again at the absorb merge point). Safe at
+    // any cap — deterministic reuse makes outcomes cache-independent.
+    if let Some(cap) = config.max_cached_summaries {
+        cache.enforce_cap(cap);
+    }
+    result
 }
 
 /// The DYNSUM demand-driven points-to engine.
@@ -353,6 +366,36 @@ mod tests {
                 assert_eq!(a.pts, b.pts, "budget {budget}");
             }
         }
+    }
+
+    #[test]
+    fn size_cap_bounds_the_cache_without_changing_answers() {
+        let (pag, r1, r2, o1, o2) = two_callers();
+        let mut uncapped = DynSum::new(&pag);
+        let want1 = uncapped.points_to(r1);
+        let want2 = uncapped.points_to(r2);
+        let full = uncapped.summary_count();
+        assert!(full > 1);
+        for cap in [0usize, 1, 2, full] {
+            let config = EngineConfig {
+                max_cached_summaries: Some(cap),
+                ..EngineConfig::default()
+            };
+            let mut e = DynSum::with_config(&pag, config);
+            // Interleave and repeat: eviction happens mid-stream.
+            for _ in 0..3 {
+                let a = e.points_to(r1);
+                assert_eq!(a.resolved, want1.resolved, "cap {cap}");
+                assert_eq!(a.pts, want1.pts, "cap {cap}");
+                let b = e.points_to(r2);
+                assert_eq!(b.pts, want2.pts, "cap {cap}");
+                assert!(e.summary_count() <= cap, "cap {cap} not enforced");
+            }
+            if cap == 0 {
+                assert!(e.cache().evictions() > 0);
+            }
+        }
+        assert!(want1.pts.contains_obj(o1) && want2.pts.contains_obj(o2));
     }
 
     #[test]

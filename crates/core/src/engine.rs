@@ -39,6 +39,27 @@ pub struct EngineConfig {
     /// order and cache state, and `run_batch` results may vary with the
     /// thread count.
     pub deterministic_reuse: bool,
+    /// Size cap on the DYNSUM summary cache: after each query (and after
+    /// every [`Session::absorb`](crate::Session::absorb) merge) a clock
+    /// sweep evicts entries down to this many, keeping a long-lived
+    /// query stream's memory bounded. `None` (the default) never evicts.
+    ///
+    /// With [`deterministic_reuse`](Self::deterministic_reuse) on,
+    /// eviction **cannot change any query's outcome** — reuse charges
+    /// cold cost, so results are cache-independent by construction; the
+    /// cap only trades hit rate (wall-clock) for memory. In a
+    /// [`Session`](crate::Session), the cap bounds the shared cache and
+    /// each worker's in-flight shard separately.
+    pub max_cached_summaries: Option<usize>,
+    /// Stack reservation for [`Session::run_batch`]
+    /// (crate::Session::run_batch) worker threads. PPTA recursion is
+    /// bounded by method-local graph size, but generated methods can be
+    /// large, so workers default to the generous reservation `main`
+    /// typically has (64 MiB). If the host cannot spawn a worker with
+    /// this reservation, the batch degrades to fewer workers instead of
+    /// panicking (see [`Session::spawn_failures`]
+    /// (crate::Session::spawn_failures)).
+    pub worker_stack_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +72,8 @@ impl Default for EngineConfig {
             max_refinements: 32,
             context_sensitive: true,
             deterministic_reuse: true,
+            max_cached_summaries: None,
+            worker_stack_bytes: 64 * 1024 * 1024,
         }
     }
 }

@@ -70,4 +70,4 @@ pub use norefine::NoRefine;
 pub use refinepts::RefinePts;
 pub use session::{EngineKind, QueryHandle, Session, SessionQuery, SummaryShard};
 pub use stasum::{StaSum, StaSumOptions, StaSumStats};
-pub use summary::{Summary, SummaryCache, SummaryKey};
+pub use summary::{CacheStats, Summary, SummaryCache, SummaryKey};

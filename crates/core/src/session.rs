@@ -22,6 +22,39 @@
 //! see [`Summary::cost`]), every query's result is a pure function of
 //! `(pag, config, query)`: batches return results **byte-identical** to
 //! sequential execution at any thread count.
+//!
+//! # Cache lifecycle
+//!
+//! The session is built for **long-lived query streams** (the paper's
+//! JIT/IDE regime, §1/§7), which demands bounded memory and amortized
+//! per-batch overhead:
+//!
+//! * **Size-capped eviction** — with
+//!   [`EngineConfig::max_cached_summaries`] set, a clock (second-chance)
+//!   sweep runs over the shared cache at every [`Session::absorb`] merge
+//!   point (and over each worker's in-flight shard after every query),
+//!   so the cache never exceeds the cap no matter how long the stream
+//!   runs. Eviction cannot change results: deterministic reuse
+//!   accounting makes every outcome cache-independent by construction,
+//!   so an evicted summary is recomputed at exactly the budget price its
+//!   reuse would have charged.
+//! * **Warm worker reuse** — `run_batch` recycles worker scratch
+//!   (worklist buffers, PPTA stacks, shard pools) across calls instead
+//!   of rebuilding it per batch, and handles receive the session's
+//!   field-stack pool as an O(1) frozen snapshot
+//!   ([`StackPool::freeze`]) instead of a deep clone. The absorb merge
+//!   detects the shared snapshot prefix and re-interns only the ids a
+//!   worker actually added.
+//! * **Invalidation fencing** — summary shards are stamped with the
+//!   session's invalidation *epoch* at handle creation;
+//!   [`Session::invalidate_method`] bumps the epoch, so a shard detached
+//!   before an invalidation can never re-absorb stale summaries for the
+//!   invalidated method afterwards (counted by
+//!   [`Session::stale_rejections`]).
+//! * **Spawn resilience** — if the host cannot spawn a batch worker
+//!   (stack/rlimit pressure), the batch degrades to fewer workers —
+//!   ultimately running chunks on the caller's thread — instead of
+//!   panicking, and [`Session::spawn_failures`] counts the degradations.
 
 use std::sync::Arc;
 
@@ -35,12 +68,7 @@ use crate::norefine::{norefine_query, NoRefine};
 use crate::refinepts::{refinepts_query, RefinePts};
 use crate::search::SearchParts;
 use crate::stasum::{stasum_precompute, stasum_query, StaSum, StaSumOptions, StaSumShared};
-use crate::summary::{Summary, SummaryCache};
-
-/// Reserved stack for batch worker threads: PPTA recursion is bounded by
-/// method-local graph size, but generated methods can be large, so the
-/// workers get the same generous reservation `main` typically has.
-const WORKER_STACK_BYTES: usize = 64 * 1024 * 1024;
+use crate::summary::{CacheStats, Summary, SummaryCache};
 
 /// The four demand-driven engines of Table 2, constructible by name.
 ///
@@ -189,6 +217,21 @@ pub struct Session<'p> {
     config: EngineConfig,
     kind: EngineKind,
     state: SharedState,
+    /// Invalidation epoch: bumped by [`invalidate_method`]
+    /// (Self::invalidate_method); shards detached under an older epoch
+    /// cannot re-absorb summaries of methods invalidated since.
+    epoch: u64,
+    /// Epoch at which each method was last invalidated.
+    invalidated_at: FxHashMap<MethodId, u64>,
+    /// Warm worker scratch recycled across [`run_batch`]
+    /// (Self::run_batch) calls: worklist/PPTA buffers and shard pools
+    /// stay allocated between batches.
+    warm: Vec<HandleScratch>,
+    /// Lifetime count of worker-spawn failures degraded gracefully.
+    spawn_failures: u64,
+    /// Lifetime count of stale (post-invalidation) shard entries
+    /// rejected at absorb time.
+    stale_rejected: u64,
 }
 
 impl<'p> Session<'p> {
@@ -218,6 +261,11 @@ impl<'p> Session<'p> {
             config,
             kind,
             state,
+            epoch: 0,
+            invalidated_at: FxHashMap::default(),
+            warm: Vec::new(),
+            spawn_failures: 0,
+            stale_rejected: 0,
         }
     }
 
@@ -228,6 +276,11 @@ impl<'p> Session<'p> {
             config,
             kind: EngineKind::StaSum,
             state: SharedState::StaSum(stasum_precompute(pag, &config, options)),
+            epoch: 0,
+            invalidated_at: FxHashMap::default(),
+            warm: Vec::new(),
+            spawn_failures: 0,
+            stale_rejected: 0,
         }
     }
 
@@ -261,25 +314,92 @@ impl<'p> Session<'p> {
     ///
     /// Handles are `Send` and cheap: pools, worklist buffers, and (for
     /// DYNSUM) an empty cache shard layered over the shared cache. Any
-    /// number may exist concurrently.
+    /// number may exist concurrently. The handle's field-stack pool is
+    /// an O(1) frozen snapshot of the session pool (not a deep clone):
+    /// shared-cache keys resolve identically in it, and private pushes
+    /// extend it copy-on-write.
     pub fn handle(&self) -> QueryHandle<'_, 'p> {
-        let scratch = match &self.state {
+        QueryHandle {
+            session: self,
+            scratch: self.new_scratch(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Builds fresh handle scratch matching this session's engine.
+    fn new_scratch(&self) -> HandleScratch {
+        match &self.state {
             SharedState::NoRefine => HandleScratch::NoRefine(SearchParts::default()),
             SharedState::RefinePts => HandleScratch::RefinePts(SearchParts::default()),
             SharedState::DynSum { fields, .. } => HandleScratch::DynSum {
                 parts: DriveParts {
-                    // Clone so shared-cache keys resolve identically in
-                    // the handle's pool; private pushes extend the clone.
+                    // A frozen-snapshot clone: shared-cache keys resolve
+                    // identically in the handle's pool, private pushes
+                    // extend the snapshot.
                     fields: fields.clone(),
                     ..DriveParts::default()
                 },
                 shard: SummaryCache::new(),
             },
             SharedState::StaSum(_) => HandleScratch::StaSum(DriveParts::default()),
-        };
-        QueryHandle {
-            session: self,
-            scratch,
+        }
+    }
+
+    /// Checks a warm worker scratch out of the pool (or builds a fresh
+    /// one). Reused scratch keeps its buffers; only the field-stack pool
+    /// is re-snapshotted so ids stay aligned with the current session
+    /// pool and cache.
+    fn checkout(&mut self) -> HandleScratch {
+        match self.warm.pop() {
+            Some(mut scratch) => {
+                if let (
+                    HandleScratch::DynSum { parts, shard },
+                    SharedState::DynSum { fields, .. },
+                ) = (&mut scratch, &self.state)
+                {
+                    debug_assert!(shard.is_empty(), "returned shards are drained");
+                    debug_assert_eq!(shard.stats(), CacheStats::default());
+                    parts.fields = fields.clone();
+                }
+                scratch
+            }
+            None => self.new_scratch(),
+        }
+    }
+
+    /// Number of warm worker-scratch slots held for reuse by the next
+    /// [`run_batch`](Self::run_batch) call.
+    pub fn warm_workers(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Drops the warm worker pool (for memory pressure; the next batch
+    /// rebuilds scratch from scratch).
+    pub fn shed_workers(&mut self) {
+        self.warm.clear();
+    }
+
+    /// Lifetime count of batch workers that could not be spawned and
+    /// were degraded to in-line execution instead of panicking.
+    pub fn spawn_failures(&self) -> u64 {
+        self.spawn_failures
+    }
+
+    /// Lifetime count of stale shard entries (computed before a
+    /// [`invalidate_method`](Self::invalidate_method) call for a method
+    /// it invalidated) rejected at absorb time.
+    pub fn stale_rejections(&self) -> u64 {
+        self.stale_rejected
+    }
+
+    /// Lifetime hit/miss/eviction counters of the shared summary cache
+    /// (all zero for engines without one). `stats().lookups()` equals
+    /// the total lookups of every absorbed shard — unmerged handle
+    /// shards are not yet included.
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.state {
+            SharedState::DynSum { cache, .. } => cache.stats(),
+            _ => CacheStats::default(),
         }
     }
 
@@ -287,35 +407,70 @@ impl<'p> Session<'p> {
     /// [`QueryHandle::into_summaries`]) into the shared cache, returning
     /// how many entries were new. Field-stack ids are re-interned into
     /// the session pool; duplicate keys keep the existing entry (summary
-    /// contents are canonical per key). No-op for engines without a
-    /// cache.
+    /// contents are canonical per key). Entries for methods invalidated
+    /// since the shard's handle was created are rejected (see
+    /// [`stale_rejections`](Self::stale_rejections)), and the size cap
+    /// — [`EngineConfig::max_cached_summaries`] — is enforced after the
+    /// merge. No-op for engines without a cache.
     pub fn absorb(&mut self, shard: SummaryShard) -> usize {
         let SummaryShard {
             cache: shard_cache,
             fields: shard_fields,
+            epoch: shard_epoch,
         } = shard;
-        match &mut self.state {
+        let added = self.absorb_parts(&shard_cache, &shard_fields, shard_epoch);
+        // Release the shard's snapshot before freezing, so the freeze
+        // can move the shared prefix instead of deep-copying it.
+        drop(shard_fields);
+        self.finish_merge();
+        added
+    }
+
+    /// The merge body, borrowing the shard so the warm-worker path can
+    /// drain and keep it. Does **not** enforce the cap or refreeze the
+    /// pool — callers run [`finish_merge`](Self::finish_merge) once
+    /// after the last shard of a batch.
+    fn absorb_parts(
+        &mut self,
+        shard_cache: &SummaryCache,
+        shard_fields: &StackPool<FieldId>,
+        shard_epoch: u64,
+    ) -> usize {
+        let pag = self.pag;
+        let invalidated_at = &self.invalidated_at;
+        let mut stale = 0u64;
+        let added = match &mut self.state {
             SharedState::DynSum { cache, fields } => {
-                cache.absorb_counters(&shard_cache);
+                cache.absorb_counters(shard_cache);
                 let before = cache.len();
+                // Ids at or below the shared frozen prefix denote the
+                // same stacks in both pools — the steady-state fast
+                // path: a worker that interned nothing new skips
+                // translation entirely.
+                let shared = fields.shared_base_len(shard_fields) as u32;
                 let mut memo: FxHashMap<FieldStackId, FieldStackId> = FxHashMap::default();
                 for (&(node, f, dir), sum) in shard_cache.entries() {
+                    if let Some(m) = pag.method_of(node) {
+                        if invalidated_at.get(&m).is_some_and(|&e| e > shard_epoch) {
+                            stale += 1;
+                            continue;
+                        }
+                    }
                     // Translation is memoized, so deciding `changed`
                     // first and re-walking only when a rewrite is needed
-                    // keeps the common case (handle pool is an
-                    // unextended clone: every id maps to itself) free of
-                    // per-summary allocation.
-                    let f2 = translate(&shard_fields, fields, &mut memo, f);
+                    // keeps the common case (no private extension: every
+                    // id maps to itself) free of per-summary allocation.
+                    let f2 = translate(shard_fields, fields, &mut memo, shared, f);
                     let changed = f2 != f
                         || sum.boundaries.iter().any(|&(_, bf, _)| {
-                            translate(&shard_fields, fields, &mut memo, bf) != bf
+                            translate(shard_fields, fields, &mut memo, shared, bf) != bf
                         });
                     let entry = if changed {
                         let boundaries = sum
                             .boundaries
                             .iter()
                             .map(|&(n, bf, d)| {
-                                (n, translate(&shard_fields, fields, &mut memo, bf), d)
+                                (n, translate(shard_fields, fields, &mut memo, shared, bf), d)
                             })
                             .collect();
                         Arc::new(Summary {
@@ -331,16 +486,39 @@ impl<'p> Session<'p> {
                 cache.len() - before
             }
             _ => 0,
+        };
+        self.stale_rejected += stale;
+        added
+    }
+
+    /// Post-merge bookkeeping: sweep the shared cache down to the size
+    /// cap and refreeze the session pool so the next round of handle
+    /// snapshots is O(1) again.
+    fn finish_merge(&mut self) {
+        if let SharedState::DynSum { cache, fields } = &mut self.state {
+            if let Some(cap) = self.config.max_cached_summaries {
+                cache.enforce_cap(cap);
+            }
+            fields.freeze();
         }
     }
 
     /// Evicts the shared summaries of one method (the incremental-edit
     /// story — see [`DynSum::invalidate_method`]). Returns the number of
     /// evicted entries; 0 for engines without a cache.
+    ///
+    /// Outstanding shards are fenced, not drained: the session's
+    /// invalidation epoch is bumped, and [`absorb`](Self::absorb)
+    /// rejects entries for this method from any shard whose handle was
+    /// created before this call — stale summaries can never re-enter
+    /// the shared cache. Handles created *after* this call recompute
+    /// and re-absorb the method's summaries normally.
     pub fn invalidate_method(&mut self, method: MethodId) -> usize {
         let pag = self.pag;
         match &mut self.state {
             SharedState::DynSum { cache, .. } => {
+                self.epoch += 1;
+                self.invalidated_at.insert(method, self.epoch);
                 cache.evict_where(|&(node, _, _)| pag.method_of(node) == Some(method))
             }
             _ => 0,
@@ -352,49 +530,112 @@ impl<'p> Session<'p> {
     ///
     /// Workers read the session cache frozen at batch start and collect
     /// fresh summaries in private shards; the shards are merged back
-    /// here after all workers join (so later batches start warmer).
-    /// Results — resolution flags and points-to sets, including the
-    /// partial sets of over-budget queries — are **byte-identical to
-    /// sequential execution** for every thread count: summary reuse
-    /// charges its recorded cold cost against the per-query budget, so
-    /// no query's outcome depends on what any other query cached.
+    /// here after all workers join (so later batches start warmer), the
+    /// size cap is enforced on the merged cache, and the worker scratch
+    /// (buffers, pools) is kept warm for the next call. Results —
+    /// resolution flags and points-to sets, including the partial sets
+    /// of over-budget queries — are **byte-identical to sequential
+    /// execution** for every thread count: summary reuse charges its
+    /// recorded cold cost against the per-query budget, so no query's
+    /// outcome depends on what any other query cached.
+    ///
+    /// A 1-thread batch runs its single chunk directly on the calling
+    /// thread — same checkout/merge machinery, no thread spawn — so
+    /// per-batch overhead vs the legacy engine is just the merge. If a
+    /// multi-thread batch's worker cannot be spawned (stack/rlimit
+    /// pressure), its chunk likewise runs on the calling thread — the
+    /// batch degrades to fewer workers, ultimately one, rather than
+    /// panicking; [`spawn_failures`](Self::spawn_failures) counts the
+    /// degradations.
+    ///
+    /// Chunks on the calling thread run PPTA recursion on the caller's
+    /// stack — exactly like the legacy engines' `points_to` always has
+    /// — which is typically smaller than
+    /// [`EngineConfig::worker_stack_bytes`]. Callers with unusually
+    /// deep-recursion workloads who relied on the worker reservation
+    /// should pass `threads >= 2` (reserved-stack workers) or raise
+    /// their own thread's stack.
     pub fn run_batch(&mut self, queries: &[SessionQuery<'_>], threads: usize) -> Vec<QueryResult> {
         if queries.is_empty() {
             return Vec::new();
         }
         let threads = threads.clamp(1, queries.len());
-        // One code path for every thread count: a 1-thread batch is a
-        // single chunk on a single worker, so it gets the same stack
-        // reservation and pays the same per-batch overhead as the
-        // multi-thread points it is compared against.
-        let sess: &Session<'p> = self;
-        let (results, shards) = std::thread::scope(|scope| {
-            let workers: Vec<_> = balanced_chunks(queries, threads)
-                .map(|chunk| {
-                    std::thread::Builder::new()
-                        .stack_size(WORKER_STACK_BYTES)
-                        .spawn_scoped(scope, move || {
-                            let mut h = sess.handle();
-                            let out: Vec<QueryResult> =
-                                chunk.iter().map(|q| h.query(q.var, q.satisfied)).collect();
-                            (out, h.into_summaries())
-                        })
-                        .expect("failed to spawn query worker")
-                })
-                .collect();
-            let mut results = Vec::with_capacity(queries.len());
-            let mut shards = Vec::with_capacity(threads);
-            for worker in workers {
-                let (out, shard) = worker.join().expect("query worker panicked");
-                results.extend(out);
-                shards.push(shard);
-            }
-            (results, shards)
-        });
-        for shard in shards {
-            self.absorb(shard);
+        let epoch = self.epoch;
+        if threads == 1 {
+            // The sequential fast path: same slot checkout, chunk run,
+            // and shard merge as the parallel path, minus the scoped
+            // spawn/join a lone worker would only pay overhead for.
+            let slot = self.checkout();
+            let (out, scratch) = run_chunk(self, slot, queries, epoch);
+            self.retire_slot(scratch, epoch);
+            self.finish_merge();
+            return out;
         }
+        let mut slots: Vec<HandleScratch> = (0..threads).map(|_| self.checkout()).collect();
+        let stack_bytes = self.config.worker_stack_bytes;
+        let sess: &Session<'p> = self;
+        let (per_chunk, failures) = std::thread::scope(|scope| {
+            let mut spawned = Vec::with_capacity(threads);
+            let mut inline: Vec<(usize, &[SessionQuery<'_>])> = Vec::new();
+            let mut failures = 0u64;
+            for (ci, chunk) in balanced_chunks(queries, threads).enumerate() {
+                // The slot moves into the spawn closure, so a failed
+                // spawn forfeits it; the in-line fallback rebuilds
+                // fresh scratch (rare path, correctness unaffected).
+                let slot = slots.pop().expect("one slot per chunk");
+                let spawn = std::thread::Builder::new()
+                    .stack_size(stack_bytes)
+                    .spawn_scoped(scope, move || run_chunk(sess, slot, chunk, epoch));
+                match spawn {
+                    Ok(worker) => spawned.push((ci, worker)),
+                    Err(_) => {
+                        failures += 1;
+                        inline.push((ci, chunk));
+                    }
+                }
+            }
+            let mut per_chunk: Vec<Option<(Vec<QueryResult>, HandleScratch)>> =
+                (0..threads).map(|_| None).collect();
+            // Degraded chunks run here, overlapping the live workers.
+            for (ci, chunk) in inline {
+                per_chunk[ci] = Some(run_chunk(sess, sess.new_scratch(), chunk, epoch));
+            }
+            for (ci, worker) in spawned {
+                match worker.join() {
+                    Ok(pair) => per_chunk[ci] = Some(pair),
+                    // A worker panic is an engine bug; re-raise the
+                    // original payload rather than masking it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            (per_chunk, failures)
+        });
+        self.spawn_failures += failures;
+        let mut results = Vec::with_capacity(queries.len());
+        for entry in per_chunk {
+            let (out, scratch) = entry.expect("every chunk ran");
+            results.extend(out);
+            self.retire_slot(scratch, epoch);
+        }
+        self.finish_merge();
         results
+    }
+
+    /// Merges a finished worker slot's shard into the shared cache and
+    /// parks the scratch in the warm pool for the next batch.
+    fn retire_slot(&mut self, mut scratch: HandleScratch, epoch: u64) {
+        if let HandleScratch::DynSum { parts, shard } = &mut scratch {
+            self.absorb_parts(shard, &parts.fields, epoch);
+            // Drained after the counter/entry merge: absorbing the
+            // same shard again next batch would double-count.
+            shard.clear();
+            // Release the snapshot too (checkout re-takes one): a
+            // parked slot holding the base `Arc` would force the
+            // post-merge `freeze` to deep-copy the prefix instead of
+            // moving it.
+            parts.fields.clear();
+        }
+        self.warm.push(scratch);
     }
 
     /// [`run_batch`](Self::run_batch) at full precision (no client
@@ -420,33 +661,57 @@ fn balanced_chunks<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
     })
 }
 
+/// Runs one chunk of a batch on (owned) worker scratch, returning the
+/// results together with the scratch so [`Session::run_batch`] can
+/// drain its shard and keep it warm.
+fn run_chunk<'s, 'p>(
+    sess: &'s Session<'p>,
+    scratch: HandleScratch,
+    chunk: &[SessionQuery<'_>],
+    epoch: u64,
+) -> (Vec<QueryResult>, HandleScratch) {
+    let mut h = QueryHandle {
+        session: sess,
+        scratch,
+        epoch,
+    };
+    let out = chunk.iter().map(|q| h.query(q.var, q.satisfied)).collect();
+    (out, h.scratch)
+}
+
 /// Translates a field-stack id interned in `from` into the equivalent id
-/// in `to`, re-interning as needed. Memoized per merge.
+/// in `to`, re-interning as needed. Memoized per merge. Ids at or below
+/// `shared` — the frozen prefix the two pools share — are identical in
+/// both pools and pass through untouched (the empty stack, raw 0, is
+/// always below it).
 fn translate(
     from: &StackPool<FieldId>,
     to: &mut StackPool<FieldId>,
     memo: &mut FxHashMap<FieldStackId, FieldStackId>,
+    shared: u32,
     id: FieldStackId,
 ) -> FieldStackId {
-    if id.is_empty() {
-        return FieldStackId::EMPTY;
+    if id.as_raw() <= shared {
+        return id;
     }
     if let Some(&t) = memo.get(&id) {
         return t;
     }
-    // Walk down to a translated suffix, then re-intern back up.
+    // Walk down to a translated (or shared) suffix, then re-intern back
+    // up.
     let mut chain: Vec<(FieldStackId, FieldId)> = Vec::new();
     let mut cur = id;
-    let mut base = FieldStackId::EMPTY;
-    while !cur.is_empty() {
+    let base = loop {
+        if cur.as_raw() <= shared {
+            break cur;
+        }
         if let Some(&t) = memo.get(&cur) {
-            base = t;
-            break;
+            break t;
         }
         let (top, rest) = from.pop(cur).expect("non-empty stack");
         chain.push((cur, top));
         cur = rest;
-    }
+    };
     let mut t = base;
     for &(orig, elem) in chain.iter().rev() {
         t = to.push(t, elem);
@@ -456,12 +721,15 @@ fn translate(
 }
 
 /// A handle's detached summary shard: the summaries it computed plus the
-/// field-stack pool their keys are interned in. Produced by
-/// [`QueryHandle::into_summaries`], consumed by [`Session::absorb`].
+/// field-stack pool their keys are interned in, stamped with the
+/// session's invalidation epoch at handle creation. Produced by
+/// [`QueryHandle::into_summaries`], consumed by [`Session::absorb`]
+/// (which rejects entries for methods invalidated after the stamp).
 #[derive(Debug, Default)]
 pub struct SummaryShard {
     cache: SummaryCache,
     fields: StackPool<FieldId>,
+    epoch: u64,
 }
 
 impl SummaryShard {
@@ -498,6 +766,10 @@ enum HandleScratch {
 pub struct QueryHandle<'s, 'p> {
     session: &'s Session<'p>,
     scratch: HandleScratch,
+    /// Session invalidation epoch at creation; stamps the detached
+    /// shard so stale summaries cannot be re-absorbed after an
+    /// invalidation.
+    epoch: u64,
 }
 
 impl QueryHandle<'_, '_> {
@@ -522,6 +794,7 @@ impl QueryHandle<'_, '_> {
             HandleScratch::DynSum { parts, shard } => SummaryShard {
                 cache: shard,
                 fields: parts.fields,
+                epoch: self.epoch,
             },
             _ => SummaryShard::default(),
         }
@@ -559,7 +832,7 @@ impl DemandPointsTo for QueryHandle<'_, '_> {
     /// Drops the handle's private state (shard included); the session's
     /// shared summaries are untouched.
     fn reset(&mut self) {
-        self.scratch = self.session.handle().scratch;
+        self.scratch = self.session.new_scratch();
     }
 }
 
@@ -737,5 +1010,163 @@ mod tests {
         let (pag, ..) = two_callers();
         let mut session = Session::new(&pag, EngineKind::DynSum);
         assert!(session.run_batch_vars(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn run_batch_recycles_worker_scratch() {
+        let (pag, vars, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        assert_eq!(session.warm_workers(), 0);
+        let first = session.run_batch_vars(&vars, 2);
+        assert_eq!(session.warm_workers(), 2, "both slots returned warm");
+        // Re-running on the warm pool gives identical results and does
+        // not grow the pool.
+        let second = session.run_batch_vars(&vars, 2);
+        assert_eq!(session.warm_workers(), 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.resolved, b.resolved);
+            assert_eq!(a.pts, b.pts);
+        }
+        // A wider batch grows it; shedding empties it.
+        session.run_batch_vars(&vars, 4);
+        assert_eq!(session.warm_workers(), 4);
+        session.shed_workers();
+        assert_eq!(session.warm_workers(), 0);
+        assert!(session.run_batch_vars(&vars, 3).len() == vars.len());
+    }
+
+    #[test]
+    fn unspawnable_workers_degrade_to_inline_execution() {
+        let (pag, vars, ..) = two_callers();
+        let want = {
+            let mut session = Session::new(&pag, EngineKind::DynSum);
+            session.run_batch_vars(&vars, 2)
+        };
+        // An absurd stack reservation makes every spawn fail; the batch
+        // must still complete (on the calling thread) with identical
+        // results and a nonzero warning counter.
+        let config = EngineConfig {
+            worker_stack_bytes: usize::MAX,
+            ..EngineConfig::default()
+        };
+        let mut session = Session::with_config(&pag, EngineKind::DynSum, config);
+        let got = session.run_batch_vars(&vars, 3);
+        assert!(session.spawn_failures() > 0, "degradations must be counted");
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.resolved, b.resolved);
+            assert_eq!(a.pts, b.pts);
+        }
+        // Shards from in-line chunks still merge: later batches warm up.
+        assert!(session.summary_count() > 0);
+    }
+
+    #[test]
+    fn absorb_enforces_the_size_cap() {
+        let (pag, vars, ..) = two_callers();
+        let uncapped = {
+            let mut s = Session::new(&pag, EngineKind::DynSum);
+            s.run_batch_vars(&vars, 1);
+            s.summary_count()
+        };
+        assert!(uncapped > 1);
+        let cap = 1usize;
+        let config = EngineConfig {
+            max_cached_summaries: Some(cap),
+            ..EngineConfig::default()
+        };
+        let mut session = Session::with_config(&pag, EngineKind::DynSum, config);
+        let results = session.run_batch_vars(&vars, 2);
+        assert!(session.summary_count() <= cap);
+        assert!(session.cache_stats().evictions > 0);
+        // Capped results match the uncapped session's byte for byte.
+        let mut reference = Session::new(&pag, EngineKind::DynSum);
+        let want = reference.run_batch_vars(&vars, 1);
+        for (a, b) in results.iter().zip(&want) {
+            assert_eq!(a.resolved, b.resolved);
+            assert_eq!(a.pts, b.pts);
+        }
+    }
+
+    #[test]
+    fn stale_shards_cannot_resurrect_invalidated_summaries() {
+        let (pag, vars, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        // Detach a shard computed before the invalidation.
+        let shard = {
+            let mut h = session.handle();
+            for &v in &vars {
+                h.points_to(v);
+            }
+            h.into_summaries()
+        };
+        assert!(!shard.is_empty());
+        let id = pag.find_method("id").unwrap();
+        session.invalidate_method(id);
+        assert_eq!(session.summary_count(), 0, "nothing was merged yet");
+        let added = session.absorb(shard);
+        assert!(added > 0, "main's summaries are not stale");
+        assert!(session.stale_rejections() > 0, "id's summaries are");
+        let in_id = |s: &Session<'_>| {
+            // No public key iteration: re-deriving `id`'s summaries via
+            // eviction count is the observable.
+            let mut probe = Session {
+                pag: s.pag,
+                config: s.config,
+                kind: s.kind,
+                state: match &s.state {
+                    SharedState::DynSum { cache, fields } => SharedState::DynSum {
+                        cache: cache.clone(),
+                        fields: fields.clone(),
+                    },
+                    _ => unreachable!(),
+                },
+                epoch: s.epoch,
+                invalidated_at: s.invalidated_at.clone(),
+                warm: Vec::new(),
+                spawn_failures: 0,
+                stale_rejected: 0,
+            };
+            probe.invalidate_method(id)
+        };
+        assert_eq!(in_id(&session), 0, "no summaries of `id` were absorbed");
+        // A post-invalidation handle repopulates the method normally.
+        let shard2 = {
+            let mut h = session.handle();
+            for &v in &vars {
+                h.points_to(v);
+            }
+            h.into_summaries()
+        };
+        session.absorb(shard2);
+        assert!(in_id(&session) > 0, "fresh summaries for `id` re-absorbed");
+        // And queries still answer correctly throughout.
+        let mut h = session.handle();
+        assert!(h.points_to(vars[0]).resolved);
+    }
+
+    #[test]
+    fn batch_lookup_accounting_balances() {
+        // stats().lookups() on the shared cache == the per-query stats
+        // summed over every absorbed query — each lookup counted exactly
+        // once, at any thread count, across multiple batches.
+        let (pag, vars, ..) = two_callers();
+        for threads in [1usize, 2, 4] {
+            let mut session = Session::new(&pag, EngineKind::DynSum);
+            let mut per_query = 0u64;
+            for _ in 0..3 {
+                for r in session.run_batch_vars(&vars, threads) {
+                    per_query += r.stats.cache_hits + r.stats.cache_misses;
+                }
+            }
+            let stats = session.cache_stats();
+            assert_eq!(
+                stats.lookups(),
+                per_query,
+                "threads={threads}: hits {} + misses {} must equal per-query lookups",
+                stats.hits,
+                stats.misses
+            );
+        }
     }
 }

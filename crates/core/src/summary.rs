@@ -1,5 +1,6 @@
 //! Partial points-to summaries and the cross-query summary cache.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dynsum_cfl::{Direction, FieldStackId, FxHashMap};
@@ -85,19 +86,88 @@ impl Summary {
 /// handle's shard is merged back into the session pool.
 pub type SummaryKey = (NodeId, FieldStackId, Direction);
 
+/// Lifetime counters of a [`SummaryCache`]: `hits + misses` equals the
+/// total number of lookups ever issued against it (each lookup is
+/// counted exactly once, even when served through a layered
+/// shard-over-session arrangement and merged back later), and
+/// `evictions` counts entries removed by the size cap or by method
+/// invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including a layered base).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh PPTA computation.
+    pub misses: u64,
+    /// Entries evicted by [`SummaryCache::enforce_cap`] or
+    /// [`SummaryCache::evict_where`].
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits over all lookups; 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// One cached summary plus its clock reference bit. The bit is atomic so
+/// a *shared* (`&self`) lookup against a session cache can still mark
+/// recency — that is what lets the clock observe cross-thread reuse
+/// without locking the cache.
+#[derive(Debug)]
+struct CacheSlot {
+    summary: Arc<Summary>,
+    referenced: AtomicBool,
+}
+
+impl Clone for CacheSlot {
+    fn clone(&self) -> Self {
+        CacheSlot {
+            summary: Arc::clone(&self.summary),
+            referenced: AtomicBool::new(self.referenced.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// DYNSUM's cross-query summary cache (the paper's `Cache`).
 ///
 /// Entries are reference-counted ([`Arc`], so caches can be shared
 /// across [`Session`](crate::Session) query threads) and cache hits are
 /// O(1) clones; the entry count is the quantity compared against STASUM
 /// in Figure 5.
+///
+/// The cache is **size-capped on demand**: [`enforce_cap`]
+/// (Self::enforce_cap) runs a clock (second-chance) sweep — every
+/// lookup sets an entry's reference bit, the sweep clears bits and
+/// evicts entries found unreferenced — so a long-lived query stream
+/// keeps its working set while cold entries age out. Eviction can never
+/// change query outcomes: deterministic reuse accounting charges a
+/// summary's cold cost on every hit, so results are cache-independent
+/// by construction and an evicted entry is simply recomputed at the
+/// same budget price it would have charged anyway.
 #[derive(Debug, Default, Clone)]
 pub struct SummaryCache {
     // Keyed by dense in-tree ids: safe (and much cheaper) under the
     // non-DoS-resistant fast hasher.
-    map: FxHashMap<SummaryKey, Arc<Summary>>,
+    map: FxHashMap<SummaryKey, CacheSlot>,
+    /// Clock ring: insertion-ordered keys, lazily pruned (a key evicted
+    /// via [`evict_where`](Self::evict_where) lingers until the next
+    /// sweep or compaction passes it).
+    ring: Vec<SummaryKey>,
+    /// Clock hand into `ring`.
+    hand: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl SummaryCache {
@@ -124,9 +194,14 @@ impl SummaryCache {
 
     /// Looks up a summary without touching the hit/miss counters — the
     /// read-only operation parallel query handles use against a shared
-    /// (frozen) session cache.
+    /// (frozen) session cache. Sets the entry's clock reference bit, so
+    /// even counter-free shared hits protect the entry from the next
+    /// eviction sweep.
     pub fn get(&self, key: SummaryKey) -> Option<Arc<Summary>> {
-        self.map.get(&key).map(Arc::clone)
+        self.map.get(&key).map(|slot| {
+            slot.referenced.store(true, Ordering::Relaxed);
+            Arc::clone(&slot.summary)
+        })
     }
 
     /// Records a hit that was served elsewhere (e.g. from a session's
@@ -142,7 +217,18 @@ impl SummaryCache {
 
     /// Inserts a freshly computed summary.
     pub fn insert(&mut self, key: SummaryKey, summary: Arc<Summary>) {
-        self.map.insert(key, summary);
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().summary = summary;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(CacheSlot {
+                    summary,
+                    referenced: AtomicBool::new(false),
+                });
+                self.ring.push(key);
+            }
+        }
     }
 
     /// Number of cached summaries.
@@ -165,40 +251,122 @@ impl SummaryCache {
         self.misses
     }
 
+    /// Lifetime entries evicted (size cap + predicate eviction).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The lifetime counters as one value; `stats().lookups()` equals
+    /// the number of lookups ever issued (pinned by regression test —
+    /// see `tests/cache_lifecycle.rs`).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
     /// Iterates over the cached entries (used when merging a handle's
     /// shard back into a session cache).
     pub fn entries(&self) -> impl Iterator<Item = (&SummaryKey, &Arc<Summary>)> {
-        self.map.iter()
+        self.map.iter().map(|(k, slot)| (k, &slot.summary))
     }
 
-    /// Folds another cache's hit/miss counters into this one (entry
-    /// merging is done separately because shard keys may need their
-    /// field-stack ids re-interned first).
+    /// Folds another cache's counters into this one (entry merging is
+    /// done separately because shard keys may need their field-stack
+    /// ids re-interned first).
+    ///
+    /// Callers that keep the source cache alive after merging — the
+    /// warm-worker reuse path of
+    /// [`Session::run_batch`](crate::Session::run_batch) — must
+    /// [`clear`](Self::clear) it afterwards, or the same lookups would
+    /// be folded in again on the next merge (the double-count bug this
+    /// accounting scheme exists to rule out).
     pub fn absorb_counters(&mut self, other: &SummaryCache) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.evictions += other.evictions;
     }
 
     /// Inserts `summary` only if `key` is absent. Concurrent shards can
     /// compute the same key independently; contents are canonical per
     /// key, so first-in wins and later duplicates are dropped.
     pub fn insert_if_absent(&mut self, key: SummaryKey, summary: Arc<Summary>) {
-        self.map.entry(key).or_insert(summary);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.map.entry(key) {
+            e.insert(CacheSlot {
+                summary,
+                referenced: AtomicBool::new(false),
+            });
+            self.ring.push(key);
+        }
     }
 
     /// Clears entries and counters.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.ring.clear();
+        self.hand = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 
     /// Removes every entry whose key satisfies `pred`, returning how
-    /// many were evicted. Counters are kept (they describe history).
+    /// many were evicted. Hit/miss counters are kept (they describe
+    /// history); the evicted entries are added to
+    /// [`evictions`](Self::evictions).
     pub fn evict_where(&mut self, mut pred: impl FnMut(&SummaryKey) -> bool) -> usize {
         let before = self.map.len();
         self.map.retain(|k, _| !pred(k));
-        before - self.map.len()
+        let evicted = before - self.map.len();
+        self.evictions += evicted as u64;
+        // Drop the stale ring keys eagerly when they dominate the ring,
+        // so repeated predicate evictions cannot bloat it.
+        if self.ring.len() > 2 * self.map.len() + 8 {
+            let map = &self.map;
+            self.ring.retain(|k| map.contains_key(k));
+            self.hand = 0;
+        }
+        evicted
+    }
+
+    /// Evicts entries until at most `cap` remain, using a clock
+    /// (second-chance) sweep: entries whose reference bit is set since
+    /// the last sweep get the bit cleared and survive; unreferenced
+    /// entries go. Returns the number evicted.
+    ///
+    /// `cap == 0` empties the cache — legal (and deterministic in
+    /// outcome) because reuse accounting makes results cache-independent;
+    /// the stream just pays cold cost every time, exactly like
+    /// `cache_summaries: false`.
+    pub fn enforce_cap(&mut self, cap: usize) -> usize {
+        let mut evicted = 0usize;
+        while self.map.len() > cap {
+            debug_assert!(!self.ring.is_empty(), "ring covers every live key");
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            match self.map.get(&key) {
+                // Stale ring key (already evicted by predicate): drop it.
+                None => {
+                    self.ring.swap_remove(self.hand);
+                }
+                Some(slot) => {
+                    if slot.referenced.swap(false, Ordering::Relaxed) {
+                        // Second chance; the hand moves on.
+                        self.hand += 1;
+                    } else {
+                        self.map.remove(&key);
+                        self.ring.swap_remove(self.hand);
+                        evicted += 1;
+                    }
+                }
+            }
+        }
+        self.evictions += evicted as u64;
+        evicted
     }
 }
 
@@ -251,6 +419,91 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.hits(), 0);
+    }
+
+    fn key(n: u32) -> SummaryKey {
+        (NodeId::from_raw(n), FieldStackId::EMPTY, Direction::S1)
+    }
+
+    fn filled(n: u32) -> SummaryCache {
+        let mut c = SummaryCache::new();
+        for i in 0..n {
+            c.insert(key(i), Arc::new(Summary::default()));
+        }
+        c
+    }
+
+    #[test]
+    fn enforce_cap_evicts_down_to_cap() {
+        let mut c = filled(10);
+        assert_eq!(c.enforce_cap(16), 0, "under cap: nothing to do");
+        let evicted = c.enforce_cap(4);
+        assert_eq!(evicted, 6);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 6);
+        assert_eq!(c.enforce_cap(0), 4, "cap 0 empties the cache");
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 10);
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        let mut c = filled(8);
+        // Touch three entries; the sweep must prefer evicting the five
+        // untouched ones.
+        for i in [1u32, 4, 6] {
+            assert!(c.get(key(i)).is_some());
+        }
+        c.enforce_cap(3);
+        assert_eq!(c.len(), 3);
+        for i in [1u32, 4, 6] {
+            assert!(
+                c.entries().any(|(k, _)| *k == key(i)),
+                "recently used entry {i} must survive the sweep"
+            );
+        }
+        // A full sweep under continued pressure eventually evicts even
+        // previously referenced entries (bits are cleared on the way).
+        c.enforce_cap(0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cap_sweep_skips_keys_already_evicted_by_predicate() {
+        let mut c = filled(6);
+        let gone = c.evict_where(|&(n, _, _)| n.index() % 2 == 0);
+        assert_eq!(gone, 3);
+        assert_eq!(c.evictions(), 3);
+        // The ring still holds stale keys; the sweep must not count
+        // them as evictions nor loop on them.
+        assert_eq!(c.enforce_cap(1), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 5);
+        // Re-inserting an evicted key works and is sweepable again.
+        c.insert(key(0), Arc::new(Summary::default()));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.enforce_cap(0), 2);
+    }
+
+    #[test]
+    fn absorb_counters_folds_evictions_and_clear_resets_them() {
+        let mut a = filled(2);
+        a.enforce_cap(0);
+        let mut b = SummaryCache::new();
+        b.record_hit();
+        b.absorb_counters(&a);
+        assert_eq!(
+            b.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                evictions: 2
+            }
+        );
+        assert_eq!(b.stats().lookups(), 1);
+        b.clear();
+        assert_eq!(b.stats(), CacheStats::default());
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

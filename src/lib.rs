@@ -127,8 +127,8 @@ pub use dynsum_clients::{
     ClientReport,
 };
 pub use dynsum_core::{
-    DemandPointsTo, DynSum, EngineConfig, EngineKind, NoRefine, QueryHandle, RefinePts, Session,
-    SessionQuery, StaSum, SummaryShard,
+    CacheStats, DemandPointsTo, DynSum, EngineConfig, EngineKind, NoRefine, QueryHandle, RefinePts,
+    Session, SessionQuery, StaSum, SummaryShard,
 };
 pub use dynsum_frontend::{compile, compile_with, CallGraphMode, CompileError};
 pub use dynsum_pag::{Pag, PagBuilder};
