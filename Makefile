@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-check bench-report bench-parallel bench-cache fmt lint clean
+.PHONY: verify build test doc bench-check bench-report bench-parallel bench-cache fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -12,6 +12,10 @@ build:
 
 test:
 	$(CARGO) test -q
+
+# Docs are a build gate: broken intra-doc links and missing docs fail.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
 
 bench-check:
 	$(CARGO) bench --no-run

@@ -169,6 +169,24 @@ fn main() {
             }
         );
     }
+    for p in &report.warm_start {
+        eprintln!(
+            "  warm_start {:<10}: cold {:>7.2} ms -> warm {:>7.2} ms ({:.1}x, load {:.2} ms, \
+             {} summaries / {} bytes) results {}",
+            p.benchmark,
+            p.cold_first_batch_ms,
+            p.warm_first_batch_ms,
+            p.warm_speedup,
+            p.load_ms,
+            p.restored_summaries,
+            p.snapshot_bytes,
+            if p.results_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
     eprintln!("wrote {out_path}");
     // The identity checks are a gate, not a footnote: CI runs this
     // binary, so divergence from the sequential path — in the
@@ -180,6 +198,10 @@ fn main() {
     }
     if report.cache_pressure.iter().any(|p| !p.results_identical) {
         eprintln!("ERROR: a cache_pressure cap point diverged from the sequential path");
+        std::process::exit(1);
+    }
+    if report.warm_start.iter().any(|p| !p.results_identical) {
+        eprintln!("ERROR: a snapshot-warmed first batch diverged from the sequential path");
         std::process::exit(1);
     }
 }

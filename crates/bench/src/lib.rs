@@ -34,7 +34,7 @@ pub use experiments::{
 pub use options::{EngineKind, ExperimentOptions};
 pub use perf::{
     perf_report, perf_report_with_threads, render_perf_json, BatchPerf, CachePressurePerf,
-    EnginePerf, PerfProfile, PerfReport, ThreadScalePerf, DEFAULT_THREAD_COUNTS, PERF_BATCHES,
-    PERF_ENGINES,
+    EnginePerf, PerfProfile, PerfReport, ThreadScalePerf, WarmStartPerf, DEFAULT_THREAD_COUNTS,
+    PERF_BATCHES, PERF_ENGINES,
 };
 pub use table::Table;

@@ -149,6 +149,43 @@ pub struct CachePressurePerf {
     pub results_identical: bool,
 }
 
+/// One point of the warm-restart series: the first NullDeref batch of a
+/// fresh process, cold (empty cache) vs warm (summary cache restored
+/// from a `Session::save_snapshot` byte image saved by a previous
+/// "process" that served the whole stream). Results are checked against
+/// the sequential baseline in both modes — a warm restart must be
+/// outcome-invisible. Timings are medians over alternating paired
+/// rounds; the one-time snapshot load is reported separately (it is a
+/// restart cost, like engine setup, not per-batch work).
+#[derive(Debug, Clone)]
+pub struct WarmStartPerf {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Snapshot size on the wire.
+    pub snapshot_bytes: usize,
+    /// Summaries in the donor session's cache at save time.
+    pub saved_summaries: usize,
+    /// Summaries restored by the load (must equal the saved count).
+    pub restored_summaries: usize,
+    /// Median one-time `load_snapshot` wall time.
+    pub load_ms: f64,
+    /// Median first-batch wall time on a cold session.
+    pub cold_first_batch_ms: f64,
+    /// Median first-batch wall time on a snapshot-restored session.
+    pub warm_first_batch_ms: f64,
+    /// Queries in the first batch.
+    pub queries: usize,
+    /// Cold first-batch throughput.
+    pub cold_qps: f64,
+    /// Warm first-batch throughput.
+    pub warm_qps: f64,
+    /// `warm_qps / cold_qps` (the headline warm-restart win).
+    pub warm_speedup: f64,
+    /// `true` when every cold *and* warm first-batch result matched the
+    /// sequential baseline byte for byte.
+    pub results_identical: bool,
+}
+
 /// One point of the `Session::run_batch` thread-scaling series: the
 /// DYNSUM batched NullDeref streams executed on a shared session at a
 /// fixed worker-thread count, with per-query results checked against the
@@ -201,6 +238,10 @@ pub struct PerfReport {
     /// `max_cached_summaries` cap points at 1 thread, each verified
     /// result-identical to the sequential path.
     pub cache_pressure: Vec<CachePressurePerf>,
+    /// The warm-restart series: cold vs snapshot-restored first-batch
+    /// throughput per benchmark, each verified result-identical to the
+    /// sequential path.
+    pub warm_start: Vec<WarmStartPerf>,
     /// Per-batch overhead of the 1-thread `Session::run_batch` path
     /// relative to the legacy persistent `DynSum` engine on the same
     /// streams, in percent (positive = session slower). The merge,
@@ -466,6 +507,15 @@ pub fn perf_report_with_threads(
         ));
     }
 
+    // The warm-restart series: per benchmark, a donor session serves the
+    // whole stream and saves a snapshot; fresh cold and snapshot-warmed
+    // sessions then race on the first batch.
+    let warm_start = workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| warm_start_point(w, config, &baseline[wi]))
+        .collect();
+
     PerfReport {
         profile: profile_name.to_owned(),
         scale: opts.scale,
@@ -478,7 +528,139 @@ pub fn perf_report_with_threads(
         dynsum_batch_throughput_qps,
         session_scaling,
         cache_pressure,
+        warm_start,
         run_batch_overhead_vs_legacy_pct,
+    }
+}
+
+/// Median of a non-empty sample (ms timings).
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Measures one benchmark's cold-vs-warm first batch: five alternating
+/// paired rounds (robust to host throttling drift), medians recorded,
+/// every result — cold and warm — checked against the sequential
+/// baseline fingerprints.
+fn warm_start_point(
+    w: &dynsum_workloads::Workload,
+    config: dynsum_core::EngineConfig,
+    baseline: &[ResultFingerprint],
+) -> WarmStartPerf {
+    use dynsum_core::EngineKind;
+    let stream = queries_for(ClientKind::NullDeref, &w.info);
+    let first_batch: Vec<SessionQuery<'_>> =
+        dynsum_clients::split_batches(stream.clone(), PERF_BATCHES)
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+            .iter()
+            .map(|q| SessionQuery::new(q.var))
+            .collect();
+
+    // The donor "process": serve everything, persist the working set.
+    let mut donor = Session::with_config(&w.pag, EngineKind::DynSum, config);
+    for batch in dynsum_clients::split_batches(stream, PERF_BATCHES) {
+        let sq: Vec<SessionQuery<'_>> = batch.iter().map(|q| SessionQuery::new(q.var)).collect();
+        donor.run_batch(&sq, 1);
+    }
+    let saved_summaries = donor.summary_count();
+    let mut snapshot = Vec::new();
+    donor
+        .save_snapshot(&mut snapshot)
+        .expect("writing to a Vec cannot fail");
+
+    let mut results_identical = true;
+    let mut restored_summaries = 0usize;
+    let mut cold_samples = Vec::with_capacity(5);
+    let mut warm_samples = Vec::with_capacity(5);
+    let mut load_samples = Vec::with_capacity(5);
+    for round in 0..5 {
+        let run_cold = |cold_samples: &mut Vec<f64>, identical: &mut bool| {
+            let mut session = Session::with_config(&w.pag, EngineKind::DynSum, config);
+            let started = Instant::now();
+            let results = session.run_batch(&first_batch, 1);
+            cold_samples.push(started.elapsed().as_secs_f64() * 1e3);
+            for (i, r) in results.iter().enumerate() {
+                if fingerprint(r) != baseline[i] {
+                    *identical = false;
+                }
+            }
+        };
+        let run_warm = |warm_samples: &mut Vec<f64>,
+                        load_samples: &mut Vec<f64>,
+                        restored: &mut usize,
+                        identical: &mut bool| {
+            let started = Instant::now();
+            let (mut session, load) =
+                Session::load_snapshot(&snapshot[..], &w.pag, EngineKind::DynSum, config);
+            load_samples.push(started.elapsed().as_secs_f64() * 1e3);
+            if !load.is_warm() {
+                // A self-saved snapshot must load; record the failure as
+                // divergence so the CI gate trips loudly.
+                *identical = false;
+            }
+            *restored = load.summaries();
+            let started = Instant::now();
+            let results = session.run_batch(&first_batch, 1);
+            warm_samples.push(started.elapsed().as_secs_f64() * 1e3);
+            for (i, r) in results.iter().enumerate() {
+                if fingerprint(r) != baseline[i] {
+                    *identical = false;
+                }
+            }
+        };
+        if round % 2 == 0 {
+            run_cold(&mut cold_samples, &mut results_identical);
+            run_warm(
+                &mut warm_samples,
+                &mut load_samples,
+                &mut restored_summaries,
+                &mut results_identical,
+            );
+        } else {
+            run_warm(
+                &mut warm_samples,
+                &mut load_samples,
+                &mut restored_summaries,
+                &mut results_identical,
+            );
+            run_cold(&mut cold_samples, &mut results_identical);
+        }
+    }
+    if restored_summaries != saved_summaries {
+        results_identical = false;
+    }
+
+    let queries = first_batch.len();
+    let cold_ms = median(cold_samples);
+    let warm_ms = median(warm_samples);
+    let qps = |ms: f64| {
+        if ms > 0.0 {
+            queries as f64 * 1e3 / ms
+        } else {
+            0.0
+        }
+    };
+    let (cold_qps, warm_qps) = (qps(cold_ms), qps(warm_ms));
+    WarmStartPerf {
+        benchmark: w.name.clone(),
+        snapshot_bytes: snapshot.len(),
+        saved_summaries,
+        restored_summaries,
+        load_ms: median(load_samples),
+        cold_first_batch_ms: cold_ms,
+        warm_first_batch_ms: warm_ms,
+        queries,
+        cold_qps,
+        warm_qps,
+        warm_speedup: if cold_qps > 0.0 {
+            warm_qps / cold_qps
+        } else {
+            0.0
+        },
+        results_identical,
     }
 }
 
@@ -689,6 +871,52 @@ pub fn render_perf_json(r: &PerfReport) -> String {
             "    },\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"warm_start\": [\n");
+    for (i, p) in r.warm_start.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"benchmark\": {},\n",
+            json_str(&p.benchmark)
+        ));
+        out.push_str(&format!(
+            "      \"snapshot_bytes\": {},\n",
+            p.snapshot_bytes
+        ));
+        out.push_str(&format!(
+            "      \"saved_summaries\": {},\n",
+            p.saved_summaries
+        ));
+        out.push_str(&format!(
+            "      \"restored_summaries\": {},\n",
+            p.restored_summaries
+        ));
+        out.push_str(&format!("      \"load_ms\": {},\n", json_f64(p.load_ms)));
+        out.push_str(&format!(
+            "      \"cold_first_batch_ms\": {},\n",
+            json_f64(p.cold_first_batch_ms)
+        ));
+        out.push_str(&format!(
+            "      \"warm_first_batch_ms\": {},\n",
+            json_f64(p.warm_first_batch_ms)
+        ));
+        out.push_str(&format!("      \"queries\": {},\n", p.queries));
+        out.push_str(&format!("      \"cold_qps\": {},\n", json_f64(p.cold_qps)));
+        out.push_str(&format!("      \"warm_qps\": {},\n", json_f64(p.warm_qps)));
+        out.push_str(&format!(
+            "      \"warm_speedup\": {},\n",
+            json_f64(p.warm_speedup)
+        ));
+        out.push_str(&format!(
+            "      \"results_identical_vs_sequential\": {}\n",
+            p.results_identical
+        ));
+        out.push_str(if i + 1 == r.warm_start.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -753,7 +981,32 @@ mod tests {
         );
         assert!(r.run_batch_overhead_vs_legacy_pct.is_finite());
 
+        // The warm-restart series: one point per benchmark, snapshot
+        // intact, restore complete, and — the snapshot contract — cold
+        // and warm first batches both byte-identical to the baseline.
+        // (Strict warm>cold speedup is asserted by the perf_report
+        // gate's recorded runs, not here: debug-build timings on a tiny
+        // profile are too noisy for a hard unit-test bound.)
+        assert_eq!(r.warm_start.len(), r.benchmarks.len());
+        for p in &r.warm_start {
+            assert!(p.queries > 0);
+            assert!(p.snapshot_bytes > 0);
+            assert!(p.saved_summaries > 0, "donor stream must cache summaries");
+            assert_eq!(
+                p.restored_summaries, p.saved_summaries,
+                "restore must be complete"
+            );
+            assert!(p.cold_qps > 0.0 && p.warm_qps > 0.0);
+            assert!(
+                p.results_identical,
+                "{}: warm restart changed results",
+                p.benchmark
+            );
+        }
+
         let json = render_perf_json(&r);
+        assert!(json.contains("\"warm_start\""));
+        assert!(json.contains("\"warm_speedup\""));
         assert!(json.contains("\"session_scaling\""));
         assert!(json.contains("\"results_identical_vs_sequential\": true"));
         assert!(json.contains("\"DYNSUM\""));

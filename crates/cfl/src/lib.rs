@@ -13,7 +13,9 @@
 //! * [`Budget`] — per-query edge-traversal budgets (75,000 by default,
 //!   §5.2) plus [`with_stack`] for running deep recursive queries;
 //! * [`FxHasher`]/[`FxHashMap`]/[`FxHashSet`] — the vendored fast hasher
-//!   behind every hot-path table (worklist dedup, interning, caches);
+//!   behind every hot-path table (worklist dedup, interning, caches) —
+//!   plus [`StableHasher`], the *frozen* FNV-1a variant whose output is
+//!   part of persistent on-disk formats (snapshot fingerprints);
 //! * [`PointsToSet`], [`QueryResult`], [`QueryStats`] — context-qualified
 //!   results and deterministic work counters;
 //! * [`Trace`] — the `(v, f, s, c)` step recorder behind the paper's
@@ -30,7 +32,7 @@ mod stack;
 mod trace;
 
 pub use budget::{with_stack, Budget, BudgetExceeded, ANALYSIS_STACK_BYTES};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, StableHasher};
 pub use query::{CtxId, FieldStackId, PointsToSet, QueryResult, QueryStats};
 pub use rsm::Direction;
 pub use stack::{StackId, StackPool};

@@ -243,6 +243,70 @@ impl<E: Copy + Eq + Hash> StackPool<E> {
         }
     }
 
+    /// Exports every interned (non-empty) stack in id order `1..=len()`
+    /// as `(top element, parent id)` pairs — the pool's persistent wire
+    /// form, re-importable with [`import`](Self::import).
+    ///
+    /// A stack's parent is always interned before the stack itself, so
+    /// every yielded parent id is strictly smaller than the id of the
+    /// pair that carries it (`0`, the empty stack, is always valid).
+    /// That ordering is what makes the flat pair list self-contained:
+    /// replaying it through [`push`](Self::push) rebuilds the exact same
+    /// id assignment. Both the frozen prefix and the private extension
+    /// are exported; clone-sharing is a memory optimization, not part of
+    /// the pool's logical content.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dynsum_cfl::{StackId, StackPool};
+    ///
+    /// let mut pool: StackPool<u8> = StackPool::new();
+    /// let s = pool.from_slice(&[7, 9]);
+    /// pool.freeze();
+    /// let t = pool.push(s, 11); // extends past the frozen prefix
+    ///
+    /// let pairs: Vec<(u8, StackId<u8>)> = pool.export().collect();
+    /// let rebuilt = StackPool::import(pairs).expect("valid export");
+    /// assert_eq!(rebuilt.len(), pool.len());
+    /// assert_eq!(rebuilt.to_vec(t), vec![7, 9, 11]); // ids align
+    /// ```
+    pub fn export(&self) -> impl Iterator<Item = (E, StackId<E>)> + '_ {
+        let frozen = self.base.as_deref().map_or(&[][..], |c| c.nodes.as_slice());
+        frozen
+            .iter()
+            .chain(self.ext.nodes.iter())
+            .map(|&(elem, parent, _)| (elem, parent))
+    }
+
+    /// Rebuilds a pool from pairs produced by [`export`](Self::export),
+    /// assigning ids `1..=n` in order. Returns `None` when the pairs are
+    /// not a valid export — a parent id at or beyond the id being defined
+    /// (forward/self reference), or a duplicate `(element, parent)` pair
+    /// (which would collapse under hash-consing and shift every later
+    /// id). Untrusted inputs (snapshot files) rely on this validation to
+    /// fail loudly instead of silently mis-aligning ids.
+    ///
+    /// The rebuilt pool answers every operation identically to the
+    /// exported one, under the same ids. It is returned unfrozen; call
+    /// [`freeze`](Self::freeze) if cheap clones are needed.
+    pub fn import<I>(pairs: I) -> Option<StackPool<E>>
+    where
+        I: IntoIterator<Item = (E, StackId<E>)>,
+    {
+        let mut pool = StackPool::new();
+        for (i, (elem, parent)) in pairs.into_iter().enumerate() {
+            let id = u32::try_from(i).ok()?.checked_add(1)?;
+            if parent.as_raw() >= id {
+                return None;
+            }
+            if pool.push(parent, elem).as_raw() != id {
+                return None;
+            }
+        }
+        Some(pool)
+    }
+
     /// Pops the top element, returning it with the remaining stack;
     /// `None` on the empty stack.
     #[inline]
@@ -535,6 +599,42 @@ mod tests {
         assert_eq!(pool.to_vec(s2), vec![1, 2, 3]);
         assert!(pool.is_top_prefix(s2, &[3, 2, 1]));
         assert_eq!(pool.pop_n(s2, 2), Some(pool.from_slice(&[1])));
+    }
+
+    #[test]
+    fn export_import_round_trips_across_the_freeze_border() {
+        let mut pool = StackPool::new();
+        let a = pool.from_slice(&[1u16, 2, 3]);
+        pool.freeze();
+        let b = pool.push(a, 9); // private extension past the prefix
+        let c = pool.from_slice(&[4]);
+        let rebuilt = StackPool::import(pool.export()).expect("valid");
+        assert_eq!(rebuilt.len(), pool.len());
+        for s in [a, b, c] {
+            assert_eq!(rebuilt.to_vec(s), pool.to_vec(s));
+            assert_eq!(rebuilt.depth(s), pool.depth(s));
+        }
+        // Re-interning a known stack hits the same id in both pools.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.from_slice(&[1, 2, 3]), a);
+    }
+
+    #[test]
+    fn import_rejects_malformed_pair_lists() {
+        // Forward reference: pair 1 (id 1) naming parent 1 or later.
+        assert!(StackPool::import(vec![(5u16, StackId::from_raw(1))]).is_none());
+        assert!(StackPool::import(vec![(5u16, StackId::from_raw(7))]).is_none());
+        // Duplicate (element, parent): hash-consing would collapse it
+        // and shift every later id.
+        let dup = vec![
+            (5u16, StackId::EMPTY),
+            (5u16, StackId::EMPTY),
+            (6u16, StackId::from_raw(2)),
+        ];
+        assert!(StackPool::import(dup).is_none());
+        // The empty export is a valid (empty) pool.
+        let empty = StackPool::<u16>::import(std::iter::empty()).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -51,14 +51,15 @@ pub struct EngineConfig {
     /// [`Session`](crate::Session), the cap bounds the shared cache and
     /// each worker's in-flight shard separately.
     pub max_cached_summaries: Option<usize>,
-    /// Stack reservation for [`Session::run_batch`]
-    /// (crate::Session::run_batch) worker threads. PPTA recursion is
+    /// Stack reservation for
+    /// [`Session::run_batch`](crate::Session::run_batch) worker
+    /// threads. PPTA recursion is
     /// bounded by method-local graph size, but generated methods can be
     /// large, so workers default to the generous reservation `main`
     /// typically has (64 MiB). If the host cannot spawn a worker with
     /// this reservation, the batch degrades to fewer workers instead of
-    /// panicking (see [`Session::spawn_failures`]
-    /// (crate::Session::spawn_failures)).
+    /// panicking (see
+    /// [`Session::spawn_failures`](crate::Session::spawn_failures)).
     pub worker_stack_bytes: usize,
 }
 
@@ -86,6 +87,41 @@ impl EngineConfig {
             budget: u64::MAX,
             ..EngineConfig::default()
         }
+    }
+
+    /// A stable 64-bit digest of the **outcome-relevant** configuration
+    /// fields, written into snapshot headers (see the
+    /// [`snapshot`](crate::snapshot) module) so a persisted summary
+    /// cache is only restored under a configuration that would have
+    /// produced the same summaries and the same query results.
+    ///
+    /// Covered: [`budget`](Self::budget),
+    /// [`max_field_depth`](Self::max_field_depth),
+    /// [`max_ctx_depth`](Self::max_ctx_depth),
+    /// [`cache_summaries`](Self::cache_summaries),
+    /// [`max_refinements`](Self::max_refinements),
+    /// [`context_sensitive`](Self::context_sensitive) and
+    /// [`deterministic_reuse`](Self::deterministic_reuse).
+    ///
+    /// Deliberately **not** covered:
+    /// [`max_cached_summaries`](Self::max_cached_summaries) and
+    /// [`worker_stack_bytes`](Self::worker_stack_bytes). Neither can
+    /// change any query's
+    /// outcome (eviction is outcome-free under deterministic reuse, and
+    /// the stack reservation only affects spawn success), so a snapshot
+    /// saved under one cap loads cleanly under another — the load path
+    /// re-enforces the loader's cap.
+    pub fn semantic_digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = dynsum_cfl::StableHasher::new();
+        h.write_u64(self.budget);
+        h.write_u64(self.max_field_depth as u64);
+        h.write_u64(self.max_ctx_depth as u64);
+        h.write_u8(u8::from(self.cache_summaries));
+        h.write_u32(self.max_refinements);
+        h.write_u8(u8::from(self.context_sensitive));
+        h.write_u8(u8::from(self.deterministic_reuse));
+        h.finish()
     }
 }
 

@@ -24,7 +24,11 @@
 //! `Send` [`QueryHandle`]s owning the latter; [`Session::run_batch`]
 //! runs query batches across threads with results byte-identical to
 //! sequential execution (deterministic budget accounting — see
-//! [`Summary::cost`]).
+//! [`Summary::cost`]). The [`snapshot`] module persists a session's
+//! summary-cache working set across process restarts
+//! ([`Session::save_snapshot`] / [`Session::load_snapshot`]), with
+//! version/fingerprint/digest fencing so stale snapshots degrade to a
+//! cold start instead of corrupting results.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +64,7 @@ pub mod ppta;
 mod refinepts;
 mod search;
 mod session;
+pub mod snapshot;
 mod stasum;
 mod summary;
 
@@ -69,5 +74,8 @@ pub use engine::{never_satisfied, ClientCheck, DemandPointsTo, EngineConfig};
 pub use norefine::NoRefine;
 pub use refinepts::RefinePts;
 pub use session::{EngineKind, QueryHandle, Session, SessionQuery, SummaryShard};
+pub use snapshot::{
+    pag_fingerprint, SnapshotLoad, SnapshotReject, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use stasum::{StaSum, StaSumOptions, StaSumStats};
 pub use summary::{CacheStats, Summary, SummaryCache, SummaryKey};

@@ -167,7 +167,7 @@ impl std::fmt::Debug for SessionQuery<'_> {
 
 /// The engine-specific shared (read-only between merges) half.
 #[derive(Debug)]
-enum SharedState {
+pub(crate) enum SharedState {
     /// NOREFINE and REFINEPTS carry no cross-query state at all.
     NoRefine,
     RefinePts,
@@ -216,13 +216,13 @@ pub struct Session<'p> {
     pag: &'p Pag,
     config: EngineConfig,
     kind: EngineKind,
-    state: SharedState,
+    pub(crate) state: SharedState,
     /// Invalidation epoch: bumped by [`invalidate_method`]
     /// (Self::invalidate_method); shards detached under an older epoch
     /// cannot re-absorb summaries of methods invalidated since.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Epoch at which each method was last invalidated.
-    invalidated_at: FxHashMap<MethodId, u64>,
+    pub(crate) invalidated_at: FxHashMap<MethodId, u64>,
     /// Warm worker scratch recycled across [`run_batch`]
     /// (Self::run_batch) calls: worklist/PPTA buffers and shard pools
     /// stay allocated between batches.
@@ -727,9 +727,9 @@ fn translate(
 /// (which rejects entries for methods invalidated after the stamp).
 #[derive(Debug, Default)]
 pub struct SummaryShard {
-    cache: SummaryCache,
-    fields: StackPool<FieldId>,
-    epoch: u64,
+    pub(crate) cache: SummaryCache,
+    pub(crate) fields: StackPool<FieldId>,
+    pub(crate) epoch: u64,
 }
 
 impl SummaryShard {

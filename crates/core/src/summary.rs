@@ -31,9 +31,9 @@ pub struct Summary {
     /// budget in one lump (instead of re-traversing), so a query's
     /// resolved/over-budget outcome — and therefore its points-to set —
     /// is *identical* whether summaries are reused or recomputed. That
-    /// cache-independence is what makes [`Session::run_batch`]
-    /// (crate::Session::run_batch) results byte-identical to sequential
-    /// execution at any thread count. Wall-clock time still gets the
+    /// cache-independence is what makes
+    /// [`Session::run_batch`](crate::Session::run_batch) results
+    /// byte-identical to sequential execution at any thread count. Wall-clock time still gets the
     /// full reuse speedup; only the accounting is deterministic.
     pub cost: u64,
 }
@@ -145,8 +145,9 @@ impl Clone for CacheSlot {
 /// O(1) clones; the entry count is the quantity compared against STASUM
 /// in Figure 5.
 ///
-/// The cache is **size-capped on demand**: [`enforce_cap`]
-/// (Self::enforce_cap) runs a clock (second-chance) sweep — every
+/// The cache is **size-capped on demand**:
+/// [`enforce_cap`](Self::enforce_cap) runs a clock (second-chance)
+/// sweep — every
 /// lookup sets an entry's reference bit, the sweep clears bits and
 /// evicts entries found unreferenced — so a long-lived query stream
 /// keeps its working set while cold entries age out. Eviction can never

@@ -1,0 +1,146 @@
+//! The paper's JIT/IDE regime across a process restart: serve a query
+//! stream, persist the summary-cache working set with
+//! `Session::save_snapshot`, then "restart" and load it back — the first
+//! batch of the new process runs warm (answered from restored summaries)
+//! with results byte-identical to a cold start. Ends with the rejection
+//! matrix in action: corrupt bytes and mismatched configurations degrade
+//! to clean cold starts instead of corrupting results.
+//!
+//! Run with: `cargo run --release --example warm_restart`
+
+use std::time::Instant;
+
+use dynsum::cfl::{CtxId, QueryResult};
+use dynsum::{EngineConfig, EngineKind, Session, SessionQuery, SnapshotLoad};
+use dynsum_clients::{queries_for, split_batches, ClientKind};
+use dynsum_workloads::{generate, BenchmarkProfile, GeneratorOptions};
+
+fn main() {
+    let profile = BenchmarkProfile::find("soot-c").expect("profile exists");
+    let workload = generate(
+        profile,
+        &GeneratorOptions {
+            scale: 0.2,
+            seed: 0x5EED,
+        },
+    );
+    let stream = queries_for(ClientKind::NullDeref, &workload.info);
+    let first_batch: Vec<SessionQuery<'_>> = split_batches(stream.clone(), 10)
+        .into_iter()
+        .next()
+        .expect("non-empty stream")
+        .iter()
+        .map(|q| SessionQuery::new(q.var))
+        .collect();
+    println!(
+        "workload {}: {} NullDeref query sites, first batch {}",
+        workload.name,
+        stream.len(),
+        first_batch.len()
+    );
+
+    // ---- process 1: serve the whole stream, then persist -----------------
+    let mut session = Session::new(&workload.pag, EngineKind::DynSum);
+    for batch in split_batches(stream, 10) {
+        let sq: Vec<SessionQuery<'_>> = batch.iter().map(|q| SessionQuery::new(q.var)).collect();
+        session.run_batch(&sq, 1);
+    }
+    let path = std::env::temp_dir().join("dynsum_warm_restart.snap");
+    let mut file = std::fs::File::create(&path).expect("temp file");
+    session.save_snapshot(&mut file).expect("snapshot written");
+    drop(file);
+    let bytes = std::fs::metadata(&path).expect("snapshot exists").len();
+    println!(
+        "process 1: {} summaries cached -> {} bytes at {}",
+        session.summary_count(),
+        bytes,
+        path.display()
+    );
+
+    // ---- process 2 (simulated): cold vs warm first batch ------------------
+    let cold_started = Instant::now();
+    let mut cold = Session::new(&workload.pag, EngineKind::DynSum);
+    let cold_results = cold.run_batch(&first_batch, 1);
+    let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+
+    let load_started = Instant::now();
+    let file = std::fs::File::open(&path).expect("snapshot readable");
+    let (mut warm, load) = Session::load_snapshot(
+        file,
+        &workload.pag,
+        EngineKind::DynSum,
+        EngineConfig::default(),
+    );
+    let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    let warm_started = Instant::now();
+    let warm_results = warm.run_batch(&first_batch, 1);
+    let warm_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+
+    let restored = match load {
+        SnapshotLoad::Warm { summaries, stacks } => {
+            println!(
+                "process 2: restored {summaries} summaries / {stacks} field stacks \
+                 in {load_ms:.2} ms (one-time restart cost)"
+            );
+            summaries
+        }
+        SnapshotLoad::Cold(reason) => panic!("snapshot should load: {reason}"),
+    };
+    assert_eq!(restored, session.summary_count(), "working set intact");
+    println!(
+        "first batch cold: {cold_ms:>7.2} ms | warm from snapshot: {warm_ms:>7.2} ms ({:.1}x)",
+        cold_ms / warm_ms
+    );
+    let hits: u64 = warm_results.iter().map(|r| r.stats.cache_hits).sum();
+    assert!(
+        hits > 0,
+        "warm batch must be served from restored summaries"
+    );
+
+    // Outcome-invisible: the warm restart answers byte-identically.
+    assert_eq!(cold_results.len(), warm_results.len());
+    for (c, w) in cold_results.iter().zip(&warm_results) {
+        assert_eq!(fingerprint(c), fingerprint(w), "warm must equal cold");
+    }
+    println!(
+        "all {} first-batch results identical cold vs warm",
+        warm_results.len()
+    );
+
+    // ---- the rejection matrix: bad snapshots degrade to cold starts ------
+    let mut snapshot = std::fs::read(&path).expect("snapshot readable");
+    let mid = snapshot.len() / 2;
+    snapshot[mid] ^= 0xFF; // bit rot in the payload
+    let (bitrot, load) = Session::load_snapshot(
+        &snapshot[..],
+        &workload.pag,
+        EngineKind::DynSum,
+        EngineConfig::default(),
+    );
+    println!(
+        "corrupted payload  -> cold start ({}), {} summaries",
+        load.reject().expect("rejected"),
+        bitrot.summary_count()
+    );
+    assert!(!load.is_warm() && bitrot.summary_count() == 0);
+
+    let other_config = EngineConfig {
+        budget: 5_000,
+        ..EngineConfig::default()
+    };
+    let file = std::fs::File::open(&path).expect("snapshot readable");
+    let (_, load) = Session::load_snapshot(file, &workload.pag, EngineKind::DynSum, other_config);
+    println!(
+        "different budget   -> cold start ({})",
+        load.reject().expect("rejected")
+    );
+    assert!(!load.is_warm());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The byte-level identity the snapshot guarantees: resolution flag plus
+/// the sorted `(object, allocation context)` pairs.
+fn fingerprint(r: &QueryResult) -> (bool, Vec<(dynsum::pag::ObjId, CtxId)>) {
+    (r.resolved, r.pts.iter().collect())
+}

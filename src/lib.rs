@@ -95,6 +95,54 @@
 //! assert!(session.summary_count() > 0);
 //! # Ok::<(), dynsum::CompileError>(())
 //! ```
+//!
+//! ## Example: a warm process restart from a snapshot
+//!
+//! A session's summary-cache working set can be persisted and restored
+//! across process restarts ([`Session::save_snapshot`] /
+//! [`Session::load_snapshot`]); stale or corrupt snapshots degrade to a
+//! cold start instead of corrupting results (see
+//! [`analysis::snapshot`]):
+//!
+//! ```
+//! use dynsum::{compile, DemandPointsTo, EngineConfig, EngineKind, Session};
+//!
+//! let program = "
+//!     class Box {
+//!         Object item;
+//!         void put(Object x) { this.item = x; }
+//!         Object take() { return this.item; }
+//!     }
+//!     class Main {
+//!         static void main() {
+//!             Box b = new Box();
+//!             b.put(new Main());
+//!             Object got = b.take();
+//!         }
+//!     }
+//! ";
+//! let compiled = compile(program)?;
+//! let got = compiled.pag.find_var("Main.main#got").expect("var exists");
+//!
+//! // Warm a session, then persist its working set (any io::Write).
+//! let mut session = Session::new(&compiled.pag, EngineKind::DynSum);
+//! session.run_batch_vars(&[got], 1);
+//! let mut snapshot = Vec::new();
+//! session.save_snapshot(&mut snapshot)?;
+//!
+//! // "Restart": the restored session answers its first query from the
+//! // snapshot — byte-identical to a cold run, minus the recomputation.
+//! let (mut warm, load) = Session::load_snapshot(
+//!     &snapshot[..],
+//!     &compiled.pag,
+//!     EngineKind::DynSum,
+//!     EngineConfig::default(),
+//! );
+//! assert!(load.is_warm());
+//! let result = warm.handle().points_to(got);
+//! assert!(result.resolved && result.stats.cache_hits > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -127,8 +175,9 @@ pub use dynsum_clients::{
     ClientReport,
 };
 pub use dynsum_core::{
-    CacheStats, DemandPointsTo, DynSum, EngineConfig, EngineKind, NoRefine, QueryHandle, RefinePts,
-    Session, SessionQuery, StaSum, SummaryShard,
+    pag_fingerprint, CacheStats, DemandPointsTo, DynSum, EngineConfig, EngineKind, NoRefine,
+    QueryHandle, RefinePts, Session, SessionQuery, SnapshotLoad, SnapshotReject, StaSum,
+    SummaryShard, SNAPSHOT_VERSION,
 };
 pub use dynsum_frontend::{compile, compile_with, CallGraphMode, CompileError};
 pub use dynsum_pag::{Pag, PagBuilder};
