@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test doc bench-check bench-report bench-parallel bench-cache fmt lint clean
+.PHONY: verify build test doc fuzz bench-check bench-report bench-parallel bench-cache fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -16,6 +16,17 @@ test:
 # Docs are a build gate: broken intra-doc links and missing docs fail.
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
+
+# Differential fuzzing of the four engines (fixed seed, so CI is
+# reproducible; override with FUZZ_SEED/FUZZ_CASES). Exits non-zero on
+# any divergence, after writing reduced reproducers to target/fuzz/ —
+# promote those into tests/divergence_corpus/ when fixing the bug.
+FUZZ_SEED ?= 0xD1FF
+FUZZ_CASES ?= 500
+fuzz:
+	$(CARGO) run --release --bin fuzz_engines -- \
+		--cases $(FUZZ_CASES) --seed $(FUZZ_SEED) --max-seconds 600 \
+		--artifact-dir target/fuzz --quiet
 
 bench-check:
 	$(CARGO) bench --no-run

@@ -42,6 +42,7 @@ fn generator(c: &mut Criterion) {
     let opts = GeneratorOptions {
         scale: 0.01,
         seed: 1,
+        ..GeneratorOptions::default()
     };
     c.bench_function("generate/soot-c", |b| {
         b.iter(|| generate(std::hint::black_box(&PROFILES[2]), &opts));

@@ -676,11 +676,22 @@ mod tests {
             // The curve trends down as the cache warms: no warm batch
             // may exceed the cold first batch (per-batch jitter is
             // expected at tiny scales, hence the tolerance; the run is
-            // deterministic in the workload seed).
+            // deterministic in the workload seed). The tolerance covers
+            // one-batch spikes from the per-batch query mix — both the
+            // numerator (DYNSUM) and denominator (REFINEPTS) shift with
+            // engine-rule changes — while the mean check below pins the
+            // actual reuse property.
             let cold = norm[0];
             let worst_warm = norm[1..].iter().copied().fold(f64::MIN, f64::max);
+            let mean_warm = norm[1..].iter().sum::<f64>() / (norm.len() - 1) as f64;
             assert!(
-                worst_warm <= cold + 0.05,
+                mean_warm <= cold,
+                "{}/{}: warm batches must be cheaper on average ({norm:?})",
+                s.benchmark,
+                s.client
+            );
+            assert!(
+                worst_warm <= cold + 0.10,
                 "{}/{}: cold {cold:.2} -> worst warm {worst_warm:.2} ({norm:?})",
                 s.benchmark,
                 s.client

@@ -85,6 +85,7 @@ impl ExperimentOptions {
         let gen_opts = GeneratorOptions {
             scale: self.scale,
             seed: self.seed,
+            ..GeneratorOptions::default()
         };
         PROFILES
             .iter()

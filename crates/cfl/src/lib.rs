@@ -4,9 +4,10 @@
 //! *On-Demand Dynamic Summary-based Points-to Analysis* (CGO 2012):
 //!
 //! * [`StackPool`]/[`StackId`] — hash-consed persistent stacks, used both
-//!   for **field stacks** ([`FieldStackId`]: unmatched `load(f)`
-//!   parentheses of the `L_FT` language) and **context stacks**
-//!   ([`CtxId`]: unmatched call-site parentheses of `R_RP`);
+//!   for **field stacks** ([`FieldStackId`]: unmatched field
+//!   parentheses of the `L_FT` language, tagged by provenance as
+//!   [`FieldFrame`]s) and **context stacks** ([`CtxId`]: unmatched
+//!   call-site parentheses of `R_RP`);
 //! * [`Direction`] — the two traversal states `S1`/`S2` of the
 //!   `pointsTo`/`alias` RSM (Figure 3), with the transition tables
 //!   documented;
@@ -33,7 +34,7 @@ mod trace;
 
 pub use budget::{with_stack, Budget, BudgetExceeded, ANALYSIS_STACK_BYTES};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, StableHasher};
-pub use query::{CtxId, FieldStackId, PointsToSet, QueryResult, QueryStats};
+pub use query::{CtxId, FieldFrame, FieldStackId, PointsToSet, QueryResult, QueryStats};
 pub use rsm::Direction;
 pub use stack::{StackId, StackPool};
 pub use trace::{StepKind, Trace, TraceStep};

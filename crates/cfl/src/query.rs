@@ -7,8 +7,46 @@ use dynsum_pag::{CallSiteId, FieldId, ObjId};
 use crate::hash::FxHashSet;
 use crate::stack::StackId;
 
-/// Interned field stack (unmatched `load(f)` labels).
-pub type FieldStackId = StackId<FieldId>;
+/// One unmatched field parenthesis, tagged with the grammar production
+/// that pushed it (Sridharan–Bodík, Figure 3(a)).
+///
+/// The balanced-parentheses grammar has **two** kinds of field
+/// parentheses, and they discharge at different productions:
+///
+/// * [`Get`](FieldFrame::Get) — an unmatched `load(f)̅` label: the
+///   search walked a load *backwards* (it needs the contents of
+///   `base.f`). It may only be discharged by an **in-store** `store(f)`
+///   on an aliased base — the stored value feeds the pending field.
+/// * [`Put`](FieldFrame::Put) — an unmatched `store(f)` label: the
+///   search walked a store *forwards* (the tracked value was stored
+///   into `base.f`; the `store(f) alias load(f)` detour). It may only
+///   be discharged by an **out-load** `load(f)` on an aliased base.
+///
+/// Popping a frame at the wrong production fabricates a store/load
+/// pairing no realizable path witnesses — e.g. a field with loads but
+/// no stores would "match" a load against another load — so every
+/// engine's pop rules compare the whole frame, not just the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldFrame {
+    /// Pushed walking a load backwards; popped at an in-store.
+    Get(FieldId),
+    /// Pushed walking a store forwards; popped at an out-load.
+    Put(FieldId),
+}
+
+impl FieldFrame {
+    /// The field this parenthesis is labelled with.
+    #[inline]
+    pub fn field(self) -> FieldId {
+        match self {
+            FieldFrame::Get(f) | FieldFrame::Put(f) => f,
+        }
+    }
+}
+
+/// Interned field stack (unmatched field parentheses, tagged by
+/// provenance — see [`FieldFrame`]).
+pub type FieldStackId = StackId<FieldFrame>;
 
 /// Interned context stack (unmatched call-site parentheses; the paper's
 /// call stack `c`).
@@ -88,6 +126,22 @@ impl PointsToSet {
     pub fn objects(&self) -> BTreeSet<ObjId> {
         self.items.iter().map(|&(o, _)| o).collect()
     }
+
+    /// Order-independent [`StableHasher`](crate::StableHasher) digest of
+    /// the full `(object, context)` content. Two sets digest equal iff
+    /// they are equal, regardless of insertion order, platform or hash
+    /// seed — the byte-identity check the differential fuzzer and the
+    /// parallel-batch tests compare across thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::StableHasher::new();
+        h.write_u64(self.items.len() as u64);
+        for (o, c) in self.iter() {
+            h.write_u32(o.as_raw());
+            h.write_u32(c.as_raw());
+        }
+        h.finish()
+    }
 }
 
 impl FromIterator<(ObjId, CtxId)> for PointsToSet {
@@ -165,6 +219,17 @@ impl QueryResult {
             stats,
         }
     }
+
+    /// Stable digest of the *answer* — the resolution flag plus the full
+    /// points-to content ([`PointsToSet::fingerprint`]) — excluding the
+    /// work counters, which measure effort rather than meaning.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::StableHasher::new();
+        h.write_u8(u8::from(self.resolved));
+        h.write_u64(self.pts.fingerprint());
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +290,35 @@ mod tests {
         assert!(r.resolved);
         let r = QueryResult::over_budget(PointsToSet::new(), QueryStats::default());
         assert!(!r.resolved);
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_independent() {
+        let mut a = PointsToSet::new();
+        a.insert(obj(1), CtxId::EMPTY);
+        a.insert(obj(2), CtxId::from_raw(7));
+        let mut b = PointsToSet::new();
+        b.insert(obj(2), CtxId::from_raw(7));
+        b.insert(obj(1), CtxId::EMPTY);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.insert(obj(3), CtxId::EMPTY);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn result_fingerprint_separates_resolution_not_stats() {
+        let mut pts = PointsToSet::new();
+        pts.insert(obj(4), CtxId::EMPTY);
+        let resolved = QueryResult::resolved(pts.clone(), QueryStats::default());
+        let partial = QueryResult::over_budget(pts.clone(), QueryStats::default());
+        assert_ne!(resolved.fingerprint(), partial.fingerprint());
+        let expensive = QueryResult::resolved(
+            pts,
+            QueryStats {
+                edges_traversed: 1_000_000,
+                ..QueryStats::default()
+            },
+        );
+        assert_eq!(resolved.fingerprint(), expensive.fingerprint());
     }
 }

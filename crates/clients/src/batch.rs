@@ -19,7 +19,9 @@ use dynsum_cfl::PointsToSet;
 use dynsum_core::{DemandPointsTo, Session, SessionQuery};
 use dynsum_pag::{Pag, ProgramInfo};
 
-use crate::client::{queries_for, run_queries, satisfied, verdict, ClientKind, Query, Verdict};
+use crate::client::{
+    queries_for, run_queries, site_satisfied, verdict, ClientKind, Query, Verdict,
+};
 use crate::report::ClientReport;
 
 /// One batch's outcome, plus the cumulative engine summary count after
@@ -124,7 +126,7 @@ fn run_queries_parallel(
         .iter()
         .map(|q| {
             let site = q.site.clone();
-            Box::new(move |pts: &PointsToSet| satisfied(pag, &site, pts)) as Check<'_>
+            Box::new(move |pts: &PointsToSet| site_satisfied(pag, &site, pts)) as Check<'_>
         })
         .collect();
     let batch: Vec<SessionQuery<'_>> = queries

@@ -121,7 +121,12 @@ pub fn queries_for(kind: ClientKind, info: &ProgramInfo) -> Vec<Query> {
 /// The client's satisfaction predicate over a (possibly over-approximate)
 /// points-to set: `true` when the property is already proven, allowing
 /// REFINEPTS to stop refining (Algorithm 2's `satisfyClient`).
-pub(crate) fn satisfied(pag: &Pag, site: &QuerySite, pts: &PointsToSet) -> bool {
+///
+/// Public so external harnesses (the differential fuzzer) can hand the
+/// exact same early-stop predicate to every engine they compare —
+/// verdicts diverging because of *different predicates* would be noise,
+/// not bugs.
+pub fn site_satisfied(pag: &Pag, site: &QuerySite, pts: &PointsToSet) -> bool {
     match site {
         QuerySite::Cast { target, .. } => pts.objects().iter().all(|&o| {
             let info = pag.obj(o);
@@ -145,7 +150,7 @@ pub fn verdict(pag: &Pag, q: &Query, result: &dynsum_cfl::QueryResult) -> Verdic
     if !result.resolved {
         return Verdict::Unresolved;
     }
-    if satisfied(pag, &q.site, &result.pts) {
+    if site_satisfied(pag, &q.site, &result.pts) {
         Verdict::Proven
     } else {
         Verdict::Refuted
@@ -175,7 +180,7 @@ pub(crate) fn run_queries(
     let started = std::time::Instant::now();
     for q in queries {
         let site = q.site.clone();
-        let check = move |pts: &PointsToSet| satisfied(pag, &site, pts);
+        let check = move |pts: &PointsToSet| site_satisfied(pag, &site, pts);
         let result = engine.query(q.var, &check);
         report.stats.absorb(&result.stats);
         match verdict(pag, q, &result) {

@@ -23,5 +23,7 @@ mod client;
 mod report;
 
 pub use batch::{run_batches, run_batches_parallel, split_batches, BatchReport};
-pub use client::{queries_for, run_client, verdict, ClientKind, Query, QuerySite, Verdict};
+pub use client::{
+    queries_for, run_client, site_satisfied, verdict, ClientKind, Query, QuerySite, Verdict,
+};
 pub use report::ClientReport;

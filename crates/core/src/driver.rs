@@ -10,10 +10,10 @@
 use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashSet, PointsToSet, QueryResult,
-    QueryStats, StackPool, StepKind, Trace, TraceStep,
+    Budget, BudgetExceeded, CtxId, Direction, FieldFrame, FieldStackId, FxHashSet, PointsToSet,
+    QueryResult, QueryStats, StackPool, StepKind, Trace, TraceStep,
 };
-use dynsum_pag::{AdjClass, CallSiteId, FieldId, NodeId, Pag};
+use dynsum_pag::{AdjClass, CallSiteId, NodeId, Pag};
 
 use crate::engine::{ctx_clear, ctx_pop, ctx_push, EngineConfig};
 use crate::summary::Summary;
@@ -45,7 +45,7 @@ impl Default for DriveScratch {
 /// [`Session`](crate::Session) query handles alike.
 #[derive(Debug, Default)]
 pub(crate) struct DriveParts {
-    pub(crate) fields: StackPool<FieldId>,
+    pub(crate) fields: StackPool<FieldFrame>,
     pub(crate) ctxs: StackPool<CallSiteId>,
     pub(crate) drive: DriveScratch,
     pub(crate) ppta: crate::ppta::PptaScratch,
@@ -54,7 +54,7 @@ pub(crate) struct DriveParts {
 /// A source of local-edge summaries for the driver. Called once per
 /// worklist configuration whose node has local edges.
 pub(crate) type SummaryProvider<'a> = dyn FnMut(
-        &mut StackPool<FieldId>,
+        &mut StackPool<FieldFrame>,
         &mut Budget,
         &mut QueryStats,
         NodeId,
@@ -67,7 +67,7 @@ pub(crate) type SummaryProvider<'a> = dyn FnMut(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drive(
     pag: &Pag,
-    fields: &mut StackPool<FieldId>,
+    fields: &mut StackPool<FieldFrame>,
     ctxs: &mut StackPool<CallSiteId>,
     scratch: &mut DriveScratch,
     config: &EngineConfig,
@@ -114,7 +114,11 @@ pub(crate) fn drive(
         if let Some(tr) = trace.as_deref_mut() {
             tr.push(TraceStep {
                 node: u,
-                field_stack: fields.to_vec(f),
+                field_stack: fields
+                    .to_vec(f)
+                    .into_iter()
+                    .map(FieldFrame::field)
+                    .collect(),
                 state: s,
                 ctx: ctxs.to_vec(c),
                 kind,
@@ -127,7 +131,11 @@ pub(crate) fn drive(
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceStep {
                     node: pag.obj_node(o),
-                    field_stack: fields.to_vec(f),
+                    field_stack: fields
+                        .to_vec(f)
+                        .into_iter()
+                        .map(FieldFrame::field)
+                        .collect(),
                     state: s,
                     ctx: ctxs.to_vec(c),
                     kind: StepKind::ObjectFound,

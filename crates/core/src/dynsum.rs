@@ -19,10 +19,10 @@
 use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, Direction, FieldStackId, QueryResult, QueryStats, StackPool, StepKind,
-    Trace,
+    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, QueryResult, QueryStats,
+    StackPool, StepKind, Trace,
 };
-use dynsum_pag::{CallSiteId, FieldId, NodeId, Pag, VarId};
+use dynsum_pag::{CallSiteId, NodeId, Pag, VarId};
 
 use crate::driver::{drive, DriveParts};
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
@@ -67,7 +67,7 @@ pub(crate) fn dynsum_query(
     // or computes a fresh PPTA (Algorithm 3). Partial results of an
     // over-budget PPTA are never cached, and every reuse charges the
     // summary's cold cost so budget outcomes are cache-independent.
-    let mut provider = |fields: &mut StackPool<FieldId>,
+    let mut provider = |fields: &mut StackPool<FieldFrame>,
                         budget: &mut Budget,
                         stats: &mut QueryStats,
                         u: NodeId,

@@ -21,9 +21,9 @@
 use std::collections::BTreeSet;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, Direction, FieldStackId, FxHashSet, QueryStats, StackPool,
+    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, FxHashSet, QueryStats, StackPool,
 };
-use dynsum_pag::{AdjClass, FieldId, NodeId, NodeRef, Pag};
+use dynsum_pag::{AdjClass, NodeId, NodeRef, Pag};
 
 use crate::engine::EngineConfig;
 use crate::summary::Summary;
@@ -52,7 +52,7 @@ pub struct PptaScratch {
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's signature
 pub fn compute(
     pag: &Pag,
-    fields: &mut StackPool<FieldId>,
+    fields: &mut StackPool<FieldFrame>,
     scratch: &mut PptaScratch,
     config: &EngineConfig,
     budget: &mut Budget,
@@ -100,7 +100,7 @@ pub fn compute(
 
 struct Ppta<'a, 'p> {
     pag: &'p Pag,
-    fields: &'a mut StackPool<FieldId>,
+    fields: &'a mut StackPool<FieldFrame>,
     config: &'a EngineConfig,
     budget: &'a mut Budget,
     stats: &'a mut QueryStats,
@@ -119,7 +119,11 @@ impl Ppta<'_, '_> {
         Ok(())
     }
 
-    fn push_field(&mut self, f: FieldStackId, g: FieldId) -> Result<FieldStackId, BudgetExceeded> {
+    fn push_field(
+        &mut self,
+        f: FieldStackId,
+        g: FieldFrame,
+    ) -> Result<FieldStackId, BudgetExceeded> {
         if self.fields.depth(f) >= self.config.max_field_depth {
             return Err(BudgetExceeded);
         }
@@ -158,7 +162,7 @@ impl Ppta<'_, '_> {
         }
         for &a in pag.in_seg(u, AdjClass::Load) {
             self.charge()?;
-            let f2 = self.push_field(f, a.field())?;
+            let f2 = self.push_field(f, FieldFrame::Get(a.field()))?;
             self.go(a.node, f2, Direction::S1)?;
         }
         if saw_new {
@@ -182,8 +186,11 @@ impl Ppta<'_, '_> {
             self.go(a.node, f, Direction::S2)?;
         }
         for &a in pag.out_seg(u, AdjClass::Load) {
-            // Forward over a load: the pending field is matched.
-            if self.fields.peek(f) == Some(a.field()) {
+            // Forward over a load: a pending *store* frame is matched
+            // (grammar: `store(f) alias load(f)`). A pending `Get`
+            // frame must not pop here — a load/load pair witnesses no
+            // store into the field.
+            if self.fields.peek(f) == Some(FieldFrame::Put(a.field())) {
                 self.charge()?;
                 let (_, rest) = self.fields.pop(f).expect("peeked");
                 self.go(a.node, rest, Direction::S2)?;
@@ -199,15 +206,16 @@ impl Ppta<'_, '_> {
             let g = a.field();
             if !pag.loads_of(g).is_empty() {
                 self.charge()?;
-                let f2 = self.push_field(f, g)?;
+                let f2 = self.push_field(f, FieldFrame::Put(g))?;
                 self.go(a.node, f2, Direction::S1)?;
             }
         }
         for &a in pag.in_seg(u, AdjClass::Store) {
             // `u` is the base of a store and the alias detour wants
-            // field `g`: the stored value's points-to set feeds the
-            // answer (back to S1 at the value).
-            if self.fields.peek(f) == Some(a.field()) {
+            // the contents of field `g` (a pending `Get` frame): the
+            // stored value's points-to set feeds the answer (back to S1
+            // at the value). A pending `Put` frame must not pop here.
+            if self.fields.peek(f) == Some(FieldFrame::Get(a.field())) {
                 self.charge()?;
                 let (_, rest) = self.fields.pop(f).expect("peeked");
                 self.go(a.node, rest, Direction::S1)?;
@@ -227,7 +235,7 @@ mod tests {
 
     fn run(
         pag: &Pag,
-        fields: &mut StackPool<FieldId>,
+        fields: &mut StackPool<FieldFrame>,
         v: VarId,
         fstack: FieldStackId,
         dir: Direction,
@@ -339,9 +347,49 @@ mod tests {
         let names: Vec<_> = fields
             .to_vec(bstack)
             .into_iter()
-            .map(|f| pag.field_name(f).to_owned())
+            .map(|fr| {
+                assert!(matches!(fr, FieldFrame::Get(_)), "backward loads push Get");
+                pag.field_name(fr.field()).to_owned()
+            })
             .collect();
         assert_eq!(names, vec!["arr", "elems"]);
+    }
+
+    #[test]
+    fn uninitialized_field_chain_stays_empty() {
+        // c = new C; v = new V; t1 = c.elems; t1.arr = v;
+        // t2 = c.elems; y = t2.arr — nothing ever stores into `elems`,
+        // so c.elems (hence y) points to nothing. Before field frames
+        // carried their provenance, the alias detour at `c` popped the
+        // pending `Get(elems)` frame at the *out-load* `t1 = c.elems`
+        // (load matched against load, no store witness), walked the
+        // in-store `t1.arr = v`, and fabricated y -> {ov}.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let c = b.add_local("c", m, None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let t1 = b.add_local("t1", m, None).unwrap();
+        let t2 = b.add_local("t2", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oc = b.add_obj("oc", None, Some(m)).unwrap();
+        let ov = b.add_obj("ov", None, Some(m)).unwrap();
+        let elems = b.field("elems");
+        let arr = b.field("arr");
+        b.add_new(oc, c).unwrap();
+        b.add_new(ov, v).unwrap();
+        b.add_load(elems, c, t1).unwrap();
+        b.add_store(arr, v, t1).unwrap();
+        b.add_load(elems, c, t2).unwrap();
+        b.add_load(arr, t2, y).unwrap();
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let s = run(&pag, &mut fields, y, FieldStackId::EMPTY, Direction::S1);
+        assert!(
+            s.objs.is_empty(),
+            "no store into `elems` exists, so no object is reachable: {:?}",
+            s.objs
+        );
+        assert!(s.boundaries.is_empty());
     }
 
     #[test]

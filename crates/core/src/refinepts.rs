@@ -20,7 +20,6 @@ pub(crate) fn refinepts_query(
     let mut refined: FxHashSet<EdgeId> = FxHashSet::default();
     let mut budget = Budget::new(config.budget);
     let mut stats = QueryStats::default();
-    let mut last = PointsToSet::new();
 
     for _ in 0..config.max_refinements {
         stats.refinement_iterations += 1;
@@ -36,28 +35,45 @@ pub(crate) fn refinepts_query(
             &mut budget,
             &mut stats,
         );
-        last = out.pts;
-        if !out.complete {
-            return QueryResult::over_budget(last, stats);
-        }
-        if satisfied(&last) {
-            return QueryResult::resolved(last, stats);
-        }
+        let last = out.pts;
         // fldsSeen only ever contains unrefined loads, so an empty
-        // set means no match edge fired: the answer is precise and
-        // further refinement cannot improve it.
+        // set means no match edge fired this iteration: every object
+        // in `last` was reached field-sensitively.
         let fresh: Vec<EdgeId> = out
             .flds_seen
             .iter()
             .copied()
             .filter(|e| !refined.contains(e))
             .collect();
+        if !out.complete {
+            // Unresolved results must carry an under-approximation
+            // (clients answer conservatively from it). When an
+            // unrefined match edge fired, `last` may contain spurious
+            // field-based objects, so only the empty set is sound.
+            let pts = if fresh.is_empty() {
+                last
+            } else {
+                PointsToSet::new()
+            };
+            return QueryResult::over_budget(pts, stats);
+        }
+        if satisfied(&last) {
+            // Client predicates are universally quantified over the
+            // set, so satisfying the over-approximation is definitive.
+            return QueryResult::resolved(last, stats);
+        }
         if fresh.is_empty() {
+            // No match edge fired: the answer is precise and further
+            // refinement cannot improve it.
             return QueryResult::resolved(last, stats);
         }
         refined.extend(fresh);
     }
-    QueryResult::resolved(last, stats)
+    // Refinement cap exhausted with match edges still unrefined: `last`
+    // is over-approximate, and reporting it as resolved would present
+    // spurious objects as definitive (letting cast/deref clients emit
+    // false Refuted verdicts). Give up conservatively instead.
+    QueryResult::over_budget(PointsToSet::new(), stats)
 }
 
 /// The REFINEPTS engine (Sridharan–Bodík PLDI'06, the paper's
@@ -213,7 +229,7 @@ mod tests {
 
     #[test]
     fn budget_shared_across_iterations() {
-        let (pag, y, ..) = conflating_pag();
+        let (pag, y, _o1, o2) = conflating_pag();
         let config = EngineConfig {
             budget: 6,
             ..EngineConfig::default()
@@ -222,5 +238,44 @@ mod tests {
         let r = e.points_to(y);
         assert!(!r.resolved);
         assert!(r.stats.edges_traversed <= 6);
+        // The partial answer must stay an under-approximation of the
+        // exact answer {o1} even though the aborted iteration ran on
+        // the over-approximate field-based abstraction.
+        assert!(
+            !r.pts.contains_obj(o2),
+            "budget abort leaked a spurious field-based object"
+        );
+    }
+
+    #[test]
+    fn refinement_cap_exhaustion_is_not_resolved() {
+        // One iteration is only the field-based pass; with the cap at 1
+        // the engine never refines, so {o1, o2} is all it ever computed
+        // and the exact answer {o1} is out of reach. Claiming `resolved`
+        // here (the old behaviour) reported the spurious o2 as
+        // definitive and broke both fuzzer invariants (answer ⊆ oracle,
+        // resolved answers equal across engines).
+        let (pag, y, o1, o2) = conflating_pag();
+        let config = EngineConfig {
+            max_refinements: 1,
+            ..EngineConfig::default()
+        };
+        let mut e = RefinePts::with_config(&pag, config);
+        let r = e.points_to(y);
+        assert!(
+            !r.resolved,
+            "cap exhaustion must not claim a definitive answer"
+        );
+        assert!(!r.pts.contains_obj(o2), "over-approximation leaked");
+        assert!(
+            !r.pts.contains_obj(o1) || r.pts.objects().len() == 1,
+            "unresolved payload must be a sound under-approximation"
+        );
+        // A cap that lets refinement run to the precise fixpoint still
+        // resolves exactly.
+        let mut e2 = RefinePts::with_config(&pag, EngineConfig::default());
+        let full = e2.points_to(y);
+        assert!(full.resolved);
+        assert!(r.pts.objects().is_subset(&full.pts.objects()));
     }
 }

@@ -17,10 +17,10 @@
 //! recorded in `fldsSeen` so the next iteration can refine it.
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldStackId, FxHashSet, PointsToSet, QueryStats,
-    StackPool,
+    Budget, BudgetExceeded, CtxId, Direction, FieldFrame, FieldStackId, FxHashSet, PointsToSet,
+    QueryStats, StackPool,
 };
-use dynsum_pag::{AdjClass, CallSiteId, EdgeId, FieldId, NodeId, NodeRef, Pag, VarId};
+use dynsum_pag::{AdjClass, CallSiteId, EdgeId, NodeId, NodeRef, Pag, VarId};
 
 use crate::engine::{ctx_clear, ctx_pop, ctx_push, EngineConfig};
 
@@ -71,7 +71,7 @@ pub(crate) struct SearchScratch {
 /// mutable lives here.
 #[derive(Debug, Default)]
 pub(crate) struct SearchParts {
-    pub(crate) fields: StackPool<FieldId>,
+    pub(crate) fields: StackPool<FieldFrame>,
     pub(crate) ctxs: StackPool<CallSiteId>,
     pub(crate) scratch: SearchScratch,
 }
@@ -80,7 +80,7 @@ pub(crate) struct SearchParts {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn search(
     pag: &Pag,
-    fields: &mut StackPool<FieldId>,
+    fields: &mut StackPool<FieldFrame>,
     ctxs: &mut StackPool<CallSiteId>,
     scratch: &mut SearchScratch,
     config: &EngineConfig,
@@ -123,7 +123,7 @@ pub(crate) fn search(
 
 struct SearchCx<'a, 'p> {
     pag: &'p Pag,
-    fields: &'a mut StackPool<FieldId>,
+    fields: &'a mut StackPool<FieldFrame>,
     ctxs: &'a mut StackPool<CallSiteId>,
     config: &'a EngineConfig,
     refinement: Refinement<'a>,
@@ -142,7 +142,11 @@ impl SearchCx<'_, '_> {
         Ok(())
     }
 
-    fn push_field(&mut self, f: FieldStackId, g: FieldId) -> Result<FieldStackId, BudgetExceeded> {
+    fn push_field(
+        &mut self,
+        f: FieldStackId,
+        g: FieldFrame,
+    ) -> Result<FieldStackId, BudgetExceeded> {
         if self.fields.depth(f) >= self.config.max_field_depth {
             return Err(BudgetExceeded);
         }
@@ -191,7 +195,7 @@ impl SearchCx<'_, '_> {
                 // Field-sensitive: push the pending field and resolve
                 // the base (Algorithm 1's alias branch).
                 self.charge()?;
-                let f2 = self.push_field(f, a.field())?;
+                let f2 = self.push_field(f, FieldFrame::Get(a.field()))?;
                 self.propagate(a.node, f2, Direction::S1, c);
             } else {
                 // Field-based match edge: jump straight to every store
@@ -237,9 +241,13 @@ impl SearchCx<'_, '_> {
             self.propagate(a.node, f, Direction::S2, c);
         }
         for &a in pag.out_seg(u, AdjClass::Load) {
-            // Forward over a load matches the pending field — only when
-            // that load is explored field-sensitively.
-            if self.refinement.is_refined(a.edge) && self.fields.peek(f) == Some(a.field()) {
+            // Forward over a load discharges a pending *store* frame —
+            // only when the load is explored field-sensitively. A
+            // pending `Get` frame must not match here: two loads of the
+            // same field witness no store/load pairing.
+            if self.refinement.is_refined(a.edge)
+                && self.fields.peek(f) == Some(FieldFrame::Put(a.field()))
+            {
                 self.charge()?;
                 let (_, rest) = self.fields.pop(f).expect("peeked");
                 self.propagate(a.node, rest, Direction::S2, c);
@@ -262,7 +270,7 @@ impl SearchCx<'_, '_> {
             // The precise alias detour feeds the refined loads.
             if any_refined {
                 self.charge()?;
-                let f2 = self.push_field(f, g)?;
+                let f2 = self.push_field(f, FieldFrame::Put(g))?;
                 self.propagate(a.node, f2, Direction::S1, c);
             }
         }
@@ -283,7 +291,10 @@ impl SearchCx<'_, '_> {
             }
         }
         for &a in pag.in_seg(u, AdjClass::Store) {
-            if self.fields.peek(f) == Some(a.field()) {
+            // An in-store discharges a pending *load* frame (the stored
+            // value feeds the field the backward walk asked for) —
+            // never a `Put` frame, which only an out-load may consume.
+            if self.fields.peek(f) == Some(FieldFrame::Get(a.field())) {
                 self.charge()?;
                 let (_, rest) = self.fields.pop(f).expect("peeked");
                 self.propagate(a.node, rest, Direction::S1, c);
@@ -403,6 +414,39 @@ mod tests {
         let objs: Vec<_> = out.pts.objects().into_iter().collect();
         assert_eq!(objs, vec![o1, o2], "field-based conflates the bases");
         assert_eq!(out.flds_seen.len(), 1);
+    }
+
+    #[test]
+    fn uninitialized_field_chain_stays_empty() {
+        // Same shape as ppta's provenance regression test, but through
+        // the shared NOREFINE/REFINEPTS search: `elems` has loads and no
+        // stores, so the exact answer is empty. A kind-blind pop rule
+        // matched the pending `Get(elems)` frame at the out-load and
+        // fabricated ov through the `arr` store on the aliased base.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let c = b.add_local("c", m, None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let t1 = b.add_local("t1", m, None).unwrap();
+        let t2 = b.add_local("t2", m, None).unwrap();
+        let y = b.add_local("y", m, None).unwrap();
+        let oc = b.add_obj("oc", None, Some(m)).unwrap();
+        let ov = b.add_obj("ov", None, Some(m)).unwrap();
+        let elems = b.field("elems");
+        let arr = b.field("arr");
+        b.add_new(oc, c).unwrap();
+        b.add_new(ov, v).unwrap();
+        b.add_load(elems, c, t1).unwrap();
+        b.add_store(arr, v, t1).unwrap();
+        b.add_load(elems, c, t2).unwrap();
+        b.add_load(arr, t2, y).unwrap();
+        let pag = b.finish();
+        let pts = run_all(&pag, y);
+        assert!(
+            pts.objects().is_empty(),
+            "no store into `elems` exists, so y points to nothing: {:?}",
+            pts.objects()
+        );
     }
 
     #[test]

@@ -58,8 +58,8 @@
 
 use std::sync::Arc;
 
-use dynsum_cfl::{FieldStackId, FxHashMap, QueryResult, StackPool};
-use dynsum_pag::{FieldId, MethodId, Pag, VarId};
+use dynsum_cfl::{FieldFrame, FieldStackId, FxHashMap, QueryResult, StackPool};
+use dynsum_pag::{MethodId, Pag, VarId};
 
 use crate::driver::DriveParts;
 use crate::dynsum::{dynsum_query, DynSum};
@@ -112,6 +112,16 @@ impl EngineKind {
         }
     }
 
+    /// Parses a table name back to a kind, case-insensitively
+    /// (`"dynsum"`, `"DYNSUM"`, …). The inverse of [`name`](Self::name);
+    /// CLI front-ends (`fuzz_engines --engine`) use it via the
+    /// [`FromStr`](std::str::FromStr) impl.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
     /// Instantiates a fresh standalone engine over `pag`.
     pub fn build<'p>(self, pag: &'p Pag, config: EngineConfig) -> Box<dyn DemandPointsTo + 'p> {
         match self {
@@ -128,6 +138,16 @@ impl EngineKind {
 impl std::fmt::Display for EngineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(s).ok_or_else(|| {
+            format!("unknown engine `{s}` (expected NOREFINE, REFINEPTS, DYNSUM or STASUM)")
+        })
     }
 }
 
@@ -176,7 +196,7 @@ pub(crate) enum SharedState {
     /// aligned) and extend their clones privately.
     DynSum {
         cache: SummaryCache,
-        fields: StackPool<FieldId>,
+        fields: StackPool<FieldFrame>,
     },
     /// STASUM: the frozen all-pairs relative summary store
     /// (pool-independent inline field arrays).
@@ -433,7 +453,7 @@ impl<'p> Session<'p> {
     fn absorb_parts(
         &mut self,
         shard_cache: &SummaryCache,
-        shard_fields: &StackPool<FieldId>,
+        shard_fields: &StackPool<FieldFrame>,
         shard_epoch: u64,
     ) -> usize {
         let pag = self.pag;
@@ -685,8 +705,8 @@ fn run_chunk<'s, 'p>(
 /// both pools and pass through untouched (the empty stack, raw 0, is
 /// always below it).
 fn translate(
-    from: &StackPool<FieldId>,
-    to: &mut StackPool<FieldId>,
+    from: &StackPool<FieldFrame>,
+    to: &mut StackPool<FieldFrame>,
     memo: &mut FxHashMap<FieldStackId, FieldStackId>,
     shared: u32,
     id: FieldStackId,
@@ -699,7 +719,7 @@ fn translate(
     }
     // Walk down to a translated (or shared) suffix, then re-intern back
     // up.
-    let mut chain: Vec<(FieldStackId, FieldId)> = Vec::new();
+    let mut chain: Vec<(FieldStackId, FieldFrame)> = Vec::new();
     let mut cur = id;
     let base = loop {
         if cur.as_raw() <= shared {
@@ -728,7 +748,7 @@ fn translate(
 #[derive(Debug, Default)]
 pub struct SummaryShard {
     pub(crate) cache: SummaryCache,
-    pub(crate) fields: StackPool<FieldId>,
+    pub(crate) fields: StackPool<FieldFrame>,
     pub(crate) epoch: u64,
 }
 

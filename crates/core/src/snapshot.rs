@@ -103,7 +103,7 @@ use std::hash::Hasher;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use dynsum_cfl::{Direction, FieldStackId, FxHashMap, StableHasher, StackPool};
+use dynsum_cfl::{Direction, FieldFrame, FieldStackId, FxHashMap, StableHasher, StackPool};
 use dynsum_pag::{FieldId, MethodId, NodeId, Pag};
 
 use crate::engine::EngineConfig;
@@ -116,7 +116,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DSUMSNAP";
 /// The wire-format version this build writes and accepts. Bump on any
 /// layout change; old versions are rejected (cold start), never
 /// migrated in place.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Header size in bytes: magic + version + kind + fingerprint + digest
 /// + payload length + payload checksum.
@@ -316,6 +316,27 @@ fn direction_of(tag: u8) -> Option<Direction> {
     }
 }
 
+/// Wire form of a [`FieldFrame`]: the field id in the high bits, the
+/// provenance kind in bit 0 (`0` = `Get`, `1` = `Put`). Introduced in
+/// format version 2 — version-1 snapshots stored untagged field ids and
+/// are rejected by the version gate.
+fn frame_encode(frame: FieldFrame) -> u32 {
+    let kind = match frame {
+        FieldFrame::Get(_) => 0,
+        FieldFrame::Put(_) => 1,
+    };
+    (frame.field().as_raw() << 1) | kind
+}
+
+fn frame_decode(raw: u32) -> FieldFrame {
+    let field = FieldId::from_raw(raw >> 1);
+    if raw & 1 == 0 {
+        FieldFrame::Get(field)
+    } else {
+        FieldFrame::Put(field)
+    }
+}
+
 // ---- little-endian codec ---------------------------------------------------
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -417,7 +438,7 @@ impl<'p> Session<'p> {
             SharedState::DynSum { cache, fields } => {
                 put_u32(&mut out, fields.len() as u32);
                 for (elem, parent) in fields.export() {
-                    put_u32(&mut out, elem.as_raw());
+                    put_u32(&mut out, frame_encode(elem));
                     put_u32(&mut out, parent.as_raw());
                 }
                 // Sorted by key, so byte output is independent of hash
@@ -557,16 +578,16 @@ impl<'p> Session<'p> {
         }
 
         let n_stacks = cur.u32()?;
-        let mut pairs: Vec<(FieldId, FieldStackId)> = Vec::new();
+        let mut pairs: Vec<(FieldFrame, FieldStackId)> = Vec::new();
         for _ in 0..n_stacks {
             let elem = cur.u32()?;
             let parent = cur.u32()?;
-            if elem as usize >= pag.num_fields() {
+            if (elem >> 1) as usize >= pag.num_fields() {
                 return Err(SnapshotReject::Corrupt("field id out of range"));
             }
-            pairs.push((FieldId::from_raw(elem), FieldStackId::from_raw(parent)));
+            pairs.push((frame_decode(elem), FieldStackId::from_raw(parent)));
         }
-        let fields: StackPool<FieldId> = StackPool::import(pairs)
+        let fields: StackPool<FieldFrame> = StackPool::import(pairs)
             .ok_or(SnapshotReject::Corrupt("stack pool is not a valid export"))?;
 
         let n_summaries = cur.u32()?;

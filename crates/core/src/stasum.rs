@@ -28,10 +28,10 @@
 use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, Direction, FieldStackId, FxHashMap, FxHashSet, QueryResult, QueryStats,
-    StackPool, StepKind, Trace,
+    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, FxHashMap, FxHashSet, QueryResult,
+    QueryStats, StackPool, StepKind, Trace,
 };
-use dynsum_pag::{AdjClass, CallSiteId, FieldId, NodeId, NodeRef, ObjId, Pag, VarId};
+use dynsum_pag::{AdjClass, CallSiteId, NodeId, NodeRef, ObjId, Pag, VarId};
 
 use crate::driver::{drive, DriveParts};
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
@@ -81,11 +81,11 @@ pub struct StaSumStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct RelBoundary {
     node: NodeId,
-    /// Fields consumed from the arriving stack, in consumption order
-    /// (topmost arriving field first).
-    need: Box<[FieldId]>,
-    /// Fields pushed on the remainder, in push order (bottom-to-top).
-    have: Box<[FieldId]>,
+    /// Frames consumed from the arriving stack, in consumption order
+    /// (topmost arriving frame first).
+    need: Box<[FieldFrame]>,
+    /// Frames pushed on the remainder, in push order (bottom-to-top).
+    have: Box<[FieldFrame]>,
     dir: Direction,
     /// Marks continuations that passed through a `new new̅` flip while
     /// the concrete stack depth was unknown: the flip is only legal on a
@@ -100,7 +100,7 @@ struct RelBoundary {
 #[derive(Debug, Default, Clone)]
 struct RelSummary {
     /// `(object, need)` — applies when the arriving stack equals `need`.
-    objs: Vec<(ObjId, Box<[FieldId]>)>,
+    objs: Vec<(ObjId, Box<[FieldFrame]>)>,
     boundaries: Vec<RelBoundary>,
     truncated: bool,
     aborted: bool,
@@ -136,7 +136,7 @@ pub(crate) fn stasum_precompute(
     };
     // Interning pool private to the precomputation: the frozen summaries
     // carry inline arrays, so nothing outlives this pool.
-    let mut fields: StackPool<FieldId> = StackPool::new();
+    let mut fields: StackPool<FieldFrame> = StackPool::new();
     // S1 summaries are consumed where the driver lands after walking a
     // global edge backwards (nodes with global out-edges); S2 where it
     // lands walking forwards (nodes with global in-edges).
@@ -158,7 +158,7 @@ pub(crate) fn stasum_precompute(
 fn precompute_node(
     pag: &Pag,
     config: &EngineConfig,
-    fields: &mut StackPool<FieldId>,
+    fields: &mut StackPool<FieldFrame>,
     shared: &mut StaSumShared,
     n: NodeId,
     dir: Direction,
@@ -230,7 +230,7 @@ pub(crate) fn stasum_query(
     } = parts;
     ctxs.clear();
     let c0 = ctxs.from_slice(ctx);
-    let mut provider = |fields: &mut StackPool<FieldId>,
+    let mut provider = |fields: &mut StackPool<FieldFrame>,
                         budget: &mut Budget,
                         stats: &mut QueryStats,
                         u: NodeId,
@@ -323,7 +323,7 @@ impl<'p> StaSum<'p> {
 /// store is frozen before the first query, so its queries are already
 /// independent of each other and need no deterministic reuse charging.
 fn instantiate(
-    fields: &mut StackPool<FieldId>,
+    fields: &mut StackPool<FieldFrame>,
     options: &StaSumOptions,
     rel: &RelSummary,
     f: FieldStackId,
@@ -415,7 +415,7 @@ struct RawRelSummary {
 /// Relative-stack PPTA: Algorithm 3 with the `(need, have)` split.
 struct RelPpta<'a, 'p> {
     pag: &'p Pag,
-    fields: &'a mut StackPool<FieldId>,
+    fields: &'a mut StackPool<FieldFrame>,
     options: &'a StaSumOptions,
     max_have_depth: usize,
     budget: Budget,
@@ -441,7 +441,7 @@ impl RelPpta<'_, '_> {
         &mut self,
         need: FieldStackId,
         have: FieldStackId,
-        g: FieldId,
+        g: FieldFrame,
         strict: bool,
     ) -> Option<(FieldStackId, FieldStackId, bool)> {
         match self.fields.peek(have) {
@@ -461,7 +461,11 @@ impl RelPpta<'_, '_> {
         }
     }
 
-    fn rel_push(&mut self, have: FieldStackId, g: FieldId) -> Result<FieldStackId, BudgetExceeded> {
+    fn rel_push(
+        &mut self,
+        have: FieldStackId,
+        g: FieldFrame,
+    ) -> Result<FieldStackId, BudgetExceeded> {
         if self.fields.depth(have) >= self.max_have_depth {
             return Err(BudgetExceeded);
         }
@@ -514,7 +518,7 @@ impl RelPpta<'_, '_> {
         }
         for &a in self.pag.in_seg(u, AdjClass::Load) {
             self.charge()?;
-            let have2 = self.rel_push(have, a.field())?;
+            let have2 = self.rel_push(have, FieldFrame::Get(a.field()))?;
             self.go(a.node, need, have2, Direction::S1, strict)?;
         }
         if saw_new {
@@ -546,7 +550,11 @@ impl RelPpta<'_, '_> {
             self.go(a.node, need, have, Direction::S2, strict)?;
         }
         for &a in self.pag.out_seg(u, AdjClass::Load) {
-            if let Some((n2, h2, st2)) = self.rel_pop(need, have, a.field(), strict) {
+            // Out-loads discharge pending `Put` frames only (see
+            // `FieldFrame`); a `Get` frame on top kills the branch.
+            if let Some((n2, h2, st2)) =
+                self.rel_pop(need, have, FieldFrame::Put(a.field()), strict)
+            {
                 self.charge()?;
                 self.go(a.node, n2, h2, Direction::S2, st2)?;
             }
@@ -556,12 +564,15 @@ impl RelPpta<'_, '_> {
             // when some load of the field exists.
             if !self.pag.loads_of(a.field()).is_empty() {
                 self.charge()?;
-                let have2 = self.rel_push(have, a.field())?;
+                let have2 = self.rel_push(have, FieldFrame::Put(a.field()))?;
                 self.go(a.node, need, have2, Direction::S1, strict)?;
             }
         }
         for &a in self.pag.in_seg(u, AdjClass::Store) {
-            if let Some((n2, h2, st2)) = self.rel_pop(need, have, a.field(), strict) {
+            // In-stores discharge pending `Get` frames only.
+            if let Some((n2, h2, st2)) =
+                self.rel_pop(need, have, FieldFrame::Get(a.field()), strict)
+            {
                 self.charge()?;
                 self.go(a.node, n2, h2, Direction::S1, st2)?;
             }

@@ -44,28 +44,176 @@ pub struct Workload {
 }
 
 /// Generator options.
+///
+/// The three adversarial knobs ([`recursion_bias`](Self::recursion_bias),
+/// [`field_chain`](Self::field_chain), [`null_bias`](Self::null_bias))
+/// default to the values the generator has always used, so default
+/// options reproduce the historical byte-identical output for any
+/// `(profile, scale, seed)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorOptions {
     /// Linear scale factor applied to every profile count (1.0 = paper
     /// size). The default, 0.02, yields graphs of a few thousand nodes —
     /// laptop-scale yet large enough for the performance shapes.
+    ///
+    /// Validated range: finite, `0.0..=`[`MAX_SCALE`]. `0.0` is legal
+    /// and yields the per-kind minimum quotas (every client still gets a
+    /// non-empty site list); anything outside the range is a typed
+    /// [`GeneratorError`] from [`try_generate`].
     pub scale: f64,
     /// RNG seed; same seed + profile ⇒ identical workload.
     pub seed: u64,
+    /// Probability (per application method) of planting *extra*
+    /// recursion beyond the baseline every-40th self-call: a recursive
+    /// self-call plus, half the time, a recursive back-call into an
+    /// earlier application method (a two-method call-graph cycle).
+    /// `0.0` (the default) preserves the historical output exactly.
+    /// Range `0.0..=1.0`.
+    pub recursion_bias: f64,
+    /// Depth of the pathological nested-field chains planted in every
+    /// other application method: `d` chained `store(chain_k)` hops
+    /// followed by the matching load chain, so a demand query on the
+    /// chain's tail must grow a field stack `d` deep before it can
+    /// resolve. Each planted tail also becomes a `NullDeref` site, so
+    /// client query streams actually traverse the chains. `0` (the
+    /// default) plants nothing.
+    pub field_chain: usize,
+    /// Fraction of app-method payload allocations that are null objects
+    /// (feeds the `NullDeref` client refutations). The default, `0.12`,
+    /// is the generator's historical constant. Range `0.0..=1.0`.
+    pub null_bias: f64,
 }
+
+/// Upper bound on [`GeneratorOptions::scale`]: 64× the paper-sized
+/// benchmarks is already tens of millions of edges; anything bigger is
+/// almost certainly a bug in the caller (and would exhaust memory long
+/// before producing a useful workload).
+pub const MAX_SCALE: f64 = 64.0;
+
+/// Upper bound on [`GeneratorOptions::field_chain`]: deeper chains only
+/// multiply generation cost — every demand engine aborts conservatively
+/// at `EngineConfig::max_field_depth` (default 512) anyway.
+pub const MAX_FIELD_CHAIN: usize = 4096;
 
 impl Default for GeneratorOptions {
     fn default() -> Self {
         GeneratorOptions {
             scale: 0.02,
             seed: 0xD45,
+            recursion_bias: 0.0,
+            field_chain: 0,
+            null_bias: 0.12,
         }
     }
 }
 
+/// A rejected [`GeneratorOptions`] value: the typed alternative to
+/// panicking (or OOMing) on adversarial inputs. Returned by
+/// [`try_generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeneratorError {
+    /// `scale` is NaN or infinite.
+    ScaleNotFinite {
+        /// The offending value.
+        scale: f64,
+    },
+    /// `scale` is negative or exceeds [`MAX_SCALE`].
+    ScaleOutOfRange {
+        /// The offending value.
+        scale: f64,
+        /// The inclusive maximum.
+        max: f64,
+    },
+    /// A probability knob is NaN or outside `0.0..=1.0`.
+    BiasOutOfRange {
+        /// Which knob (`"recursion_bias"` / `"null_bias"`).
+        knob: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `field_chain` exceeds [`MAX_FIELD_CHAIN`].
+    FieldChainTooDeep {
+        /// The offending value.
+        depth: usize,
+        /// The inclusive maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeneratorError::ScaleNotFinite { scale } => {
+                write!(f, "generator scale must be finite, got {scale}")
+            }
+            GeneratorError::ScaleOutOfRange { scale, max } => {
+                write!(f, "generator scale {scale} outside 0.0..={max}")
+            }
+            GeneratorError::BiasOutOfRange { knob, value } => {
+                write!(f, "generator {knob} {value} outside 0.0..=1.0")
+            }
+            GeneratorError::FieldChainTooDeep { depth, max } => {
+                write!(f, "generator field_chain {depth} exceeds {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+fn validate(opts: &GeneratorOptions) -> Result<(), GeneratorError> {
+    if !opts.scale.is_finite() {
+        return Err(GeneratorError::ScaleNotFinite { scale: opts.scale });
+    }
+    if !(0.0..=MAX_SCALE).contains(&opts.scale) {
+        return Err(GeneratorError::ScaleOutOfRange {
+            scale: opts.scale,
+            max: MAX_SCALE,
+        });
+    }
+    for (knob, value) in [
+        ("recursion_bias", opts.recursion_bias),
+        ("null_bias", opts.null_bias),
+    ] {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(GeneratorError::BiasOutOfRange { knob, value });
+        }
+    }
+    if opts.field_chain > MAX_FIELD_CHAIN {
+        return Err(GeneratorError::FieldChainTooDeep {
+            depth: opts.field_chain,
+            max: MAX_FIELD_CHAIN,
+        });
+    }
+    Ok(())
+}
+
+/// Generates a workload for a Table 3 profile, validating the options
+/// first.
+///
+/// # Errors
+///
+/// Returns a [`GeneratorError`] for adversarial options — non-finite,
+/// negative or huge `scale`, out-of-range probability knobs, or an
+/// absurd `field_chain` — instead of panicking or exhausting memory.
+/// `scale == 0.0` is *not* an error: it produces the minimum-quota
+/// workload, which still carries a non-empty site list for every client.
+pub fn try_generate(
+    profile: &BenchmarkProfile,
+    opts: &GeneratorOptions,
+) -> Result<Workload, GeneratorError> {
+    validate(opts)?;
+    Ok(Gen::new(profile, opts).run())
+}
+
 /// Generates a workload for a Table 3 profile.
+///
+/// # Panics
+///
+/// Panics on options [`try_generate`] would reject; callers handling
+/// untrusted options should use [`try_generate`] instead.
 pub fn generate(profile: &BenchmarkProfile, opts: &GeneratorOptions) -> Workload {
-    Gen::new(profile, opts).run()
+    try_generate(profile, opts).expect("invalid GeneratorOptions")
 }
 
 /// Remaining per-kind quotas (signed: padding stops at zero, the main
@@ -105,11 +253,15 @@ struct LibContainer {
 
 struct Gen<'p> {
     profile: &'p BenchmarkProfile,
+    opts: GeneratorOptions,
     rng: SmallRng,
     b: PagBuilder,
     q: Quota,
     info: ProgramInfo,
     slots: Vec<FieldId>,
+    /// Distinct fields for the pathological nested chains (empty unless
+    /// `opts.field_chain > 0`).
+    chain_fields: Vec<FieldId>,
     elems: FieldId,
     arr: FieldId,
     data: FieldId,
@@ -146,11 +298,13 @@ impl<'p> Gen<'p> {
         };
         Gen {
             profile,
+            opts: *opts,
             rng: SmallRng::seed_from_u64(opts.seed ^ hash_name(profile.name)),
             b: PagBuilder::new(),
             q,
             info: ProgramInfo::default(),
             slots: Vec::new(),
+            chain_fields: Vec::new(),
             elems: FieldId::from_raw(0),
             arr: FieldId::from_raw(0),
             data: FieldId::from_raw(0),
@@ -218,6 +372,15 @@ impl<'p> Gen<'p> {
         self.arr = self.b.array_field();
         self.data = self.b.field("data");
         self.pad = self.b.field("padslot");
+        if self.opts.field_chain > 0 {
+            // Distinct fields per chain level (cycled past 32) so a
+            // query must *match* the store order, not merely reuse one
+            // field edge.
+            for i in 0..self.opts.field_chain.min(32) {
+                let f = self.b.field(&format!("chain{i}"));
+                self.chain_fields.push(f);
+            }
+        }
 
         let base = self.b.add_class("Payload", None).expect("fresh class");
         let n_payload = ((self.q.objs / 80).clamp(3, 24)) as usize;
@@ -600,7 +763,7 @@ impl<'p> Gen<'p> {
         let pclass = self.pick_payload();
         let p = self.b.add_local(&format!("{name}#p"), m, None).unwrap();
         self.q.locals -= 1;
-        let is_null = self.rng.gen_bool(0.12);
+        let is_null = self.rng.gen_bool(self.opts.null_bias);
         if is_null {
             let label = self.fresh("nul");
             let o = self.b.add_null_obj(&label, Some(m)).unwrap();
@@ -725,6 +888,37 @@ impl<'p> Gen<'p> {
             self.q.entry -= 1;
         }
 
+        // Adversarial extra recursion (fuzzing knob; the RNG is only
+        // consulted when the knob is on, so default output is
+        // byte-identical to the historical generator).
+        if self.opts.recursion_bias > 0.0 && self.rng.gen_bool(self.opts.recursion_bias) {
+            let site6 = self.fresh("s");
+            let site6 = self.b.add_call_site(&site6, m).unwrap();
+            self.b.add_entry(site6, z, param).unwrap();
+            self.b.set_recursive(site6, true).unwrap();
+            self.q.entry -= 1;
+            if !self.app_callables.is_empty() && self.rng.gen_bool(0.5) {
+                // Recursive back-call into an earlier app method: a
+                // call-graph cycle spanning two methods.
+                let (aparam, aret) =
+                    self.app_callables[self.rng.gen_range(0..self.app_callables.len())];
+                let w3 = self.b.add_local(&format!("{name}#w3"), m, None).unwrap();
+                let site7 = self.fresh("s");
+                let site7 = self.b.add_call_site(&site7, m).unwrap();
+                self.b.add_entry(site7, param, aparam).unwrap();
+                self.b.add_exit(site7, aret, w3).unwrap();
+                self.b.set_recursive(site7, true).unwrap();
+                self.q.locals -= 1;
+                self.q.entry -= 1;
+                self.q.exit -= 1;
+            }
+        }
+
+        // Pathological nested-field chain (fuzzing knob).
+        if self.opts.field_chain > 0 && index % 2 == 0 {
+            self.plant_field_chain(m, &name, p);
+        }
+
         // Return value: makes this method callable by later ones.
         let retv = self.b.add_local(&format!("{name}#ret"), m, None).unwrap();
         self.b.add_assign(z, retv).unwrap();
@@ -733,6 +927,48 @@ impl<'p> Gen<'p> {
         self.app_callables.push((param, retv));
 
         self.pad_sites.push((m, chain, ci, z));
+    }
+
+    /// Plants a `field_chain`-deep nested store chain seeded with `src`
+    /// plus the matching load chain: `h_k.chain_k = h_{k-1}` for `d`
+    /// levels, then loads unwinding in reverse. A backward query from
+    /// the tail must stack `d` field frames before it can pop any, so
+    /// chains this deep vs `max_field_depth` exercise the conservative
+    /// abort path. The tail is registered as a `NullDeref` site so the
+    /// client query stream actually walks the chain.
+    fn plant_field_chain(&mut self, m: MethodId, name: &str, src: VarId) {
+        let d = self.opts.field_chain;
+        let mut cur = src;
+        for k in 0..d {
+            let f = self.chain_fields[k % self.chain_fields.len()];
+            let h = self
+                .b
+                .add_local(&format!("{name}#fch{k}"), m, None)
+                .unwrap();
+            let label = self.fresh("ofc");
+            let o = self.b.add_obj(&label, None, Some(m)).unwrap();
+            self.b.add_new(o, h).unwrap();
+            self.b.add_store(f, cur, h).unwrap();
+            self.q.locals -= 1;
+            self.q.objs -= 1;
+            self.q.store -= 1;
+            cur = h;
+        }
+        for k in (0..d).rev() {
+            let f = self.chain_fields[k % self.chain_fields.len()];
+            let t = self
+                .b
+                .add_local(&format!("{name}#fct{k}"), m, None)
+                .unwrap();
+            self.b.add_load(f, cur, t).unwrap();
+            self.q.locals -= 1;
+            self.q.load -= 1;
+            cur = t;
+        }
+        self.info.derefs.push(DerefSite {
+            base: cur,
+            location: format!("{name}:chain"),
+        });
     }
 
     /// Consumes leftover per-kind quota with precision-neutral filler.
@@ -932,6 +1168,7 @@ mod tests {
         GeneratorOptions {
             scale: 0.01,
             seed: 7,
+            ..GeneratorOptions::default()
         }
     }
 
@@ -980,6 +1217,7 @@ mod tests {
                 &GeneratorOptions {
                     scale: 0.02,
                     seed: 1,
+                    ..GeneratorOptions::default()
                 },
             );
             let got = w.pag.stats().locality();
@@ -1002,6 +1240,7 @@ mod tests {
             &GeneratorOptions {
                 scale: 0.05,
                 seed: 3,
+                ..GeneratorOptions::default()
             },
         );
         let s = w.pag.stats();
@@ -1041,9 +1280,166 @@ mod tests {
             &GeneratorOptions {
                 scale: 0.05,
                 seed: 2,
+                ..GeneratorOptions::default()
             },
         );
         assert!(w.pag.objs().any(|(_, o)| o.is_null));
         assert!(w.pag.call_sites().any(|(_, s)| s.recursive));
+    }
+
+    #[test]
+    fn scale_zero_yields_valid_pag_with_sites_for_every_profile() {
+        for p in &PROFILES {
+            let w = try_generate(
+                p,
+                &GeneratorOptions {
+                    scale: 0.0,
+                    seed: 5,
+                    ..GeneratorOptions::default()
+                },
+            )
+            .expect("scale 0 is a legal degenerate input");
+            assert!(
+                dynsum_pag::validate(&w.pag).is_empty(),
+                "{}: scale-0 PAG invalid",
+                p.name
+            );
+            assert!(!w.info.casts.is_empty(), "{}: empty cast sites", p.name);
+            assert!(!w.info.derefs.is_empty(), "{}: empty deref sites", p.name);
+            assert!(
+                !w.info.factories.is_empty(),
+                "{}: empty factory sites",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_options_are_typed_errors_not_panics() {
+        let p = &PROFILES[0];
+        let bad = |opts: GeneratorOptions| try_generate(p, &opts).unwrap_err();
+        assert!(matches!(
+            bad(GeneratorOptions {
+                scale: f64::NAN,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::ScaleNotFinite { .. }
+        ));
+        assert!(matches!(
+            bad(GeneratorOptions {
+                scale: f64::INFINITY,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::ScaleNotFinite { .. }
+        ));
+        assert!(matches!(
+            bad(GeneratorOptions {
+                scale: -0.5,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::ScaleOutOfRange { .. }
+        ));
+        assert!(matches!(
+            bad(GeneratorOptions {
+                scale: 1.0e9,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::ScaleOutOfRange { .. }
+        ));
+        assert!(matches!(
+            bad(GeneratorOptions {
+                recursion_bias: 1.5,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::BiasOutOfRange {
+                knob: "recursion_bias",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(GeneratorOptions {
+                null_bias: f64::NAN,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::BiasOutOfRange {
+                knob: "null_bias",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(GeneratorOptions {
+                field_chain: MAX_FIELD_CHAIN + 1,
+                ..GeneratorOptions::default()
+            }),
+            GeneratorError::FieldChainTooDeep { .. }
+        ));
+        // Errors carry a human-readable rendering.
+        let msg = bad(GeneratorOptions {
+            scale: -1.0,
+            ..GeneratorOptions::default()
+        })
+        .to_string();
+        assert!(msg.contains("scale"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn adversarial_knobs_produce_valid_pags() {
+        let p = &PROFILES[1];
+        let opts = GeneratorOptions {
+            scale: 0.01,
+            seed: 11,
+            recursion_bias: 0.9,
+            field_chain: 24,
+            null_bias: 0.9,
+        };
+        let w = try_generate(p, &opts).unwrap();
+        assert!(dynsum_pag::validate(&w.pag).is_empty());
+        // The knobs visibly changed the graph's character.
+        let recursive = w.pag.call_sites().filter(|(_, s)| s.recursive).count();
+        let baseline = generate(
+            p,
+            &GeneratorOptions {
+                scale: 0.01,
+                seed: 11,
+                ..GeneratorOptions::default()
+            },
+        );
+        let base_recursive = baseline
+            .pag
+            .call_sites()
+            .filter(|(_, s)| s.recursive)
+            .count();
+        assert!(
+            recursive > base_recursive,
+            "recursion_bias planted nothing ({recursive} vs {base_recursive})"
+        );
+        assert!(
+            w.info.derefs.iter().any(|d| d.location.ends_with(":chain")),
+            "field_chain planted no chain deref sites"
+        );
+    }
+
+    #[test]
+    fn default_knobs_reproduce_historical_output() {
+        // The widened options must not disturb same-seed determinism:
+        // explicitly spelling out the historical defaults matches
+        // `..Default::default()` byte for byte.
+        let p = &PROFILES[4];
+        let a = generate(p, &small_opts());
+        let b = generate(
+            p,
+            &GeneratorOptions {
+                scale: 0.01,
+                seed: 7,
+                recursion_bias: 0.0,
+                field_chain: 0,
+                null_bias: 0.12,
+            },
+        );
+        assert_eq!(
+            dynsum_pag::text::write_pag(&a.pag),
+            dynsum_pag::text::write_pag(&b.pag)
+        );
+        assert_eq!(a.info, b.info);
     }
 }

@@ -28,10 +28,15 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod fuzz;
 mod generator;
 mod motivating;
 mod profiles;
+pub mod reduce;
+pub mod wire;
 
-pub use generator::{generate, GeneratorOptions, Workload};
+pub use generator::{
+    generate, try_generate, GeneratorError, GeneratorOptions, Workload, MAX_FIELD_CHAIN, MAX_SCALE,
+};
 pub use motivating::{motivating_pag, motivating_workload, Motivating, MOTIVATING_SOURCE};
 pub use profiles::{BenchmarkProfile, PROFILES, SCALABILITY_BENCHMARKS};

@@ -1,0 +1,349 @@
+//! Auto-reduction of divergent workloads.
+//!
+//! When the fuzzer ([`fuzz`](crate::fuzz)) finds a divergence, the raw
+//! workload is thousands of nodes — useless as a regression test. This
+//! module shrinks it wgslsmith-style: greedily delete program elements,
+//! re-check the divergence predicate after each candidate deletion, and
+//! keep only deletions that preserve it.
+//!
+//! Reduction operates on the [`wire`](crate::wire) text, which is
+//! line-oriented with every cross-reference by name: deleting a line
+//! plus the transitive closure of lines that (directly or indirectly)
+//! reference any name it defines always yields a parseable candidate —
+//! and [`parse_workload`] re-validates
+//! everything anyway, so an over-aggressive cascade is rejected, never
+//! miscompiled. Candidates are tried in a seeded order, coarse
+//! granularity first (method declarations cascade whole call trees;
+//! single edges come last), so the loop is:
+//!
+//! * **deterministic** in `(workload, seed)` — same input, same
+//!   reproducer;
+//! * **terminating** — every committed deletion strictly shrinks the
+//!   line count, and a full pass with no commit ends the loop;
+//! * **predicate-preserving** — the reduced workload still exhibits
+//!   the divergence, by construction.
+//!
+//! All three properties are property-tested in
+//! `crates/workloads/tests/reducer_convergence.rs`.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::generator::Workload;
+use crate::wire::{parse_workload, write_workload};
+
+/// Reduction tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceOptions {
+    /// Orders candidate deletions within each granularity tier. The
+    /// *outcome* is deterministic in `(workload, seed)`.
+    pub seed: u64,
+    /// Safety cap on full passes (each pass re-tries every surviving
+    /// candidate); the loop normally stops earlier, at the first pass
+    /// that commits nothing.
+    pub max_passes: usize,
+    /// Cap on predicate evaluations, bounding worst-case wall clock.
+    /// Hitting the cap stops reduction early with the best result so
+    /// far (still predicate-preserving).
+    pub max_evals: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions {
+            seed: 0x5EED,
+            max_passes: 8,
+            max_evals: 100_000,
+        }
+    }
+}
+
+/// Result of a reduction run.
+#[derive(Debug, Clone)]
+pub struct ReduceOutcome {
+    /// The reduced workload (equal to the input if nothing could go).
+    pub workload: Workload,
+    /// Its wire-format text (what the corpus checks in).
+    pub text: String,
+    /// Line count before reduction.
+    pub initial_lines: usize,
+    /// Line count after.
+    pub final_lines: usize,
+    /// Committed deletions (line-closure steps, not line count).
+    pub deletions: usize,
+    /// Predicate evaluations spent.
+    pub predicate_evals: usize,
+}
+
+/// Granularity tiers, coarse → fine. A tier's candidates are the lines
+/// whose first token matches; deleting one removes its whole reference
+/// closure.
+const TIERS: &[&[&str]] = &[
+    &["method"],
+    &["class"],
+    &["callsite"],
+    &["obj", "nullobj"],
+    &["global", "local"],
+    &["field"],
+    &["new", "assign", "load", "store", "entry", "exit"],
+    &["site", "entrypoint"],
+];
+
+/// One parsed line: which names it defines and which it references.
+struct LineRefs {
+    /// Name introduced by a declaration line (`None` for edges/sites).
+    defines: Option<String>,
+    /// Names this line mentions (cascade triggers).
+    refs: Vec<String>,
+}
+
+/// Marker keywords that *precede* a referenced name inside declaration
+/// lines (`class N extends S`, `local N method M type C`, …).
+const REF_MARKERS: &[&str] = &["extends", "class", "method", "type"];
+
+fn classify(line: &str) -> Option<LineRefs> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let &kw = toks.first()?;
+    match kw {
+        // Headers and comments are never candidates and reference
+        // nothing.
+        "workload" | "pag" => None,
+        _ if kw.starts_with('#') => None,
+        "class" | "field" | "method" | "global" | "local" | "obj" | "nullobj" | "callsite" => {
+            let defines = toks.get(1).map(|s| s.to_string());
+            let mut refs = Vec::new();
+            let mut i = 2;
+            while i + 1 < toks.len() {
+                if REF_MARKERS.contains(&toks[i]) {
+                    refs.push(toks[i + 1].to_string());
+                    i += 2;
+                } else {
+                    // `recursive` flag etc.
+                    i += 1;
+                }
+            }
+            Some(LineRefs { defines, refs })
+        }
+        "new" | "assign" | "load" | "store" | "entry" | "exit" => Some(LineRefs {
+            defines: None,
+            refs: toks[1..].iter().map(|s| s.to_string()).collect(),
+        }),
+        "entrypoint" => Some(LineRefs {
+            defines: None,
+            refs: toks[1..].iter().map(|s| s.to_string()).collect(),
+        }),
+        "site" => {
+            // `site cast v c loc...` / `site deref v loc...` /
+            // `site factory m r` — the trailing location tokens are not
+            // names, but treating them as references is harmless: a
+            // location never collides with a generated name, and a
+            // false cascade is just a rejected candidate.
+            let refs = match toks.get(1) {
+                Some(&"cast") => toks[2..toks.len().min(4)].to_vec(),
+                Some(&"deref") => toks[2..toks.len().min(3)].to_vec(),
+                Some(&"factory") => toks[2..].to_vec(),
+                _ => toks[1..].to_vec(),
+            };
+            Some(LineRefs {
+                defines: None,
+                refs: refs.iter().map(|s| s.to_string()).collect(),
+            })
+        }
+        _ => Some(LineRefs {
+            defines: None,
+            refs: toks[1..].iter().map(|s| s.to_string()).collect(),
+        }),
+    }
+}
+
+/// Deletes line `root` from `lines` together with every line reachable
+/// through name references. Returns the surviving lines.
+fn delete_closure(lines: &[String], root: usize) -> Vec<String> {
+    let parsed: Vec<Option<LineRefs>> = lines.iter().map(|l| classify(l)).collect();
+    let mut removed = vec![false; lines.len()];
+    removed[root] = true;
+    let mut dead_names: Vec<String> = parsed[root]
+        .as_ref()
+        .and_then(|p| p.defines.clone())
+        .into_iter()
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, p) in parsed.iter().enumerate() {
+            if removed[i] {
+                continue;
+            }
+            let Some(p) = p else { continue };
+            if p.refs.iter().any(|r| dead_names.contains(r)) {
+                removed[i] = true;
+                changed = true;
+                if let Some(d) = &p.defines {
+                    if !dead_names.contains(d) {
+                        dead_names.push(d.clone());
+                    }
+                }
+            }
+        }
+    }
+    lines
+        .iter()
+        .zip(&removed)
+        .filter(|(_, &r)| !r)
+        .map(|(l, _)| l.clone())
+        .collect()
+}
+
+/// Shrinks `w` while `predicate` keeps returning `true`.
+///
+/// The input must satisfy the predicate; if it does not, the input is
+/// returned unchanged (zero deletions) — the caller's divergence was
+/// not reproducible, which the caller should treat as its own finding.
+pub fn reduce(
+    w: &Workload,
+    opts: &ReduceOptions,
+    mut predicate: impl FnMut(&Workload) -> bool,
+) -> ReduceOutcome {
+    let mut text = write_workload(w);
+    let mut lines: Vec<String> = text.lines().map(|l| l.to_owned()).collect();
+    let initial_lines = lines.len();
+    let mut best = w.clone();
+    let mut deletions = 0usize;
+    let mut evals = 0usize;
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+
+    evals += 1;
+    if !predicate(w) {
+        return ReduceOutcome {
+            workload: best,
+            text,
+            initial_lines,
+            final_lines: initial_lines,
+            deletions: 0,
+            predicate_evals: evals,
+        };
+    }
+
+    'outer: for _pass in 0..opts.max_passes {
+        let mut committed = false;
+        for tier in TIERS {
+            // Candidate roots of this tier, in a seeded order. Indices
+            // are recomputed after every commit (the line set changed).
+            loop {
+                let mut roots: Vec<usize> = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| {
+                        l.split_whitespace()
+                            .next()
+                            .is_some_and(|t| tier.contains(&t))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                roots.shuffle(&mut rng);
+                let mut tier_committed = false;
+                for root in roots {
+                    let candidate = delete_closure(&lines, root);
+                    if candidate.len() >= lines.len() {
+                        continue;
+                    }
+                    let Ok(cw) = parse_workload(&(candidate.join("\n") + "\n")) else {
+                        continue;
+                    };
+                    if evals >= opts.max_evals {
+                        break 'outer;
+                    }
+                    evals += 1;
+                    if predicate(&cw) {
+                        lines = candidate;
+                        best = cw;
+                        deletions += 1;
+                        committed = true;
+                        tier_committed = true;
+                        // Restart the tier on the shrunk line set.
+                        break;
+                    }
+                }
+                if !tier_committed {
+                    break;
+                }
+            }
+        }
+        if !committed {
+            break;
+        }
+    }
+
+    text = lines.join("\n") + "\n";
+    ReduceOutcome {
+        final_lines: lines.len(),
+        workload: best,
+        text,
+        initial_lines,
+        deletions,
+        predicate_evals: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorOptions};
+    use crate::profiles::PROFILES;
+
+    fn tiny() -> Workload {
+        generate(
+            &PROFILES[0],
+            &GeneratorOptions {
+                scale: 0.0,
+                seed: 9,
+                ..GeneratorOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn reduces_while_preserving_a_cheap_predicate() {
+        let w = tiny();
+        // Predicate: the workload still has a null object and at least
+        // one deref site (the skeleton of a NullDeref repro).
+        let pred = |w: &Workload| w.pag.objs().any(|(_, o)| o.is_null) && !w.info.derefs.is_empty();
+        let out = reduce(&w, &ReduceOptions::default(), pred);
+        assert!(pred(&out.workload), "predicate lost in reduction");
+        assert!(
+            out.final_lines < out.initial_lines / 2,
+            "barely reduced: {} -> {}",
+            out.initial_lines,
+            out.final_lines
+        );
+        // The emitted text round-trips.
+        let back = parse_workload(&out.text).unwrap();
+        assert!(pred(&back));
+    }
+
+    #[test]
+    fn unreproducible_input_is_returned_unchanged() {
+        let w = tiny();
+        let out = reduce(&w, &ReduceOptions::default(), |_| false);
+        assert_eq!(out.deletions, 0);
+        assert_eq!(out.initial_lines, out.final_lines);
+        assert_eq!(out.predicate_evals, 1);
+    }
+
+    #[test]
+    fn eval_cap_bounds_work() {
+        let w = tiny();
+        let opts = ReduceOptions {
+            max_evals: 5,
+            ..ReduceOptions::default()
+        };
+        let mut calls = 0usize;
+        let out = reduce(&w, &opts, |_| {
+            calls += 1;
+            true
+        });
+        assert!(out.predicate_evals <= 5);
+        assert_eq!(calls, out.predicate_evals);
+    }
+}

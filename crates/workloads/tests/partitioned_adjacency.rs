@@ -66,6 +66,7 @@ proptest! {
         let opts = GeneratorOptions {
             scale: scale_step as f64 * 0.002,
             seed,
+            ..GeneratorOptions::default()
         };
         let w = generate(&PROFILES[profile], &opts);
         let pag = &w.pag;

@@ -1,0 +1,123 @@
+//! Property tests for the auto-reducer's three-part contract (stated in
+//! the `reduce` module docs): reduction is **deterministic** in
+//! `(workload, seed)`, **terminating** within its pass/eval bounds, and
+//! **predicate-preserving**.
+//!
+//! The reducer only ever observes the divergence predicate as a black
+//! box, so cheap structural predicates exercise exactly the same loop
+//! as a real engine-divergence check — these tests sweep generated
+//! workloads across profiles, generator seeds and reduction seeds.
+
+use dynsum_workloads::reduce::{reduce, ReduceOptions};
+use dynsum_workloads::wire::parse_workload;
+use dynsum_workloads::{generate, GeneratorOptions, Workload, PROFILES};
+use proptest::prelude::*;
+
+/// Stand-ins for "the divergence still reproduces". `NullAndDeref` is
+/// the skeleton of a real null-deref reproducer; `ManyMethods` forces
+/// the coarse `method` tier to keep most of its candidates, so passes
+/// commit deletions in finer tiers too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pred {
+    NullAndDeref,
+    HasFactory,
+    ManyMethods,
+}
+
+impl Pred {
+    fn eval(self, w: &Workload) -> bool {
+        match self {
+            Pred::NullAndDeref => w.pag.objs().any(|(_, o)| o.is_null) && !w.info.derefs.is_empty(),
+            Pred::HasFactory => !w.info.factories.is_empty(),
+            Pred::ManyMethods => w.pag.num_methods() >= 4,
+        }
+    }
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        Just(Pred::NullAndDeref),
+        Just(Pred::HasFactory),
+        Just(Pred::ManyMethods),
+    ]
+}
+
+/// Scale-0 workloads (the generator's structural minimum) across every
+/// benchmark profile — small enough that a full reduction runs in
+/// milliseconds, varied enough to cover every wire-line kind.
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (0usize..PROFILES.len(), 0u64..1 << 32).prop_map(|(p, seed)| {
+        generate(
+            &PROFILES[p],
+            &GeneratorOptions {
+                scale: 0.0,
+                seed,
+                ..GeneratorOptions::default()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same `(workload, seed)`, same reproducer — byte-identical text
+    /// and identical counters, run to run.
+    #[test]
+    fn reduction_is_deterministic_in_workload_and_seed(
+        w in workload_strategy(),
+        seed in any::<u64>(),
+        pred in pred_strategy(),
+    ) {
+        let opts = ReduceOptions { seed, ..ReduceOptions::default() };
+        let a = reduce(&w, &opts, |w| pred.eval(w));
+        let b = reduce(&w, &opts, |w| pred.eval(w));
+        prop_assert_eq!(&a.text, &b.text);
+        prop_assert_eq!(a.final_lines, b.final_lines);
+        prop_assert_eq!(a.deletions, b.deletions);
+        prop_assert_eq!(a.predicate_evals, b.predicate_evals);
+    }
+
+    /// Every committed deletion strictly shrinks the line count (so the
+    /// deletion count is bounded by the lines available), and the eval
+    /// cap bounds predicate work even when it is set adversarially low.
+    #[test]
+    fn reduction_terminates_within_its_bounds(
+        w in workload_strategy(),
+        seed in any::<u64>(),
+        max_evals in 1usize..40,
+        pred in pred_strategy(),
+    ) {
+        let opts = ReduceOptions { seed, max_evals, ..ReduceOptions::default() };
+        let out = reduce(&w, &opts, |w| pred.eval(w));
+        prop_assert!(out.final_lines <= out.initial_lines);
+        prop_assert!(
+            out.final_lines + out.deletions <= out.initial_lines,
+            "{} deletions did not each shrink {} -> {}",
+            out.deletions, out.initial_lines, out.final_lines
+        );
+        prop_assert!(out.predicate_evals <= max_evals);
+    }
+
+    /// When the input reproduces, so do the reduced workload *and* the
+    /// re-parsed artifact text; when it does not, the input comes back
+    /// untouched (the caller's divergence was flaky — its own finding).
+    #[test]
+    fn reduction_preserves_the_predicate(
+        w in workload_strategy(),
+        seed in any::<u64>(),
+        pred in pred_strategy(),
+    ) {
+        let opts = ReduceOptions { seed, ..ReduceOptions::default() };
+        let out = reduce(&w, &opts, |w| pred.eval(w));
+        if pred.eval(&w) {
+            prop_assert!(pred.eval(&out.workload), "{pred:?} lost in reduction");
+            let back = parse_workload(&out.text).expect("reduced text must re-parse");
+            prop_assert!(pred.eval(&back), "{pred:?} lost across the wire round-trip");
+        } else {
+            prop_assert_eq!(out.deletions, 0);
+            prop_assert_eq!(out.final_lines, out.initial_lines);
+            prop_assert_eq!(out.predicate_evals, 1);
+        }
+    }
+}

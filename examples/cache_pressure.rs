@@ -20,6 +20,7 @@ fn main() {
         &GeneratorOptions {
             scale: 0.2,
             seed: 0xD45,
+            ..GeneratorOptions::default()
         },
     );
     println!(

@@ -22,6 +22,7 @@ fn main() {
         &GeneratorOptions {
             scale: 0.2,
             seed: 0x5EED,
+            ..GeneratorOptions::default()
         },
     );
     let stream = queries_for(ClientKind::NullDeref, &workload.info);

@@ -1,0 +1,241 @@
+//! `fuzz_engines` — differential fuzzing of the four demand engines.
+//!
+//! ```text
+//! fuzz_engines [--cases N] [--seed S] [--max-seconds T]
+//!              [--artifact-dir DIR] [--no-reduce] [--quiet]
+//! ```
+//!
+//! Generates `N` seeded random workloads across the adversarial fuzz
+//! regimes (`dynsum_workloads::fuzz::fuzz_profiles`), checks every
+//! query four ways (Andersen-oracle soundness, cross-engine precision
+//! ordering, budget-exhaustion consistency, 1/2/4-thread `run_batch`
+//! byte-identity), auto-reduces any divergent workload to a minimal
+//! reproducer, and writes reproducers under `--artifact-dir`.
+//!
+//! Exit status: 0 on a clean run, 1 if any divergence was found, 2 on
+//! usage errors. `make fuzz` runs this with a fixed seed as a build
+//! gate.
+
+use std::time::{Duration, Instant};
+
+use dynsum::workloads::fuzz::{
+    judge, observe, run_fuzz, Divergence, FoundDivergence, ObserveOptions,
+};
+use dynsum::workloads::reduce::{reduce, ReduceOptions};
+use dynsum::workloads::wire::write_workload;
+use dynsum::workloads::{try_generate, Workload};
+
+const USAGE: &str = "\
+usage: fuzz_engines [--cases N] [--seed S] [--max-seconds T]
+                    [--artifact-dir DIR] [--no-reduce] [--quiet]
+defaults: --cases 500 --seed 3405691582 --artifact-dir target/fuzz";
+
+struct Cli {
+    cases: usize,
+    seed: u64,
+    max_seconds: Option<u64>,
+    artifact_dir: String,
+    reduce: bool,
+    quiet: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cases: 500,
+        seed: 0xCAFE_BABE,
+        max_seconds: None,
+        artifact_dir: "target/fuzz".to_owned(),
+        reduce: true,
+        quiet: false,
+    };
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--cases" => {
+                cli.cases = val("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => {
+                // Accept the `0x…` form the divergence artifacts print.
+                let s = val("--seed")?;
+                let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => s.parse(),
+                };
+                cli.seed = parsed.map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-seconds" => {
+                cli.max_seconds = Some(
+                    val("--max-seconds")?
+                        .parse()
+                        .map_err(|e| format!("--max-seconds: {e}"))?,
+                )
+            }
+            "--artifact-dir" => cli.artifact_dir = val("--artifact-dir")?,
+            "--no-reduce" => cli.reduce = false,
+            "--quiet" => cli.quiet = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let started = Instant::now();
+    let deadline = cli.max_seconds.map(Duration::from_secs);
+    let observe_opts = ObserveOptions::default();
+
+    let report = run_fuzz(cli.cases, cli.seed, &observe_opts, |i, divergences| {
+        if !cli.quiet && (i + 1) % 50 == 0 {
+            eprintln!(
+                "fuzz_engines: {}/{} cases, {} divergence(s), {:.1}s",
+                i + 1,
+                cli.cases,
+                divergences,
+                started.elapsed().as_secs_f64()
+            );
+        }
+        deadline.map_or(true, |d| started.elapsed() < d)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: fuzz regime rejected by generator: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "fuzz_engines: {} cases, {} queries, {} workload profiles ({}), seed {:#x}, {:.1}s",
+        report.cases,
+        report.queries,
+        report.profiles_covered.len(),
+        report
+            .profiles_covered
+            .iter()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", "),
+        cli.seed,
+        started.elapsed().as_secs_f64()
+    );
+
+    if report.divergences.is_empty() {
+        println!("fuzz_engines: no divergences");
+        return;
+    }
+
+    eprintln!(
+        "fuzz_engines: {} DIVERGENCE(S) FOUND",
+        report.divergences.len()
+    );
+    std::fs::create_dir_all(&cli.artifact_dir).ok();
+    for (n, found) in report.divergences.iter().enumerate() {
+        eprintln!("  [{n}] {} ({})", found.divergence, found.profile);
+        let path = format!(
+            "{}/divergence-{n}-{}.workload",
+            cli.artifact_dir,
+            found.divergence.kind.tag()
+        );
+        match write_artifact(found, cli.reduce) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("  [{n}] could not write {path}: {e}");
+                } else {
+                    eprintln!("  [{n}] reproducer: {path}");
+                }
+            }
+            Err(e) => eprintln!("  [{n}] could not build reproducer: {e}"),
+        }
+    }
+    std::process::exit(1);
+}
+
+/// Regenerates the divergent workload, reduces it (when enabled) under
+/// the predicate "the same divergence kind against the same engine is
+/// still present", and renders the corpus-ready artifact.
+fn write_artifact(found: &FoundDivergence, do_reduce: bool) -> Result<String, String> {
+    let (fp, bench, opts) = plan_for(found)?;
+    let w = try_generate(bench, &opts).map_err(|e| e.to_string())?;
+    let probe_opts = ObserveOptions::default();
+    let matches = |w: &Workload| {
+        judge(&observe(w, &fp.config, &probe_opts))
+            .iter()
+            .any(|d| same_divergence(d, &found.divergence))
+    };
+    let (text, note) = if do_reduce {
+        let out = reduce(
+            &w,
+            &ReduceOptions {
+                seed: opts.seed,
+                ..ReduceOptions::default()
+            },
+            matches,
+        );
+        let note = format!(
+            "reduced {} -> {} lines in {} predicate evals",
+            out.initial_lines, out.final_lines, out.predicate_evals
+        );
+        (out.text, note)
+    } else {
+        (write_workload(&w), "unreduced (--no-reduce)".to_owned())
+    };
+    Ok(format!(
+        "# divergence: {}\n# fuzz profile: {}\n# generator: seed={:#x} scale={} recursion_bias={} field_chain={} null_bias={}\n# engine config: budget={} max_field_depth={} max_ctx_depth={} max_refinements={} context_sensitive={} max_cached_summaries={:?}\n# {}\n{}",
+        found.divergence,
+        found.profile,
+        opts.seed,
+        opts.scale,
+        opts.recursion_bias,
+        opts.field_chain,
+        opts.null_bias,
+        fp.config.budget,
+        fp.config.max_field_depth,
+        fp.config.max_ctx_depth,
+        fp.config.max_refinements,
+        fp.config.context_sensitive,
+        fp.config.max_cached_summaries,
+        note,
+        text
+    ))
+}
+
+/// Recovers the `(regime, bench profile)` pair that produced `found` by
+/// scanning the case plan for its options (the options embed the
+/// per-case seed, which is unique per run).
+fn plan_for(
+    found: &FoundDivergence,
+) -> Result<
+    (
+        dynsum::workloads::fuzz::FuzzProfile,
+        &'static dynsum::workloads::BenchmarkProfile,
+        dynsum::workloads::GeneratorOptions,
+    ),
+    String,
+> {
+    let fp = dynsum::workloads::fuzz::fuzz_profiles()
+        .into_iter()
+        .find(|p| p.name == found.profile)
+        .ok_or_else(|| format!("unknown fuzz profile {}", found.profile))?;
+    let bench = dynsum::workloads::PROFILES
+        .iter()
+        .find(|p| p.name == found.workload)
+        .ok_or_else(|| format!("unknown workload {}", found.workload))?;
+    Ok((fp, bench, found.opts))
+}
+
+fn same_divergence(a: &Divergence, b: &Divergence) -> bool {
+    a.kind == b.kind && a.engine == b.engine
+}

@@ -35,7 +35,7 @@ proptest! {
     ) {
         let w = generate(
             &PROFILES[pidx],
-            &GeneratorOptions { scale: 0.01, seed },
+            &GeneratorOptions { scale: 0.01, seed, ..GeneratorOptions::default() },
         );
         let queries = queries_for(ClientKind::NullDeref, &w.info);
         let uncapped: Vec<_> = {
@@ -90,6 +90,7 @@ fn lookup_accounting_balances_on_generated_workloads() {
         &GeneratorOptions {
             scale: 0.02,
             seed: 11,
+            ..GeneratorOptions::default()
         },
     );
     let queries = queries_for(ClientKind::NullDeref, &w.info);
@@ -123,6 +124,7 @@ fn warm_worker_reuse_stays_deterministic() {
         &GeneratorOptions {
             scale: 0.02,
             seed: 3,
+            ..GeneratorOptions::default()
         },
     );
     let queries = queries_for(ClientKind::NullDeref, &w.info);
@@ -160,6 +162,7 @@ fn invalidation_between_batches_is_safe_and_exact() {
         &GeneratorOptions {
             scale: 0.01,
             seed: 5,
+            ..GeneratorOptions::default()
         },
     );
     let queries = queries_for(ClientKind::NullDeref, &w.info);

@@ -1,0 +1,111 @@
+//! Divergence-corpus regression suite.
+//!
+//! Every `*.workload` file under `tests/divergence_corpus/` is a
+//! minimal reproducer that the differential fuzzer (`fuzz_engines`)
+//! once reduced from a real engine divergence, checked in together
+//! with the engine fix. The test is data-driven: it re-runs the full
+//! observe/judge pipeline on each file under the engine configuration
+//! recorded in the file's header comments and asserts the divergence
+//! stays fixed. Dropping a new reproducer into the directory is all it
+//! takes to extend the suite — no code change required.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dynsum::workloads::fuzz::{judge, observe, ObserveOptions};
+use dynsum::workloads::wire::parse_workload;
+use dynsum_core::EngineConfig;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("divergence_corpus")
+}
+
+/// Reconstructs the engine configuration from the artifact's
+/// `# engine config: key=value ...` header line, starting from the
+/// defaults for any key the header does not mention.
+fn config_from_header(text: &str) -> EngineConfig {
+    let mut config = EngineConfig::default();
+    let Some(line) = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("# engine config:"))
+    else {
+        return config;
+    };
+    for pair in line.split_whitespace() {
+        let Some((key, value)) = pair.split_once('=') else {
+            continue;
+        };
+        match key {
+            "budget" => config.budget = value.parse().expect("budget"),
+            "max_field_depth" => config.max_field_depth = value.parse().expect("max_field_depth"),
+            "max_ctx_depth" => config.max_ctx_depth = value.parse().expect("max_ctx_depth"),
+            "max_refinements" => config.max_refinements = value.parse().expect("max_refinements"),
+            "context_sensitive" => {
+                config.context_sensitive = value.parse().expect("context_sensitive")
+            }
+            "max_cached_summaries" => {
+                config.max_cached_summaries = match value {
+                    "None" => None,
+                    v => Some(
+                        v.strip_prefix("Some(")
+                            .and_then(|v| v.strip_suffix(')'))
+                            .expect("max_cached_summaries")
+                            .parse()
+                            .expect("max_cached_summaries"),
+                    ),
+                }
+            }
+            other => panic!("unknown engine-config key `{other}` in corpus header"),
+        }
+    }
+    config
+}
+
+#[test]
+fn corpus_is_nonempty_and_every_reproducer_stays_fixed() {
+    let dir = corpus_dir();
+    let mut checked = 0usize;
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "workload"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("read reproducer");
+        let config = config_from_header(&text);
+        let w = parse_workload(&text)
+            .unwrap_or_else(|e| panic!("{name}: reproducer no longer parses: {e}"));
+        let divergences = judge(&observe(&w, &config, &ObserveOptions::default()));
+        assert!(
+            divergences.is_empty(),
+            "{name}: divergence regressed:\n{}",
+            divergences
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 2,
+        "corpus must keep at least the REFINEPTS cap-exhaustion reproducers, found {checked}"
+    );
+}
+
+#[test]
+fn corpus_headers_round_trip_the_degenerate_config() {
+    // The checked-in REFINEPTS reproducers came from the `degenerate`
+    // fuzz regime; losing the header (or its parse) would silently turn
+    // the regression test into a default-config no-op.
+    let text = fs::read_to_string(corpus_dir().join("refinepts-cap-exhaustion-soundness.workload"))
+        .expect("corpus file");
+    let config = config_from_header(&text);
+    assert_eq!(config.max_refinements, 2);
+    assert_eq!(config.budget, 2_000);
+    assert_eq!(config.max_cached_summaries, Some(0));
+}

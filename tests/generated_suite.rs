@@ -13,6 +13,7 @@ fn small(name: &str) -> dynsum_workloads::Workload {
         &GeneratorOptions {
             scale: 0.01,
             seed: 11,
+            ..GeneratorOptions::default()
         },
     )
 }
@@ -65,6 +66,7 @@ fn dynsum_beats_refinepts_on_every_benchmark_for_nullderef() {
             &GeneratorOptions {
                 scale: 0.008,
                 seed: 3,
+                ..GeneratorOptions::default()
             },
         );
         let config = EngineConfig::default();

@@ -151,24 +151,30 @@ fn edge_work_is_pinned_on_the_motivating_example() {
     // *cost*, never semantics or work accounting. If an intentional
     // algorithmic change moves these numbers, update them in the same
     // commit and say why.
+    //
+    // Current pins date from tagging field-stack frames with their
+    // grammar provenance (`FieldFrame::Get`/`Put`): frames that used to
+    // pop at the wrong production (load-against-load, store-against-
+    // store) now persist, so the engines traverse a few more edges on
+    // the way to the same — now sound — answers (previously 39/27/112).
     let m = motivating_pag();
     let mut dynsum = DynSum::new(&m.pag);
-    assert_eq!(dynsum.points_to(m.s1).stats.edges_traversed, 39);
+    assert_eq!(dynsum.points_to(m.s1).stats.edges_traversed, 52);
     assert_eq!(
         dynsum.points_to(m.s2).stats.edges_traversed,
-        27,
-        "s2 must reuse s1's summaries (fewer edges than s1's 39)"
+        40,
+        "s2 must reuse s1's summaries (fewer edges than s1's 52)"
     );
     let mut norefine = NoRefine::new(&m.pag);
-    assert_eq!(norefine.points_to(m.s1).stats.edges_traversed, 39);
+    assert_eq!(norefine.points_to(m.s1).stats.edges_traversed, 52);
     assert_eq!(
         norefine.points_to(m.s2).stats.edges_traversed,
-        39,
+        52,
         "NOREFINE memorizes nothing, so s2 repeats the full traversal"
     );
     let mut refinepts = RefinePts::new(&m.pag);
-    assert_eq!(refinepts.points_to(m.s1).stats.edges_traversed, 112);
-    assert_eq!(refinepts.points_to(m.s2).stats.edges_traversed, 112);
+    assert_eq!(refinepts.points_to(m.s1).stats.edges_traversed, 130);
+    assert_eq!(refinepts.points_to(m.s2).stats.edges_traversed, 130);
 }
 
 #[test]

@@ -86,7 +86,7 @@ proptest! {
     ) {
         let w = generate(
             &PROFILES[pidx],
-            &GeneratorOptions { scale: 0.01, seed },
+            &GeneratorOptions { scale: 0.01, seed, ..GeneratorOptions::default() },
         );
         check_workload(&w, EngineConfig::default());
     }
@@ -102,6 +102,7 @@ fn tight_budgets_stay_deterministic_across_thread_counts() {
         &GeneratorOptions {
             scale: 0.05,
             seed: 7,
+            ..GeneratorOptions::default()
         },
     );
     let mut starved_somewhere = false;
@@ -127,6 +128,7 @@ fn stasum_sessions_match_legacy_engine() {
         &GeneratorOptions {
             scale: 0.01,
             seed: 3,
+            ..GeneratorOptions::default()
         },
     );
     let queries = queries_for(ClientKind::SafeCast, &w.info);

@@ -46,7 +46,7 @@ proptest! {
         seed in 0u64..500,
         pidx in 0usize..PROFILES.len(),
     ) {
-        let w = generate(&PROFILES[pidx], &GeneratorOptions { scale: 0.01, seed });
+        let w = generate(&PROFILES[pidx], &GeneratorOptions { scale: 0.01, seed, ..GeneratorOptions::default() });
         let queries = queries_for(ClientKind::NullDeref, &w.info);
         let cold: Vec<_> = {
             let mut engine = DynSum::new(&w.pag);
@@ -88,7 +88,7 @@ proptest! {
     ) {
         let w = generate(
             BenchmarkProfile::find("soot-c").unwrap(),
-            &GeneratorOptions { scale: 0.01, seed },
+            &GeneratorOptions { scale: 0.01, seed, ..GeneratorOptions::default() },
         );
         let queries = queries_for(ClientKind::NullDeref, &w.info);
         let batch: Vec<SessionQuery<'_>> =
@@ -124,6 +124,7 @@ fn snapshots_do_not_cross_programs_or_versions() {
         &GeneratorOptions {
             scale: 0.01,
             seed: 1,
+            ..GeneratorOptions::default()
         },
     );
     let w2 = generate(
@@ -131,6 +132,7 @@ fn snapshots_do_not_cross_programs_or_versions() {
         &GeneratorOptions {
             scale: 0.01,
             seed: 2,
+            ..GeneratorOptions::default()
         },
     );
     let q1 = queries_for(ClientKind::NullDeref, &w1.info);
@@ -175,6 +177,7 @@ fn save_after_invalidation_never_resurrects_fenced_summaries() {
         &GeneratorOptions {
             scale: 0.02,
             seed: 7,
+            ..GeneratorOptions::default()
         },
     );
     let queries = queries_for(ClientKind::NullDeref, &w.info);
