@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test doc fuzz bench-check bench-report bench-parallel bench-cache fmt lint clean
+.PHONY: verify build test doc fuzz fuzz-faults bench-check bench-report bench-parallel bench-cache fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -27,6 +27,17 @@ fuzz:
 	$(CARGO) run --release --bin fuzz_engines -- \
 		--cases $(FUZZ_CASES) --seed $(FUZZ_SEED) --max-seconds 600 \
 		--artifact-dir target/fuzz --quiet
+
+# The fault-injection regime alone: every case runs the Session batch
+# path under a seeded FaultPlan (injected panics, cancel/deadline fuses,
+# spawn failures, snapshot IO errors) and checks the integrity invariant
+# — after any fault, the session answers byte-identically to a clean
+# cold session. Fixed seed; same artifact protocol as `make fuzz`.
+FUZZ_FAULT_CASES ?= 200
+fuzz-faults:
+	$(CARGO) run --release --bin fuzz_engines -- \
+		--cases $(FUZZ_FAULT_CASES) --seed $(FUZZ_SEED) --regime fault_injection \
+		--max-seconds 600 --artifact-dir target/fuzz --quiet
 
 bench-check:
 	$(CARGO) bench --no-run

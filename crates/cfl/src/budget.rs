@@ -1,10 +1,18 @@
-//! Traversal budgets.
+//! Traversal budgets and interrupt-aware query tickets.
 //!
 //! Demand-driven CFL-reachability analyses bound the work spent on a
 //! single query: once a pre-set number of PAG edge traversals is
 //! exceeded, the query is answered conservatively (§5.2 fixes the limit
 //! at 75,000 edges for all engines). A [`Budget`] counts edge traversals
 //! and reports exhaustion as a hard error that unwinds the query.
+//!
+//! A [`Ticket`] extends the budget into the general interruption
+//! mechanism: the same per-edge charge that trips on exhaustion also
+//! observes a shared [`CancelToken`], an optional wall-clock deadline,
+//! and an optional deterministic fuse ([`QueryControl::fuse`]), all at
+//! budget-charge granularity. Every trip unwinds through the engines
+//! exactly like budget exhaustion — the proven sound-partial-result
+//! channel — just tagged with a different [`Interrupt`] kind.
 
 /// Error raised when a query exhausts its traversal budget (or one of the
 /// auxiliary depth caps that guard against runaway recursion).
@@ -123,6 +131,364 @@ impl Default for Budget {
     }
 }
 
+/// Why a query was interrupted before resolving.
+///
+/// All three kinds unwind through the engines on the identical channel:
+/// a failed charge aborts the traversal and the partial points-to set
+/// computed so far is returned as a sound under-approximation. Only the
+/// tag differs, so clients can distinguish "ran out of budget" from
+/// "was told to stop" from "took too long".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Interrupt {
+    /// The edge-traversal budget (or a depth cap) was exhausted.
+    Budget,
+    /// A shared [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The query's deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Budget => f.write_str("traversal budget exceeded"),
+            Interrupt::Cancelled => f.write_str("query cancelled"),
+            Interrupt::Deadline => f.write_str("query deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+impl From<BudgetExceeded> for Interrupt {
+    fn from(_: BudgetExceeded) -> Self {
+        Interrupt::Budget
+    }
+}
+
+/// A shared cancellation flag: one writer (the client losing interest)
+/// and any number of in-flight queries polling it at budget-charge
+/// granularity.
+///
+/// Wrap it in an [`Arc`](std::sync::Arc) to share it between the
+/// requesting thread and the query workers; cancelling is a single
+/// relaxed atomic store and is irrevocable for the token's lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dynsum_cfl::CancelToken;
+///
+/// let token = Arc::new(CancelToken::new());
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: std::sync::atomic::AtomicBool,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of every query holding this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Per-query interruption controls attached to a [`Ticket`].
+///
+/// The default control has no external signals: a ticket built from it
+/// behaves exactly like a plain [`Budget`] (one compare-and-increment
+/// per charge, no polling).
+#[derive(Debug, Clone, Default)]
+pub struct QueryControl {
+    /// Shared cancellation flag, polled every
+    /// [`poll_every`](Self::poll_every) charges.
+    pub cancel: Option<std::sync::Arc<CancelToken>>,
+    /// Absolute deadline, checked every [`poll_every`](Self::poll_every)
+    /// charges.
+    pub deadline: Option<std::time::Instant>,
+    /// How many charges may pass between polls of the external signals
+    /// (cancel token, deadline). `0` is treated as `1`. This is the
+    /// promptness bound: a cancelled query traverses at most this many
+    /// further edges before unwinding.
+    pub poll_every: u64,
+    /// Deterministic trip point: fail the first charge once `used`
+    /// reaches the given count, with the given kind. This is the
+    /// instrumented-ticket hook fault injection and the promptness
+    /// regression tests use — it simulates a cancellation or deadline
+    /// arriving at an exact, reproducible moment, independent of wall
+    /// clock and thread timing.
+    pub fuse: Option<(u64, Interrupt)>,
+}
+
+impl QueryControl {
+    /// Default poll granularity: external signals are observed at least
+    /// every this many edge charges.
+    pub const DEFAULT_POLL_EVERY: u64 = 64;
+
+    /// A control with no signals attached (the plain-budget behavior).
+    pub fn new() -> Self {
+        QueryControl::default()
+    }
+
+    /// Attaches a shared cancellation token.
+    pub fn cancelled_by(mut self, token: std::sync::Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn deadline_at(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn timeout(self, timeout: std::time::Duration) -> Self {
+        self.deadline_at(std::time::Instant::now() + timeout)
+    }
+
+    /// Sets the poll granularity (see [`poll_every`](Self::poll_every)).
+    pub fn poll_every(mut self, every: u64) -> Self {
+        self.poll_every = every;
+        self
+    }
+
+    /// Arms the deterministic fuse: trip with `kind` once `charges`
+    /// charges have been spent.
+    pub fn fused_after(mut self, charges: u64, kind: Interrupt) -> Self {
+        self.fuse = Some((charges, kind));
+        self
+    }
+
+    fn effective_poll_every(&self) -> u64 {
+        if self.poll_every == 0 {
+            QueryControl::DEFAULT_POLL_EVERY
+        } else {
+            self.poll_every
+        }
+    }
+}
+
+/// An interrupt-aware query ticket: a [`Budget`] fused with the
+/// cancellation, deadline and fault-injection signals of a
+/// [`QueryControl`].
+///
+/// The hot path stays one branch: `charge` compares `used` against a
+/// precomputed `stop` mark — the minimum of the budget limit, the next
+/// poll point and the fuse point — and only falls into the cold path
+/// when the mark is hit. With no control attached the mark *is* the
+/// limit, so a plain ticket costs exactly what a plain [`Budget`] does.
+///
+/// Trips are **sticky**: once a ticket has tripped, every further charge
+/// fails with the same [`Interrupt`], so an unwinding engine cannot
+/// accidentally resume.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dynsum_cfl::{CancelToken, Interrupt, QueryControl, Ticket};
+///
+/// let token = Arc::new(CancelToken::new());
+/// let control = QueryControl::new().cancelled_by(Arc::clone(&token)).poll_every(8);
+/// let mut t = Ticket::with_control(1_000, &control);
+/// assert!(t.charge().is_ok());
+/// token.cancel();
+/// // The trip lands within one poll window (≤ 8 further charges).
+/// let tripped = (0..8).find_map(|_| t.charge().err());
+/// assert_eq!(tripped, Some(Interrupt::Cancelled));
+/// assert!(t.charge().is_err(), "trips are sticky");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    used: u64,
+    limit: u64,
+    /// `charge` takes the cold path when `used >= stop`; kept at
+    /// `min(limit, next poll point, fuse point)`, or `0` after a trip.
+    stop: u64,
+    poll_every: u64,
+    cancel: Option<std::sync::Arc<CancelToken>>,
+    deadline: Option<std::time::Instant>,
+    fuse: Option<(u64, Interrupt)>,
+    tripped: Option<Interrupt>,
+}
+
+impl Ticket {
+    /// A plain ticket with the given edge-traversal limit and no
+    /// external signals — the drop-in replacement for
+    /// [`Budget::new`].
+    pub fn new(limit: u64) -> Self {
+        Ticket::with_control(limit, &QueryControl::default())
+    }
+
+    /// An effectively unlimited plain ticket.
+    pub fn unlimited() -> Self {
+        Ticket::new(u64::MAX)
+    }
+
+    /// A ticket with the given limit observing `control`'s signals.
+    pub fn with_control(limit: u64, control: &QueryControl) -> Self {
+        let mut t = Ticket {
+            used: 0,
+            limit,
+            stop: 0,
+            poll_every: control.effective_poll_every(),
+            cancel: control.cancel.clone(),
+            deadline: control.deadline,
+            fuse: control.fuse,
+            tripped: None,
+        };
+        // Poll once up front: a token cancelled (or a deadline expired)
+        // before the query starts trips on the very first charge instead
+        // of running a whole poll window for nothing.
+        if let Some(kind) = t.poll_signals() {
+            let _ = t.trip(kind);
+        } else {
+            t.recompute_stop();
+        }
+        t
+    }
+
+    /// Charges one edge traversal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Interrupt`] kind once the budget is exhausted, the
+    /// token is cancelled, the deadline has passed, or the fuse blows;
+    /// the current query should then be answered conservatively.
+    #[inline]
+    pub fn charge(&mut self) -> Result<(), Interrupt> {
+        if self.used >= self.stop {
+            return self.charge_cold();
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// The cold half of [`charge`](Self::charge): re-validate every
+    /// signal, then either trip or advance the stop mark.
+    #[cold]
+    fn charge_cold(&mut self) -> Result<(), Interrupt> {
+        if let Some(kind) = self.tripped {
+            return Err(kind);
+        }
+        if let Some((at, kind)) = self.fuse {
+            if self.used >= at {
+                return self.trip(kind);
+            }
+        }
+        if self.used >= self.limit {
+            return self.trip(Interrupt::Budget);
+        }
+        if let Some(kind) = self.poll_signals() {
+            return self.trip(kind);
+        }
+        self.used += 1;
+        self.recompute_stop();
+        Ok(())
+    }
+
+    /// Charges `n` edge traversals at once — the deterministic-reuse
+    /// lump (see [`Budget::charge_n`]). The external signals are polled
+    /// once per lump; the fuse trips when the lump would carry `used`
+    /// past the fuse point, exactly as `n` unit charges would have
+    /// tripped it partway through.
+    ///
+    /// # Errors
+    ///
+    /// As [`charge`](Self::charge); a failed lump is not deducted.
+    pub fn charge_n(&mut self, n: u64) -> Result<(), Interrupt> {
+        if let Some(kind) = self.tripped {
+            return Err(kind);
+        }
+        let after = self.used.saturating_add(n);
+        if let Some((at, kind)) = self.fuse {
+            if after > at {
+                return self.trip(kind);
+            }
+        }
+        if after > self.limit {
+            return self.trip(Interrupt::Budget);
+        }
+        if n > 0 {
+            if let Some(kind) = self.poll_signals() {
+                return self.trip(kind);
+            }
+        }
+        self.used = after;
+        self.recompute_stop();
+        Ok(())
+    }
+
+    fn poll_signals(&self) -> Option<Interrupt> {
+        if self
+            .cancel
+            .as_deref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return Some(Interrupt::Cancelled);
+        }
+        if self
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            return Some(Interrupt::Deadline);
+        }
+        None
+    }
+
+    fn trip(&mut self, kind: Interrupt) -> Result<(), Interrupt> {
+        self.tripped = Some(kind);
+        // `used >= 0` always holds, so every further charge takes the
+        // cold path and re-reports the sticky trip.
+        self.stop = 0;
+        Err(kind)
+    }
+
+    fn recompute_stop(&mut self) {
+        let mut stop = self.limit;
+        if self.cancel.is_some() || self.deadline.is_some() {
+            stop = stop.min(self.used.saturating_add(self.poll_every));
+        }
+        if let Some((at, _)) = self.fuse {
+            stop = stop.min(at);
+        }
+        self.stop = stop;
+    }
+
+    /// Edge traversals consumed so far.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured edge-traversal limit.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// The sticky interrupt, once the ticket has tripped.
+    #[inline]
+    pub fn tripped(&self) -> Option<Interrupt> {
+        self.tripped
+    }
+}
+
 /// Runs `f` on a dedicated thread with `stack_bytes` of stack.
 ///
 /// The recursive engines (NOREFINE / REFINEPTS, Algorithm 1) can recurse
@@ -201,6 +567,136 @@ mod tests {
             b.charge().unwrap();
         }
         assert_eq!(b.used(), 1_000_000);
+    }
+
+    #[test]
+    fn plain_ticket_matches_budget_exactly() {
+        // A ticket without control signals must reproduce Budget's
+        // accounting bit for bit: same trip point, same sticky error,
+        // same lump semantics.
+        let mut b = Budget::new(5);
+        let mut t = Ticket::new(5);
+        for _ in 0..5 {
+            assert_eq!(b.charge().is_ok(), t.charge().is_ok());
+        }
+        assert!(b.charge().is_err());
+        assert_eq!(t.charge(), Err(Interrupt::Budget));
+        assert_eq!(t.used(), b.used());
+        assert_eq!(t.tripped(), Some(Interrupt::Budget));
+
+        let mut t = Ticket::new(5);
+        assert!(t.charge_n(3).is_ok());
+        assert_eq!(t.charge_n(3), Err(Interrupt::Budget));
+        assert_eq!(t.used(), 3, "a failed lump is not deducted");
+    }
+
+    #[test]
+    fn unlimited_ticket_never_trips() {
+        let mut t = Ticket::unlimited();
+        for _ in 0..100_000 {
+            t.charge().unwrap();
+        }
+        t.charge_n(u64::MAX).unwrap();
+        assert!(t.tripped().is_none());
+    }
+
+    #[test]
+    fn cancellation_lands_within_one_poll_window() {
+        use std::sync::Arc;
+        let token = Arc::new(CancelToken::new());
+        let control = QueryControl::new()
+            .cancelled_by(Arc::clone(&token))
+            .poll_every(16);
+        let mut t = Ticket::with_control(1_000_000, &control);
+        for _ in 0..100 {
+            t.charge().unwrap();
+        }
+        token.cancel();
+        let mut extra = 0u64;
+        let kind = loop {
+            match t.charge() {
+                Ok(()) => extra += 1,
+                Err(k) => break k,
+            }
+        };
+        assert_eq!(kind, Interrupt::Cancelled);
+        assert!(extra <= 16, "promptness: {extra} charges after cancel");
+        assert_eq!(t.charge(), Err(Interrupt::Cancelled), "sticky");
+        assert_eq!(t.charge_n(1), Err(Interrupt::Cancelled), "sticky lumps");
+    }
+
+    #[test]
+    fn pre_cancelled_token_trips_within_the_first_window() {
+        use std::sync::Arc;
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let control = QueryControl::new()
+            .cancelled_by(token)
+            .poll_every(QueryControl::DEFAULT_POLL_EVERY);
+        let mut t = Ticket::with_control(u64::MAX, &control);
+        let mut spent = 0u64;
+        while t.charge().is_ok() {
+            spent += 1;
+        }
+        assert!(spent <= QueryControl::DEFAULT_POLL_EVERY);
+        assert_eq!(t.tripped(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips_as_deadline() {
+        let past = std::time::Instant::now();
+        let control = QueryControl::new().deadline_at(past).poll_every(4);
+        let mut t = Ticket::with_control(u64::MAX, &control);
+        let mut spent = 0u64;
+        while t.charge().is_ok() {
+            spent += 1;
+        }
+        assert!(spent <= 4);
+        assert_eq!(t.tripped(), Some(Interrupt::Deadline));
+    }
+
+    #[test]
+    fn fuse_trips_at_the_exact_charge() {
+        let control = QueryControl::new().fused_after(10, Interrupt::Cancelled);
+        let mut t = Ticket::with_control(1_000, &control);
+        for _ in 0..10 {
+            t.charge().unwrap();
+        }
+        assert_eq!(t.charge(), Err(Interrupt::Cancelled));
+        assert_eq!(t.used(), 10, "the tripping charge is not deducted");
+
+        // Lump charges observe the fuse exactly like unit charges: the
+        // lump that would carry `used` past the fuse point trips.
+        let mut t = Ticket::with_control(1_000, &control);
+        t.charge_n(10).unwrap();
+        assert_eq!(t.charge_n(1), Err(Interrupt::Cancelled));
+        assert_eq!(t.used(), 10);
+    }
+
+    #[test]
+    fn fuse_kind_wins_over_budget_at_the_same_point() {
+        // A deadline fuse at the budget limit reports Deadline, so an
+        // injected trip is attributed to the injection, not the budget.
+        let control = QueryControl::new().fused_after(3, Interrupt::Deadline);
+        let mut t = Ticket::with_control(3, &control);
+        for _ in 0..3 {
+            t.charge().unwrap();
+        }
+        assert_eq!(t.charge(), Err(Interrupt::Deadline));
+    }
+
+    #[test]
+    fn zero_poll_every_defaults_sanely() {
+        let control = QueryControl::new().poll_every(0);
+        assert_eq!(
+            control.effective_poll_every(),
+            QueryControl::DEFAULT_POLL_EVERY
+        );
+        let mut t = Ticket::with_control(100, &control);
+        for _ in 0..100 {
+            t.charge().unwrap();
+        }
+        assert_eq!(t.charge(), Err(Interrupt::Budget));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   documented;
 //! * [`Budget`] — per-query edge-traversal budgets (75,000 by default,
 //!   §5.2) plus [`with_stack`] for running deep recursive queries;
+//! * [`Ticket`]/[`QueryControl`]/[`CancelToken`]/[`Interrupt`] — the
+//!   interrupt-aware extension of the budget: cooperative cancellation,
+//!   deadlines and deterministic fault-injection fuses, all observed at
+//!   budget-charge granularity and unwinding on the budget's sound
+//!   partial-result channel;
 //! * [`FxHasher`]/[`FxHashMap`]/[`FxHashSet`] — the vendored fast hasher
 //!   behind every hot-path table (worklist dedup, interning, caches) —
 //!   plus [`StableHasher`], the *frozen* FNV-1a variant whose output is
@@ -32,9 +37,12 @@ mod rsm;
 mod stack;
 mod trace;
 
-pub use budget::{with_stack, Budget, BudgetExceeded, ANALYSIS_STACK_BYTES};
+pub use budget::{
+    with_stack, Budget, BudgetExceeded, CancelToken, Interrupt, QueryControl, Ticket,
+    ANALYSIS_STACK_BYTES,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, StableHasher};
-pub use query::{CtxId, FieldFrame, FieldStackId, PointsToSet, QueryResult, QueryStats};
+pub use query::{CtxId, FieldFrame, FieldStackId, Outcome, PointsToSet, QueryResult, QueryStats};
 pub use rsm::Direction;
 pub use stack::{StackId, StackPool};
 pub use trace::{StepKind, Trace, TraceStep};
@@ -57,6 +65,11 @@ mod thread_safety {
         assert_send_sync::<QueryResult>();
         assert_send_sync::<QueryStats>();
         assert_send_sync::<Budget>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<QueryControl>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<Interrupt>();
+        assert_send_sync::<Outcome>();
         assert_send_sync::<Trace>();
         assert_send_sync::<Direction>();
     }

@@ -186,6 +186,74 @@ impl QueryStats {
     }
 }
 
+/// How a demand query ended.
+///
+/// Every non-[`Resolved`](Outcome::Resolved) outcome carries a **sound
+/// partial** points-to set: the traversal unwound on the budget-abort
+/// channel, which only ever under-approximates. Clients must answer
+/// conservatively for all of them; the tag says *why* the query stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Outcome {
+    /// The query finished: the points-to set is complete.
+    Resolved,
+    /// The edge-traversal budget (or a depth cap) was exhausted.
+    OverBudget,
+    /// A shared [`CancelToken`](crate::CancelToken) was cancelled
+    /// mid-query.
+    Cancelled,
+    /// The query's deadline passed mid-query.
+    DeadlineExceeded,
+    /// The query panicked and was isolated by the batch runner; the
+    /// points-to set is empty (nothing from the poisoned evaluation is
+    /// trusted).
+    Panicked,
+}
+
+impl Outcome {
+    /// `true` only for [`Resolved`](Outcome::Resolved).
+    #[inline]
+    pub fn is_resolved(self) -> bool {
+        matches!(self, Outcome::Resolved)
+    }
+
+    /// The outcome for a query interrupted with `kind`.
+    pub fn from_interrupt(kind: crate::Interrupt) -> Self {
+        match kind {
+            crate::Interrupt::Budget => Outcome::OverBudget,
+            crate::Interrupt::Cancelled => Outcome::Cancelled,
+            crate::Interrupt::Deadline => Outcome::DeadlineExceeded,
+        }
+    }
+
+    /// Stable one-byte tag written into [`QueryResult::fingerprint`].
+    ///
+    /// `OverBudget = 0` and `Resolved = 1` reproduce the historical
+    /// `u8::from(resolved)` encoding, so fingerprints of uninterrupted
+    /// queries are unchanged across this extension (pinned by test).
+    pub fn tag(self) -> u8 {
+        match self {
+            Outcome::OverBudget => 0,
+            Outcome::Resolved => 1,
+            Outcome::Cancelled => 2,
+            Outcome::DeadlineExceeded => 3,
+            Outcome::Panicked => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Outcome::Resolved => "resolved",
+            Outcome::OverBudget => "over-budget",
+            Outcome::Cancelled => "cancelled",
+            Outcome::DeadlineExceeded => "deadline-exceeded",
+            Outcome::Panicked => "panicked",
+        };
+        f.write_str(s)
+    }
+}
+
 /// The outcome of one demand query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResult {
@@ -194,8 +262,14 @@ pub struct QueryResult {
     /// otherwise (clients must then answer conservatively).
     pub pts: PointsToSet,
     /// `true` when the query finished within budget; `false` when the
-    /// traversal budget or a depth cap was exhausted.
+    /// traversal budget or a depth cap was exhausted, the query was
+    /// cancelled, its deadline passed, or it panicked. Kept in sync with
+    /// [`outcome`](Self::outcome) by the constructors — this is the flag
+    /// conservative clients branch on.
     pub resolved: bool,
+    /// Why the query ended ([`Outcome`]); refines
+    /// [`resolved`](Self::resolved).
+    pub outcome: Outcome,
     /// Work counters for this query.
     pub stats: QueryStats,
 }
@@ -206,6 +280,7 @@ impl QueryResult {
         QueryResult {
             pts,
             resolved: true,
+            outcome: Outcome::Resolved,
             stats,
         }
     }
@@ -216,17 +291,43 @@ impl QueryResult {
         QueryResult {
             pts,
             resolved: false,
+            outcome: Outcome::OverBudget,
             stats,
         }
     }
 
-    /// Stable digest of the *answer* — the resolution flag plus the full
+    /// A result for a query interrupted with `kind`, carrying the sound
+    /// partial set computed before the trip. `Interrupt::Budget` yields
+    /// exactly [`over_budget`](Self::over_budget).
+    pub fn interrupted(pts: PointsToSet, stats: QueryStats, kind: crate::Interrupt) -> Self {
+        QueryResult {
+            pts,
+            resolved: false,
+            outcome: Outcome::from_interrupt(kind),
+            stats,
+        }
+    }
+
+    /// The result recorded for a query whose evaluation panicked and was
+    /// isolated by the batch runner: an empty set (nothing from the
+    /// poisoned evaluation is trusted), which is still a sound
+    /// under-approximation for conservative clients.
+    pub fn panicked() -> Self {
+        QueryResult {
+            pts: PointsToSet::new(),
+            resolved: false,
+            outcome: Outcome::Panicked,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Stable digest of the *answer* — the outcome tag plus the full
     /// points-to content ([`PointsToSet::fingerprint`]) — excluding the
     /// work counters, which measure effort rather than meaning.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::Hasher as _;
         let mut h = crate::StableHasher::new();
-        h.write_u8(u8::from(self.resolved));
+        h.write_u8(self.outcome.tag());
         h.write_u64(self.pts.fingerprint());
         h.finish()
     }
@@ -288,8 +389,50 @@ mod tests {
     fn query_result_constructors() {
         let r = QueryResult::resolved(PointsToSet::new(), QueryStats::default());
         assert!(r.resolved);
+        assert_eq!(r.outcome, Outcome::Resolved);
         let r = QueryResult::over_budget(PointsToSet::new(), QueryStats::default());
         assert!(!r.resolved);
+        assert_eq!(r.outcome, Outcome::OverBudget);
+        let r = QueryResult::panicked();
+        assert!(!r.resolved && r.pts.is_empty());
+        assert_eq!(r.outcome, Outcome::Panicked);
+    }
+
+    #[test]
+    fn interrupted_budget_is_exactly_over_budget() {
+        use crate::Interrupt;
+        let mut pts = PointsToSet::new();
+        pts.insert(obj(9), CtxId::EMPTY);
+        let a = QueryResult::over_budget(pts.clone(), QueryStats::default());
+        let b = QueryResult::interrupted(pts.clone(), QueryStats::default(), Interrupt::Budget);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // The other interrupt kinds are distinguishable in the digest.
+        let c = QueryResult::interrupted(pts.clone(), QueryStats::default(), Interrupt::Cancelled);
+        let d = QueryResult::interrupted(pts, QueryStats::default(), Interrupt::Deadline);
+        assert!(!c.resolved && !d.resolved);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn outcome_tags_preserve_the_historical_encoding() {
+        // Fingerprints of uninterrupted queries must not change across
+        // the Outcome extension: OverBudget/Resolved reproduce the old
+        // `u8::from(resolved)` values, and every tag is distinct.
+        assert_eq!(Outcome::OverBudget.tag(), 0);
+        assert_eq!(Outcome::Resolved.tag(), 1);
+        let tags: std::collections::BTreeSet<u8> = [
+            Outcome::Resolved,
+            Outcome::OverBudget,
+            Outcome::Cancelled,
+            Outcome::DeadlineExceeded,
+            Outcome::Panicked,
+        ]
+        .into_iter()
+        .map(Outcome::tag)
+        .collect();
+        assert_eq!(tags.len(), 5);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldFrame, FieldStackId, FxHashSet, PointsToSet,
-    QueryResult, QueryStats, StackPool, StepKind, Trace, TraceStep,
+    CtxId, Direction, FieldFrame, FieldStackId, FxHashSet, Interrupt, PointsToSet, QueryResult,
+    QueryStats, StackPool, StepKind, Ticket, Trace, TraceStep,
 };
 use dynsum_pag::{AdjClass, CallSiteId, NodeId, Pag};
 
@@ -55,12 +55,12 @@ pub(crate) struct DriveParts {
 /// worklist configuration whose node has local edges.
 pub(crate) type SummaryProvider<'a> = dyn FnMut(
         &mut StackPool<FieldFrame>,
-        &mut Budget,
+        &mut Ticket,
         &mut QueryStats,
         NodeId,
         FieldStackId,
         Direction,
-    ) -> Result<(Arc<Summary>, StepKind), BudgetExceeded>
+    ) -> Result<(Arc<Summary>, StepKind), Interrupt>
     + 'a;
 
 /// Runs Algorithm 4 from `(start, ∅, S1, start_ctx)`.
@@ -73,10 +73,10 @@ pub(crate) fn drive(
     config: &EngineConfig,
     start: NodeId,
     start_ctx: CtxId,
+    ticket: &mut Ticket,
     provider: &mut SummaryProvider<'_>,
     mut trace: Option<&mut Trace>,
 ) -> QueryResult {
-    let mut budget = Budget::new(config.budget);
     let mut stats = QueryStats::default();
     let mut pts = PointsToSet::new();
 
@@ -86,7 +86,7 @@ pub(crate) fn drive(
     let DriveScratch { seen, wl, empty } = scratch;
     seen.insert(init);
     wl.push(init);
-    let mut over_budget = false;
+    let mut interrupted: Option<Interrupt> = None;
 
     'drive: while let Some((u, f, s, c)) = wl.pop() {
         stats.steps += 1;
@@ -95,10 +95,10 @@ pub(crate) fn drive(
         // edges take the trivial summary (§4.3) — the shared empty one
         // when they are not boundaries either (no allocation).
         let (summary, kind) = if pag.has_local_edge(u) {
-            match provider(fields, &mut budget, &mut stats, u, f, s) {
+            match provider(fields, ticket, &mut stats, u, f, s) {
                 Ok(pair) => pair,
-                Err(BudgetExceeded) => {
-                    over_budget = true;
+                Err(kind) => {
+                    interrupted = Some(kind);
                     break 'drive;
                 }
             }
@@ -152,23 +152,23 @@ pub(crate) fn drive(
                     wl.push(item);
                 }
             };
-            let result: Result<(), BudgetExceeded> = (|| {
+            let result: Result<(), Interrupt> = (|| {
                 match s1 {
                     Direction::S1 => {
                         for &a in pag.in_seg(x, AdjClass::AssignGlobal) {
-                            budget.charge()?;
+                            ticket.charge()?;
                             stats.edges_traversed += 1;
                             step(a.node, ctx_clear(), seen, wl);
                         }
                         for &a in pag.in_seg(x, AdjClass::Entry) {
-                            budget.charge()?;
+                            ticket.charge()?;
                             stats.edges_traversed += 1;
                             if let Some(c2) = ctx_pop(ctxs, c, a.site(), pag, config)? {
                                 step(a.node, c2, seen, wl);
                             }
                         }
                         for &a in pag.in_seg(x, AdjClass::Exit) {
-                            budget.charge()?;
+                            ticket.charge()?;
                             stats.edges_traversed += 1;
                             if let Some(c2) = ctx_push(ctxs, c, a.site(), pag, config)? {
                                 step(a.node, c2, seen, wl);
@@ -177,19 +177,19 @@ pub(crate) fn drive(
                     }
                     Direction::S2 => {
                         for &a in pag.out_seg(x, AdjClass::AssignGlobal) {
-                            budget.charge()?;
+                            ticket.charge()?;
                             stats.edges_traversed += 1;
                             step(a.node, ctx_clear(), seen, wl);
                         }
                         for &a in pag.out_seg(x, AdjClass::Entry) {
-                            budget.charge()?;
+                            ticket.charge()?;
                             stats.edges_traversed += 1;
                             if let Some(c2) = ctx_push(ctxs, c, a.site(), pag, config)? {
                                 step(a.node, c2, seen, wl);
                             }
                         }
                         for &a in pag.out_seg(x, AdjClass::Exit) {
-                            budget.charge()?;
+                            ticket.charge()?;
                             stats.edges_traversed += 1;
                             if let Some(c2) = ctx_pop(ctxs, c, a.site(), pag, config)? {
                                 step(a.node, c2, seen, wl);
@@ -199,16 +199,15 @@ pub(crate) fn drive(
                 }
                 Ok(())
             })();
-            if result.is_err() {
-                over_budget = true;
+            if let Err(kind) = result {
+                interrupted = Some(kind);
                 break 'drive;
             }
         }
     }
 
-    if over_budget {
-        QueryResult::over_budget(pts, stats)
-    } else {
-        QueryResult::resolved(pts, stats)
+    match interrupted {
+        Some(kind) => QueryResult::interrupted(pts, stats, kind),
+        None => QueryResult::resolved(pts, stats),
     }
 }

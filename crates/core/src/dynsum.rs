@@ -19,8 +19,8 @@
 use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, QueryResult, QueryStats,
-    StackPool, StepKind, Trace,
+    Direction, FieldFrame, FieldStackId, Interrupt, QueryControl, QueryResult, QueryStats,
+    StackPool, StepKind, Ticket, Trace,
 };
 use dynsum_pag::{CallSiteId, NodeId, Pag, VarId};
 
@@ -51,6 +51,7 @@ pub(crate) fn dynsum_query(
     parts: &mut DriveParts,
     v: VarId,
     ctx: &[CallSiteId],
+    control: &QueryControl,
     trace: Option<&mut Trace>,
 ) -> QueryResult {
     let DriveParts {
@@ -68,12 +69,12 @@ pub(crate) fn dynsum_query(
     // over-budget PPTA are never cached, and every reuse charges the
     // summary's cold cost so budget outcomes are cache-independent.
     let mut provider = |fields: &mut StackPool<FieldFrame>,
-                        budget: &mut Budget,
+                        ticket: &mut Ticket,
                         stats: &mut QueryStats,
                         u: NodeId,
                         f: FieldStackId,
                         s: Direction|
-     -> Result<(Arc<Summary>, StepKind), BudgetExceeded> {
+     -> Result<(Arc<Summary>, StepKind), Interrupt> {
         let key = (u, f, s);
         if cache_on {
             // Base first: on a warm stream most hits live in the shared
@@ -84,14 +85,14 @@ pub(crate) fn dynsum_query(
                 cache.record_hit();
                 stats.cache_hits += 1;
                 if config.deterministic_reuse {
-                    budget.charge_n(sum.cost)?;
+                    ticket.charge_n(sum.cost)?;
                 }
                 return Ok((sum, StepKind::PptaReused));
             }
             cache.record_miss();
         }
         stats.cache_misses += 1;
-        let sum = ppta::compute(pag, fields, ppta_scratch, config, budget, stats, u, f, s)?;
+        let sum = ppta::compute(pag, fields, ppta_scratch, config, ticket, stats, u, f, s)?;
         let arc = Arc::new(sum);
         if cache_on {
             cache.insert(key, Arc::clone(&arc));
@@ -99,6 +100,7 @@ pub(crate) fn dynsum_query(
         Ok((arc, StepKind::PptaComputed))
     };
 
+    let mut ticket = Ticket::with_control(config.budget, control);
     let result = drive(
         pag,
         fields,
@@ -107,6 +109,7 @@ pub(crate) fn dynsum_query(
         config,
         pag.var_node(v),
         c0,
+        &mut ticket,
         &mut provider,
         trace,
     );
@@ -153,6 +156,7 @@ pub struct DynSum<'p> {
     parts: DriveParts,
     cache: SummaryCache,
     config: EngineConfig,
+    control: QueryControl,
     tracing: bool,
     last_trace: Option<Trace>,
 }
@@ -170,9 +174,17 @@ impl<'p> DynSum<'p> {
             parts: DriveParts::default(),
             cache: SummaryCache::new(),
             config,
+            control: QueryControl::default(),
             tracing: false,
             last_trace: None,
         }
+    }
+
+    /// Attaches a [`QueryControl`] (cancel token / deadline) observed by
+    /// every subsequent query until replaced. The default control never
+    /// interrupts.
+    pub fn set_control(&mut self, control: QueryControl) {
+        self.control = control;
     }
 
     /// Enables or disables step tracing (Table 1). Tracing is off by
@@ -242,6 +254,7 @@ impl<'p> DynSum<'p> {
             &mut self.parts,
             v,
             ctx,
+            &self.control,
             trace.as_mut(),
         );
         self.last_trace = trace;

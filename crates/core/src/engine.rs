@@ -1,7 +1,7 @@
 //! Engine configuration, the common demand-query trait, and shared
 //! context-stack operations.
 
-use dynsum_cfl::{Budget, BudgetExceeded, CtxId, PointsToSet, QueryResult, StackPool};
+use dynsum_cfl::{Budget, CtxId, Interrupt, PointsToSet, QueryResult, StackPool};
 use dynsum_pag::{CallSiteId, Pag, VarId};
 
 /// Tuning knobs shared by every demand-driven engine.
@@ -170,8 +170,10 @@ pub trait DemandPointsTo {
 }
 
 /// Result of a context-stack operation: the successor context, or `None`
-/// when the transition is unrealizable (parenthesis mismatch).
-pub(crate) type CtxStep = Result<Option<CtxId>, BudgetExceeded>;
+/// when the transition is unrealizable (parenthesis mismatch). The error
+/// is the general [`Interrupt`] so depth-cap aborts ride the same unwind
+/// channel as budget, cancellation and deadline trips.
+pub(crate) type CtxStep = Result<Option<CtxId>, Interrupt>;
 
 /// Pushes call site `i` (traversing an `exit_i` edge backwards or an
 /// `entry_i` edge forwards).
@@ -193,7 +195,7 @@ pub(crate) fn ctx_push(
         return Ok(Some(c));
     }
     if ctxs.depth(c) >= config.max_ctx_depth {
-        return Err(BudgetExceeded);
+        return Err(Interrupt::Budget);
     }
     Ok(Some(ctxs.push(c, i)))
 }

@@ -24,7 +24,11 @@
 //! `Send` [`QueryHandle`]s owning the latter; [`Session::run_batch`]
 //! runs query batches across threads with results byte-identical to
 //! sequential execution (deterministic budget accounting — see
-//! [`Summary::cost`]). The [`snapshot`] module persists a session's
+//! [`Summary::cost`]). Batches are interruptible and fault-isolated:
+//! [`Session::run_batch_with`] takes a [`BatchControl`] (shared cancel
+//! token, deadline, deterministic [`FaultPlan`]), per-query panics are
+//! caught and reported per-query, and [`Session::health`] snapshots the
+//! robustness counters. The [`snapshot`] module persists a session's
 //! summary-cache working set across process restarts
 //! ([`Session::save_snapshot`] / [`Session::load_snapshot`]), with
 //! version/fingerprint/digest fencing so stale snapshots degrade to a
@@ -73,7 +77,10 @@ pub use dynsum::DynSum;
 pub use engine::{never_satisfied, ClientCheck, DemandPointsTo, EngineConfig};
 pub use norefine::NoRefine;
 pub use refinepts::RefinePts;
-pub use session::{EngineKind, QueryHandle, Session, SessionQuery, SummaryShard};
+pub use session::{
+    BatchControl, EngineKind, FaultPlan, QueryHandle, Session, SessionHealth, SessionQuery,
+    SummaryShard,
+};
 pub use snapshot::{
     pag_fingerprint, SnapshotLoad, SnapshotReject, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

@@ -1,6 +1,6 @@
 //! NOREFINE — the refinement-free, cache-free baseline (Table 2).
 
-use dynsum_cfl::{Budget, QueryResult, QueryStats};
+use dynsum_cfl::{QueryControl, QueryResult, QueryStats, Ticket};
 use dynsum_pag::{CallSiteId, Pag, VarId};
 
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
@@ -13,17 +13,19 @@ use crate::search::{search, Refinement, SearchParts};
 ///
 /// The context pool is per-query scratch (cleared here), so the returned
 /// result — including the raw context ids inside the points-to set — is
-/// a deterministic function of `(pag, config, v, ctx)` alone.
+/// a deterministic function of `(pag, config, v, ctx)` alone (plus the
+/// interruption signals of `control`, which can only cut it short).
 pub(crate) fn norefine_query(
     pag: &Pag,
     config: &EngineConfig,
     parts: &mut SearchParts,
     v: VarId,
     ctx: &[CallSiteId],
+    control: &QueryControl,
 ) -> QueryResult {
     parts.ctxs.clear();
     let c0 = parts.ctxs.from_slice(ctx);
-    let mut budget = Budget::new(config.budget);
+    let mut ticket = Ticket::with_control(config.budget, control);
     let mut stats = QueryStats::default();
     let out = search(
         pag,
@@ -34,13 +36,12 @@ pub(crate) fn norefine_query(
         Refinement::All,
         v,
         c0,
-        &mut budget,
+        &mut ticket,
         &mut stats,
     );
-    if out.complete {
-        QueryResult::resolved(out.pts, stats)
-    } else {
-        QueryResult::over_budget(out.pts, stats)
+    match out.interrupt {
+        None => QueryResult::resolved(out.pts, stats),
+        Some(kind) => QueryResult::interrupted(out.pts, stats, kind),
     }
 }
 
@@ -72,6 +73,7 @@ pub struct NoRefine<'p> {
     pag: &'p Pag,
     parts: SearchParts,
     config: EngineConfig,
+    control: QueryControl,
 }
 
 impl<'p> NoRefine<'p> {
@@ -86,6 +88,7 @@ impl<'p> NoRefine<'p> {
             pag,
             parts: SearchParts::default(),
             config,
+            control: QueryControl::default(),
         }
     }
 
@@ -108,9 +111,22 @@ impl<'p> NoRefine<'p> {
         &self.config
     }
 
+    /// Attaches interruption controls (cancellation token, deadline) to
+    /// every subsequent query.
+    pub fn set_control(&mut self, control: QueryControl) {
+        self.control = control;
+    }
+
     /// Answers `pointsTo(v, c)` for an explicit initial context.
     pub fn points_to_in(&mut self, v: VarId, ctx: &[CallSiteId]) -> QueryResult {
-        norefine_query(self.pag, &self.config, &mut self.parts, v, ctx)
+        norefine_query(
+            self.pag,
+            &self.config,
+            &mut self.parts,
+            v,
+            ctx,
+            &self.control,
+        )
     }
 }
 
@@ -122,7 +138,14 @@ impl DemandPointsTo for NoRefine<'_> {
     /// No refinement: the predicate is ignored, the full field-sensitive
     /// answer is computed directly.
     fn query(&mut self, v: VarId, _satisfied: ClientCheck<'_>) -> QueryResult {
-        norefine_query(self.pag, &self.config, &mut self.parts, v, &[])
+        norefine_query(
+            self.pag,
+            &self.config,
+            &mut self.parts,
+            v,
+            &[],
+            &self.control,
+        )
     }
 
     fn reset(&mut self) {
@@ -180,6 +203,33 @@ mod tests {
         let r1 = e.points_to(w);
         let r2 = e.points_to(w);
         assert_eq!(r1.stats.edges_traversed, r2.stats.edges_traversed);
+    }
+
+    #[test]
+    fn cancelled_engine_returns_a_sound_partial() {
+        use dynsum_cfl::{CancelToken, Outcome};
+        use std::sync::Arc;
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let v = b.add_local("v", m, None).unwrap();
+        let o = b.add_obj("o", None, Some(m)).unwrap();
+        b.add_new(o, v).unwrap();
+        let pag = b.finish();
+        let mut e = NoRefine::new(&pag);
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        e.set_control(
+            dynsum_cfl::QueryControl::new()
+                .cancelled_by(token)
+                .poll_every(1),
+        );
+        let r = e.points_to(v);
+        assert!(!r.resolved);
+        assert_eq!(r.outcome, Outcome::Cancelled);
+        // A fresh control resumes normal service on the same engine.
+        e.set_control(dynsum_cfl::QueryControl::default());
+        let r = e.points_to(v);
+        assert!(r.resolved && r.pts.contains_obj(o));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, FxHashSet, QueryStats, StackPool,
+    Direction, FieldFrame, FieldStackId, FxHashSet, Interrupt, QueryStats, StackPool, Ticket,
 };
 use dynsum_pag::{AdjClass, NodeId, NodeRef, Pag};
 
@@ -41,26 +41,27 @@ pub struct PptaScratch {
 
 /// Computes the partial points-to summary for `(node, fstack, dir)`.
 ///
-/// Edge traversals are charged against `budget`; pushing beyond the
+/// Edge traversals are charged against the `ticket`; pushing beyond the
 /// configured field-stack depth is treated as budget exhaustion.
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] when the traversal budget or the
-/// field-stack depth cap trips; the partial result must then **not** be
-/// cached (the query is answered conservatively).
+/// Returns the tripped [`Interrupt`] when the traversal budget, the
+/// field-stack depth cap, a cancellation, or a deadline trips; the
+/// partial result must then **not** be cached (the query is answered
+/// conservatively).
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's signature
 pub fn compute(
     pag: &Pag,
     fields: &mut StackPool<FieldFrame>,
     scratch: &mut PptaScratch,
     config: &EngineConfig,
-    budget: &mut Budget,
+    ticket: &mut Ticket,
     stats: &mut QueryStats,
     node: NodeId,
     fstack: FieldStackId,
     dir: Direction,
-) -> Result<Summary, BudgetExceeded> {
+) -> Result<Summary, Interrupt> {
     scratch.visited.clear();
     scratch.objs.clear();
     scratch.boundaries.clear();
@@ -68,7 +69,7 @@ pub fn compute(
         pag,
         fields,
         config,
-        budget,
+        ticket,
         stats,
         charged: 0,
         visited: &mut scratch.visited,
@@ -102,7 +103,7 @@ struct Ppta<'a, 'p> {
     pag: &'p Pag,
     fields: &'a mut StackPool<FieldFrame>,
     config: &'a EngineConfig,
-    budget: &'a mut Budget,
+    ticket: &'a mut Ticket,
     stats: &'a mut QueryStats,
     /// Edges charged by this run — recorded as the summary's reuse cost.
     charged: u64,
@@ -112,25 +113,21 @@ struct Ppta<'a, 'p> {
 }
 
 impl Ppta<'_, '_> {
-    fn charge(&mut self) -> Result<(), BudgetExceeded> {
-        self.budget.charge()?;
+    fn charge(&mut self) -> Result<(), Interrupt> {
+        self.ticket.charge()?;
         self.stats.edges_traversed += 1;
         self.charged += 1;
         Ok(())
     }
 
-    fn push_field(
-        &mut self,
-        f: FieldStackId,
-        g: FieldFrame,
-    ) -> Result<FieldStackId, BudgetExceeded> {
+    fn push_field(&mut self, f: FieldStackId, g: FieldFrame) -> Result<FieldStackId, Interrupt> {
         if self.fields.depth(f) >= self.config.max_field_depth {
-            return Err(BudgetExceeded);
+            return Err(Interrupt::Budget);
         }
         Ok(self.fields.push(f, g))
     }
 
-    fn go(&mut self, u: NodeId, f: FieldStackId, s: Direction) -> Result<(), BudgetExceeded> {
+    fn go(&mut self, u: NodeId, f: FieldStackId, s: Direction) -> Result<(), Interrupt> {
         if !self.visited.insert((u, f, s)) {
             return Ok(());
         }
@@ -143,7 +140,7 @@ impl Ppta<'_, '_> {
     /// Algorithm 3, lines 5–16 — straight iteration over the local kind
     /// segments (global edges are the driver's job; the boundary bit at
     /// the end records that they exist).
-    fn s1(&mut self, u: NodeId, f: FieldStackId) -> Result<(), BudgetExceeded> {
+    fn s1(&mut self, u: NodeId, f: FieldStackId) -> Result<(), Interrupt> {
         let pag = self.pag;
         let mut saw_new = false;
         for &a in pag.in_seg(u, AdjClass::New) {
@@ -179,7 +176,7 @@ impl Ppta<'_, '_> {
     }
 
     /// Algorithm 3, lines 17–29.
-    fn s2(&mut self, u: NodeId, f: FieldStackId) -> Result<(), BudgetExceeded> {
+    fn s2(&mut self, u: NodeId, f: FieldStackId) -> Result<(), Interrupt> {
         let pag = self.pag;
         for &a in pag.out_seg(u, AdjClass::Assign) {
             self.charge()?;
@@ -242,14 +239,14 @@ mod tests {
     ) -> Summary {
         let config = EngineConfig::unlimited();
         let mut scratch = PptaScratch::default();
-        let mut budget = Budget::unlimited();
+        let mut ticket = Ticket::unlimited();
         let mut stats = QueryStats::default();
         compute(
             pag,
             fields,
             &mut scratch,
             &config,
-            &mut budget,
+            &mut ticket,
             &mut stats,
             pag.var_node(v),
             fstack,
@@ -424,20 +421,20 @@ mod tests {
         let mut fields = StackPool::new();
         let mut scratch = PptaScratch::default();
         let config = EngineConfig::default();
-        let mut budget = Budget::new(3);
+        let mut ticket = Ticket::new(3);
         let mut stats = QueryStats::default();
         let r = compute(
             &pag,
             &mut fields,
             &mut scratch,
             &config,
-            &mut budget,
+            &mut ticket,
             &mut stats,
             pag.var_node(prev),
             FieldStackId::EMPTY,
             Direction::S1,
         );
-        assert_eq!(r, Err(BudgetExceeded));
+        assert_eq!(r, Err(Interrupt::Budget));
         assert!(stats.edges_traversed <= 3);
     }
 
@@ -456,20 +453,20 @@ mod tests {
             max_field_depth: 8,
             ..EngineConfig::unlimited()
         };
-        let mut budget = Budget::unlimited();
+        let mut ticket = Ticket::unlimited();
         let mut stats = QueryStats::default();
         let r = compute(
             &pag,
             &mut fields,
             &mut scratch,
             &config,
-            &mut budget,
+            &mut ticket,
             &mut stats,
             pag.var_node(x),
             FieldStackId::EMPTY,
             Direction::S1,
         );
-        assert_eq!(r, Err(BudgetExceeded));
+        assert_eq!(r, Err(Interrupt::Budget));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! REFINEPTS — refinement-based demand-driven analysis (Algorithms 1–2).
 
-use dynsum_cfl::{Budget, CtxId, FxHashSet, PointsToSet, QueryResult, QueryStats};
+use dynsum_cfl::{CtxId, FxHashSet, PointsToSet, QueryControl, QueryResult, QueryStats, Ticket};
 use dynsum_pag::{EdgeId, Pag, VarId};
 
 use crate::engine::{ClientCheck, DemandPointsTo, EngineConfig};
@@ -15,10 +15,11 @@ pub(crate) fn refinepts_query(
     parts: &mut SearchParts,
     v: VarId,
     satisfied: ClientCheck<'_>,
+    control: &QueryControl,
 ) -> QueryResult {
     parts.ctxs.clear();
     let mut refined: FxHashSet<EdgeId> = FxHashSet::default();
-    let mut budget = Budget::new(config.budget);
+    let mut ticket = Ticket::with_control(config.budget, control);
     let mut stats = QueryStats::default();
 
     for _ in 0..config.max_refinements {
@@ -32,7 +33,7 @@ pub(crate) fn refinepts_query(
             Refinement::Only(&refined),
             v,
             CtxId::EMPTY,
-            &mut budget,
+            &mut ticket,
             &mut stats,
         );
         let last = out.pts;
@@ -45,17 +46,20 @@ pub(crate) fn refinepts_query(
             .copied()
             .filter(|e| !refined.contains(e))
             .collect();
-        if !out.complete {
+        if let Some(kind) = out.interrupt {
             // Unresolved results must carry an under-approximation
             // (clients answer conservatively from it). When an
             // unrefined match edge fired, `last` may contain spurious
-            // field-based objects, so only the empty set is sound.
+            // field-based objects, so only the empty set is sound. The
+            // same soundness rule covers every interrupt kind — a
+            // cancelled or deadline-tripped iteration unwinds exactly
+            // like a budget-exhausted one.
             let pts = if fresh.is_empty() {
                 last
             } else {
                 PointsToSet::new()
             };
-            return QueryResult::over_budget(pts, stats);
+            return QueryResult::interrupted(pts, stats, kind);
         }
         if satisfied(&last) {
             // Client predicates are universally quantified over the
@@ -108,6 +112,7 @@ pub struct RefinePts<'p> {
     pag: &'p Pag,
     parts: SearchParts,
     config: EngineConfig,
+    control: QueryControl,
 }
 
 impl<'p> RefinePts<'p> {
@@ -122,12 +127,19 @@ impl<'p> RefinePts<'p> {
             pag,
             parts: SearchParts::default(),
             config,
+            control: QueryControl::default(),
         }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Attaches interruption controls (cancellation token, deadline) to
+    /// every subsequent query.
+    pub fn set_control(&mut self, control: QueryControl) {
+        self.control = control;
     }
 }
 
@@ -137,7 +149,14 @@ impl DemandPointsTo for RefinePts<'_> {
     }
 
     fn query(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
-        refinepts_query(self.pag, &self.config, &mut self.parts, v, satisfied)
+        refinepts_query(
+            self.pag,
+            &self.config,
+            &mut self.parts,
+            v,
+            satisfied,
+            &self.control,
+        )
     }
 
     fn reset(&mut self) {
@@ -245,6 +264,29 @@ mod tests {
             !r.pts.contains_obj(o2),
             "budget abort leaked a spurious field-based object"
         );
+    }
+
+    #[test]
+    fn cancellation_mid_refinement_is_sound() {
+        use dynsum_cfl::{Interrupt, Outcome};
+        // A fuse that trips partway through the refinement loop must
+        // obey the same soundness rule as a budget abort: when a match
+        // edge fired in the aborted iteration, only the empty set is a
+        // sound partial answer.
+        let (pag, y, _o1, o2) = conflating_pag();
+        for fuse_at in 1..24 {
+            let mut e = RefinePts::new(&pag);
+            e.set_control(QueryControl::new().fused_after(fuse_at, Interrupt::Cancelled));
+            let r = e.points_to(y);
+            if r.resolved {
+                continue; // finished under the fuse point
+            }
+            assert_eq!(r.outcome, Outcome::Cancelled, "fuse at {fuse_at}");
+            assert!(
+                !r.pts.contains_obj(o2),
+                "cancel at {fuse_at} leaked a spurious field-based object"
+            );
+        }
     }
 
     #[test]

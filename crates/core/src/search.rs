@@ -17,8 +17,8 @@
 //! recorded in `fldsSeen` so the next iteration can refine it.
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, CtxId, Direction, FieldFrame, FieldStackId, FxHashSet, PointsToSet,
-    QueryStats, StackPool,
+    CtxId, Direction, FieldFrame, FieldStackId, FxHashSet, Interrupt, PointsToSet, QueryStats,
+    StackPool, Ticket,
 };
 use dynsum_pag::{AdjClass, CallSiteId, EdgeId, NodeId, NodeRef, Pag, VarId};
 
@@ -51,8 +51,17 @@ pub(crate) struct SearchOutcome {
     pub pts: PointsToSet,
     /// Match edges used (the iteration's `fldsSeen`).
     pub flds_seen: FxHashSet<EdgeId>,
-    /// `false` when the budget or a depth cap tripped.
-    pub complete: bool,
+    /// `Some(kind)` when the search was interrupted (budget or depth-cap
+    /// exhaustion, cancellation, deadline); `None` when it completed.
+    pub interrupt: Option<Interrupt>,
+}
+
+impl SearchOutcome {
+    /// `true` when the search ran to completion.
+    #[cfg(test)]
+    pub(crate) fn complete(&self) -> bool {
+        self.interrupt.is_none()
+    }
 }
 
 /// Reusable worklist and seen-set buffers: each query starts logically
@@ -87,7 +96,7 @@ pub(crate) fn search(
     refinement: Refinement<'_>,
     start: VarId,
     start_ctx: CtxId,
-    budget: &mut Budget,
+    ticket: &mut Ticket,
     stats: &mut QueryStats,
 ) -> SearchOutcome {
     scratch.seen.clear();
@@ -98,7 +107,7 @@ pub(crate) fn search(
         ctxs,
         config,
         refinement,
-        budget,
+        ticket,
         stats,
         pts: PointsToSet::new(),
         flds_seen: FxHashSet::default(),
@@ -113,11 +122,11 @@ pub(crate) fn search(
     );
     cx.seen.insert(init);
     cx.wl.push(init);
-    let complete = cx.drive().is_ok();
+    let interrupt = cx.drive().err();
     SearchOutcome {
         pts: cx.pts,
         flds_seen: cx.flds_seen,
-        complete,
+        interrupt,
     }
 }
 
@@ -127,7 +136,7 @@ struct SearchCx<'a, 'p> {
     ctxs: &'a mut StackPool<CallSiteId>,
     config: &'a EngineConfig,
     refinement: Refinement<'a>,
-    budget: &'a mut Budget,
+    ticket: &'a mut Ticket,
     stats: &'a mut QueryStats,
     pts: PointsToSet,
     flds_seen: FxHashSet<EdgeId>,
@@ -136,19 +145,15 @@ struct SearchCx<'a, 'p> {
 }
 
 impl SearchCx<'_, '_> {
-    fn charge(&mut self) -> Result<(), BudgetExceeded> {
-        self.budget.charge()?;
+    fn charge(&mut self) -> Result<(), Interrupt> {
+        self.ticket.charge()?;
         self.stats.edges_traversed += 1;
         Ok(())
     }
 
-    fn push_field(
-        &mut self,
-        f: FieldStackId,
-        g: FieldFrame,
-    ) -> Result<FieldStackId, BudgetExceeded> {
+    fn push_field(&mut self, f: FieldStackId, g: FieldFrame) -> Result<FieldStackId, Interrupt> {
         if self.fields.depth(f) >= self.config.max_field_depth {
-            return Err(BudgetExceeded);
+            return Err(Interrupt::Budget);
         }
         Ok(self.fields.push(f, g))
     }
@@ -160,7 +165,7 @@ impl SearchCx<'_, '_> {
         }
     }
 
-    fn drive(&mut self) -> Result<(), BudgetExceeded> {
+    fn drive(&mut self) -> Result<(), Interrupt> {
         while let Some((u, f, s, c)) = self.wl.pop() {
             self.stats.steps += 1;
             match s {
@@ -173,7 +178,7 @@ impl SearchCx<'_, '_> {
 
     /// Backward (`pointsTo`) transitions: in-edges of `u`, one kind
     /// segment at a time (no edge-arena indirection, no per-edge `match`).
-    fn s1(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), BudgetExceeded> {
+    fn s1(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), Interrupt> {
         let pag = self.pag;
         let mut saw_new = false;
         for &a in pag.in_seg(u, AdjClass::New) {
@@ -234,7 +239,7 @@ impl SearchCx<'_, '_> {
 
     /// Forward (`flowsTo`) transitions: out-edges of `u`, plus the
     /// in-store pop.
-    fn s2(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), BudgetExceeded> {
+    fn s2(&mut self, u: NodeId, f: FieldStackId, c: CtxId) -> Result<(), Interrupt> {
         let pag = self.pag;
         for &a in pag.out_seg(u, AdjClass::Assign) {
             self.charge()?;
@@ -314,7 +319,7 @@ mod tests {
         let mut ctxs = StackPool::new();
         let mut scratch = SearchScratch::default();
         let config = EngineConfig::unlimited();
-        let mut budget = Budget::unlimited();
+        let mut ticket = Ticket::unlimited();
         let mut stats = QueryStats::default();
         let out = search(
             pag,
@@ -325,10 +330,10 @@ mod tests {
             Refinement::All,
             v,
             CtxId::EMPTY,
-            &mut budget,
+            &mut ticket,
             &mut stats,
         );
-        assert!(out.complete);
+        assert!(out.complete());
         out.pts
     }
 
@@ -396,7 +401,7 @@ mod tests {
         let mut ctxs = StackPool::new();
         let mut scratch = SearchScratch::default();
         let config = EngineConfig::unlimited();
-        let mut budget = Budget::unlimited();
+        let mut ticket = Ticket::unlimited();
         let mut stats = QueryStats::default();
         let out = search(
             &pag,
@@ -407,10 +412,10 @@ mod tests {
             Refinement::Only(&refined),
             y,
             CtxId::EMPTY,
-            &mut budget,
+            &mut ticket,
             &mut stats,
         );
-        assert!(out.complete);
+        assert!(out.complete());
         let objs: Vec<_> = out.pts.objects().into_iter().collect();
         assert_eq!(objs, vec![o1, o2], "field-based conflates the bases");
         assert_eq!(out.flds_seen.len(), 1);
@@ -509,7 +514,7 @@ mod tests {
             context_sensitive: false,
             ..EngineConfig::unlimited()
         };
-        let mut budget = Budget::unlimited();
+        let mut ticket = Ticket::unlimited();
         let mut stats = QueryStats::default();
         let out = search(
             &pag,
@@ -520,7 +525,7 @@ mod tests {
             Refinement::All,
             r1,
             CtxId::EMPTY,
-            &mut budget,
+            &mut ticket,
             &mut stats,
         );
         let objs: Vec<_> = out.pts.objects().into_iter().collect();
@@ -542,7 +547,7 @@ mod tests {
         let mut ctxs = StackPool::new();
         let mut scratch = SearchScratch::default();
         let config = EngineConfig::default();
-        let mut budget = Budget::new(5);
+        let mut ticket = Ticket::new(5);
         let mut stats = QueryStats::default();
         let out = search(
             &pag,
@@ -553,9 +558,52 @@ mod tests {
             Refinement::All,
             prev,
             CtxId::EMPTY,
-            &mut budget,
+            &mut ticket,
             &mut stats,
         );
-        assert!(!out.complete);
+        assert_eq!(out.interrupt, Some(Interrupt::Budget));
+    }
+
+    #[test]
+    fn cancellation_interrupts_the_search_promptly() {
+        use dynsum_cfl::{CancelToken, QueryControl};
+        use std::sync::Arc;
+
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m", None).unwrap();
+        let mut prev = b.add_local("v0", m, None).unwrap();
+        for i in 1..512 {
+            let v = b.add_local(&format!("v{i}"), m, None).unwrap();
+            b.add_assign(prev, v).unwrap();
+            prev = v;
+        }
+        let pag = b.finish();
+        let mut fields = StackPool::new();
+        let mut ctxs = StackPool::new();
+        let mut scratch = SearchScratch::default();
+        let config = EngineConfig::unlimited();
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let control = QueryControl::new().cancelled_by(token).poll_every(8);
+        let mut ticket = Ticket::with_control(u64::MAX, &control);
+        let mut stats = QueryStats::default();
+        let out = search(
+            &pag,
+            &mut fields,
+            &mut ctxs,
+            &mut scratch,
+            &config,
+            Refinement::All,
+            prev,
+            CtxId::EMPTY,
+            &mut ticket,
+            &mut stats,
+        );
+        assert_eq!(out.interrupt, Some(Interrupt::Cancelled));
+        assert!(
+            stats.edges_traversed <= 8,
+            "promptness: {} edges after a pre-cancelled token",
+            stats.edges_traversed
+        );
     }
 }

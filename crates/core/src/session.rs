@@ -55,10 +55,25 @@
 //!   (stack/rlimit pressure), the batch degrades to fewer workers —
 //!   ultimately running chunks on the caller's thread — instead of
 //!   panicking, and [`Session::spawn_failures`] counts the degradations.
+//! * **Fault isolation** — every per-query evaluation inside a batch is
+//!   wrapped in `catch_unwind`: a panicking query is reported as a
+//!   per-query [`Outcome::Panicked`] result while the rest of the batch
+//!   completes, and the unwound worker's scratch — including its
+//!   in-flight summary shard — is discarded wholesale rather than
+//!   absorbed. Batches accept a [`BatchControl`] carrying a shared
+//!   [`CancelToken`], a deadline, and (for tests and the differential
+//!   fuzzer) a deterministic [`FaultPlan`]; all robustness counters are
+//!   snapshotted by [`Session::health`].
 
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
-use dynsum_cfl::{FieldFrame, FieldStackId, FxHashMap, QueryResult, StackPool};
+use dynsum_cfl::{
+    CancelToken, FieldFrame, FieldStackId, FxHashMap, Interrupt, Outcome, QueryControl,
+    QueryResult, StackPool,
+};
 use dynsum_pag::{MethodId, Pag, VarId};
 
 use crate::driver::DriveParts;
@@ -185,6 +200,131 @@ impl std::fmt::Debug for SessionQuery<'_> {
     }
 }
 
+/// Batch-wide interruption controls for [`Session::run_batch_with`]:
+/// a shared cancel token, a deadline applied to every query, the ticket
+/// poll cadence, and an optional deterministic [`FaultPlan`].
+///
+/// The default control never interrupts — [`Session::run_batch`] is
+/// exactly `run_batch_with(queries, threads, &BatchControl::default())`.
+#[derive(Debug, Clone, Default)]
+pub struct BatchControl {
+    /// Cancel token observed by every query in the batch. Cancelling it
+    /// interrupts in-flight queries within one poll window and makes
+    /// queries not yet started return immediately.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Deadline applied to every query in the batch.
+    pub deadline: Option<Instant>,
+    /// Budget-charge poll cadence forwarded to each query's ticket
+    /// (0 = the [`QueryControl`] default).
+    pub poll_every: u64,
+    /// Deterministic fault-injection plan, for tests and the
+    /// differential fuzzer's fault regime. `None` in production.
+    pub faults: Option<FaultPlan>,
+}
+
+impl BatchControl {
+    /// The per-query control for the query at global batch index
+    /// `query_index`: batch-wide token/deadline plus any injected fuse
+    /// the fault plan pins to this index (a cancel fuse and a deadline
+    /// fuse on the same index keep the deadline one).
+    fn query_control(&self, query_index: usize) -> QueryControl {
+        let mut qc = QueryControl::new();
+        if let Some(token) = &self.cancel {
+            qc = qc.cancelled_by(Arc::clone(token));
+        }
+        if let Some(deadline) = self.deadline {
+            qc = qc.deadline_at(deadline);
+        }
+        if self.poll_every != 0 {
+            qc = qc.poll_every(self.poll_every);
+        }
+        if let Some(plan) = &self.faults {
+            if let Some(&at) = plan.cancel_after.get(&query_index) {
+                qc = qc.fused_after(at, Interrupt::Cancelled);
+            }
+            if let Some(&at) = plan.deadline_after.get(&query_index) {
+                qc = qc.fused_after(at, Interrupt::Deadline);
+            }
+        }
+        qc
+    }
+
+    fn injects_panic(&self, query_index: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|plan| plan.panic_queries.contains(&query_index))
+    }
+
+    fn injects_spawn_failure(&self, chunk_index: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|plan| plan.fail_spawns.contains(&chunk_index))
+    }
+}
+
+/// A deterministic fault-injection plan for [`BatchControl::faults`].
+///
+/// Every action is keyed by a count or an index — no wall clock, no
+/// cross-thread races — so a plan replays identically at any thread
+/// count and on any machine. Batch query indices are **global** (input
+/// order); chunk indices follow the deterministic contiguous partition
+/// of [`Session::run_batch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Global query indices whose evaluation panics (injected inside the
+    /// worker's `catch_unwind`, before the engine runs).
+    pub panic_queries: BTreeSet<usize>,
+    /// Global query index → budget-charge count after which that query
+    /// trips [`Outcome::Cancelled`] (a deterministic stand-in for a
+    /// racy token cancellation).
+    pub cancel_after: BTreeMap<usize, u64>,
+    /// Global query index → budget-charge count after which that query
+    /// trips [`Outcome::DeadlineExceeded`].
+    pub deadline_after: BTreeMap<usize, u64>,
+    /// Chunk indices whose worker spawn is forced to fail, exercising
+    /// the inline-degradation path (counted by
+    /// [`Session::spawn_failures`]). Ignored by 1-thread batches, which
+    /// spawn nothing.
+    pub fail_spawns: BTreeSet<usize>,
+    /// `write` call index after which snapshot saves fail. `run_batch`
+    /// itself never saves snapshots; IO-fault harnesses (the snapshot
+    /// unit tests, the fuzzer's fault regime) consume this to construct
+    /// a failing writer around [`Session::save_snapshot`].
+    pub snapshot_io_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_queries.is_empty()
+            && self.cancel_after.is_empty()
+            && self.deadline_after.is_empty()
+            && self.fail_spawns.is_empty()
+            && self.snapshot_io_after.is_none()
+    }
+}
+
+/// A point-in-time snapshot of a session's robustness counters,
+/// returned by [`Session::health`]. All counters are lifetime totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionHealth {
+    /// Batch workers that could not be spawned and were degraded to
+    /// in-line execution ([`Session::spawn_failures`]).
+    pub spawn_failures: u64,
+    /// Stale shard entries rejected at absorb time
+    /// ([`Session::stale_rejections`]).
+    pub stale_rejections: u64,
+    /// Summaries evicted from the shared cache by the size-cap sweep.
+    pub evictions: u64,
+    /// Batch queries that returned [`Outcome::Cancelled`].
+    pub cancellations: u64,
+    /// Batch queries that returned [`Outcome::DeadlineExceeded`].
+    pub deadline_trips: u64,
+    /// Batch queries that panicked and were isolated
+    /// ([`Outcome::Panicked`]).
+    pub query_panics: u64,
+}
+
 /// The engine-specific shared (read-only between merges) half.
 #[derive(Debug)]
 pub(crate) enum SharedState {
@@ -252,6 +392,14 @@ pub struct Session<'p> {
     /// Lifetime count of stale (post-invalidation) shard entries
     /// rejected at absorb time.
     stale_rejected: u64,
+    /// Lifetime count of batch queries that returned
+    /// [`Outcome::Cancelled`].
+    cancellations: u64,
+    /// Lifetime count of batch queries that returned
+    /// [`Outcome::DeadlineExceeded`].
+    deadline_trips: u64,
+    /// Lifetime count of batch queries that panicked and were isolated.
+    query_panics: u64,
 }
 
 impl<'p> Session<'p> {
@@ -286,6 +434,9 @@ impl<'p> Session<'p> {
             warm: Vec::new(),
             spawn_failures: 0,
             stale_rejected: 0,
+            cancellations: 0,
+            deadline_trips: 0,
+            query_panics: 0,
         }
     }
 
@@ -301,6 +452,9 @@ impl<'p> Session<'p> {
             warm: Vec::new(),
             spawn_failures: 0,
             stale_rejected: 0,
+            cancellations: 0,
+            deadline_trips: 0,
+            query_panics: 0,
         }
     }
 
@@ -410,6 +564,31 @@ impl<'p> Session<'p> {
     /// it invalidated) rejected at absorb time.
     pub fn stale_rejections(&self) -> u64 {
         self.stale_rejected
+    }
+
+    /// Snapshots every robustness counter into one [`SessionHealth`]
+    /// value — the metrics surface for supervising daemons.
+    pub fn health(&self) -> SessionHealth {
+        SessionHealth {
+            spawn_failures: self.spawn_failures,
+            stale_rejections: self.stale_rejected,
+            evictions: self.cache_stats().evictions,
+            cancellations: self.cancellations,
+            deadline_trips: self.deadline_trips,
+            query_panics: self.query_panics,
+        }
+    }
+
+    /// Tallies batch outcomes into the lifetime robustness counters.
+    fn count_outcomes(&mut self, results: &[QueryResult]) {
+        for r in results {
+            match r.outcome {
+                Outcome::Cancelled => self.cancellations += 1,
+                Outcome::DeadlineExceeded => self.deadline_trips += 1,
+                Outcome::Panicked => self.query_panics += 1,
+                Outcome::Resolved | Outcome::OverBudget => {}
+            }
+        }
     }
 
     /// Lifetime hit/miss/eviction counters of the shared summary cache
@@ -576,6 +755,29 @@ impl<'p> Session<'p> {
     /// should pass `threads >= 2` (reserved-stack workers) or raise
     /// their own thread's stack.
     pub fn run_batch(&mut self, queries: &[SessionQuery<'_>], threads: usize) -> Vec<QueryResult> {
+        self.run_batch_with(queries, threads, &BatchControl::default())
+    }
+
+    /// [`run_batch`](Self::run_batch) under a [`BatchControl`]: a shared
+    /// cancel token and/or deadline observed by every query at
+    /// budget-charge granularity, plus (for tests and the differential
+    /// fuzzer) a deterministic [`FaultPlan`].
+    ///
+    /// Interrupted queries return their sound partial sets with
+    /// [`Outcome::Cancelled`]/[`Outcome::DeadlineExceeded`]; a panicking
+    /// query is isolated by `catch_unwind` and reported as
+    /// [`Outcome::Panicked`] while the rest of the batch completes, and
+    /// the unwound worker's scratch (shard included) is discarded rather
+    /// than absorbed. None of this can change any later result:
+    /// deterministic reuse accounting makes every outcome
+    /// cache-independent, so a follow-up batch on this session is
+    /// byte-identical to one on a fresh cold session.
+    pub fn run_batch_with(
+        &mut self,
+        queries: &[SessionQuery<'_>],
+        threads: usize,
+        control: &BatchControl,
+    ) -> Vec<QueryResult> {
         if queries.is_empty() {
             return Vec::new();
         }
@@ -586,9 +788,10 @@ impl<'p> Session<'p> {
             // and shard merge as the parallel path, minus the scoped
             // spawn/join a lone worker would only pay overhead for.
             let slot = self.checkout();
-            let (out, scratch) = run_chunk(self, slot, queries, epoch);
+            let (out, scratch) = run_chunk(self, slot, queries, 0, epoch, control);
             self.retire_slot(scratch, epoch);
             self.finish_merge();
+            self.count_outcomes(&out);
             return out;
         }
         let mut slots: Vec<HandleScratch> = (0..threads).map(|_| self.checkout()).collect();
@@ -596,35 +799,57 @@ impl<'p> Session<'p> {
         let sess: &Session<'p> = self;
         let (per_chunk, failures) = std::thread::scope(|scope| {
             let mut spawned = Vec::with_capacity(threads);
-            let mut inline: Vec<(usize, &[SessionQuery<'_>])> = Vec::new();
+            let mut inline: Vec<(usize, usize, &[SessionQuery<'_>])> = Vec::new();
             let mut failures = 0u64;
+            let mut base = 0usize;
             for (ci, chunk) in balanced_chunks(queries, threads).enumerate() {
+                let chunk_base = base;
+                base += chunk.len();
                 // The slot moves into the spawn closure, so a failed
                 // spawn forfeits it; the in-line fallback rebuilds
                 // fresh scratch (rare path, correctness unaffected).
                 let slot = slots.pop().expect("one slot per chunk");
+                if control.injects_spawn_failure(ci) {
+                    // An injected spawn failure forfeits the slot too,
+                    // mirroring the real failure path exactly.
+                    drop(slot);
+                    failures += 1;
+                    inline.push((ci, chunk_base, chunk));
+                    continue;
+                }
                 let spawn = std::thread::Builder::new()
                     .stack_size(stack_bytes)
-                    .spawn_scoped(scope, move || run_chunk(sess, slot, chunk, epoch));
+                    .spawn_scoped(scope, move || {
+                        run_chunk(sess, slot, chunk, chunk_base, epoch, control)
+                    });
                 match spawn {
                     Ok(worker) => spawned.push((ci, worker)),
                     Err(_) => {
                         failures += 1;
-                        inline.push((ci, chunk));
+                        inline.push((ci, chunk_base, chunk));
                     }
                 }
             }
             let mut per_chunk: Vec<Option<(Vec<QueryResult>, HandleScratch)>> =
                 (0..threads).map(|_| None).collect();
             // Degraded chunks run here, overlapping the live workers.
-            for (ci, chunk) in inline {
-                per_chunk[ci] = Some(run_chunk(sess, sess.new_scratch(), chunk, epoch));
+            for (ci, chunk_base, chunk) in inline {
+                per_chunk[ci] = Some(run_chunk(
+                    sess,
+                    sess.new_scratch(),
+                    chunk,
+                    chunk_base,
+                    epoch,
+                    control,
+                ));
             }
             for (ci, worker) in spawned {
                 match worker.join() {
                     Ok(pair) => per_chunk[ci] = Some(pair),
-                    // A worker panic is an engine bug; re-raise the
-                    // original payload rather than masking it.
+                    // Per-query panics are caught inside `run_chunk`; a
+                    // panic that still reaches the join is an engine bug
+                    // outside any query — re-raise the original payload
+                    // rather than masking it.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
@@ -638,6 +863,7 @@ impl<'p> Session<'p> {
             self.retire_slot(scratch, epoch);
         }
         self.finish_merge();
+        self.count_outcomes(&results);
         results
     }
 
@@ -684,18 +910,47 @@ fn balanced_chunks<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
 /// Runs one chunk of a batch on (owned) worker scratch, returning the
 /// results together with the scratch so [`Session::run_batch`] can
 /// drain its shard and keep it warm.
+///
+/// `base` is the chunk's first global query index — the key the
+/// [`FaultPlan`] and per-query fuses are resolved against. Every query
+/// evaluation runs under `catch_unwind`: a panic yields a per-query
+/// [`QueryResult::panicked`] and replaces the handle's scratch (shard
+/// included) with fresh state, so nothing a half-unwound query touched
+/// can reach the shared cache.
 fn run_chunk<'s, 'p>(
     sess: &'s Session<'p>,
     scratch: HandleScratch,
     chunk: &[SessionQuery<'_>],
+    base: usize,
     epoch: u64,
+    control: &BatchControl,
 ) -> (Vec<QueryResult>, HandleScratch) {
     let mut h = QueryHandle {
         session: sess,
         scratch,
         epoch,
     };
-    let out = chunk.iter().map(|q| h.query(q.var, q.satisfied)).collect();
+    let mut out = Vec::with_capacity(chunk.len());
+    for (i, q) in chunk.iter().enumerate() {
+        let qc = control.query_control(base + i);
+        let inject_panic = control.injects_panic(base + i);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected query fault");
+            }
+            h.query_with(q.var, q.satisfied, &qc)
+        }));
+        out.push(run.unwrap_or_else(|_| {
+            // The unwound query may have left the scratch — and, for
+            // DYNSUM, the in-flight shard — half-updated: discard it
+            // wholesale. Summaries the *discarded* shard held are merely
+            // recomputed later at the exact budget price their reuse
+            // would have charged (deterministic accounting), so results
+            // are unaffected.
+            h.scratch = sess.new_scratch();
+            QueryResult::panicked()
+        }));
+    }
     (out, h.scratch)
 }
 
@@ -807,6 +1062,47 @@ impl QueryHandle<'_, '_> {
         }
     }
 
+    /// [`query`](DemandPointsTo::query) under an explicit
+    /// [`QueryControl`] — a cancel token, deadline, or deterministic
+    /// fuse observed at budget-charge granularity. A tripped control
+    /// unwinds exactly like budget exhaustion: the result carries the
+    /// sound partial set with the tripping [`Outcome`], and the handle
+    /// (shard included) remains valid for further queries.
+    pub fn query_with(
+        &mut self,
+        v: VarId,
+        satisfied: ClientCheck<'_>,
+        control: &QueryControl,
+    ) -> QueryResult {
+        let pag = self.session.pag;
+        let config = &self.session.config;
+        match (&mut self.scratch, &self.session.state) {
+            (HandleScratch::NoRefine(parts), _) => {
+                norefine_query(pag, config, parts, v, &[], control)
+            }
+            (HandleScratch::RefinePts(parts), _) => {
+                refinepts_query(pag, config, parts, v, satisfied, control)
+            }
+            (HandleScratch::DynSum { parts, shard }, SharedState::DynSum { cache, .. }) => {
+                dynsum_query(
+                    pag,
+                    config,
+                    Some(cache),
+                    shard,
+                    parts,
+                    v,
+                    &[],
+                    control,
+                    None,
+                )
+            }
+            (HandleScratch::StaSum(parts), SharedState::StaSum(shared)) => {
+                stasum_query(pag, config, shared, parts, v, &[], control)
+            }
+            _ => unreachable!("handle scratch always matches its session's state"),
+        }
+    }
+
     /// Detaches the handle's summary shard for
     /// [`Session::absorb`]. Empty for engines without a cache.
     pub fn into_summaries(self) -> SummaryShard {
@@ -827,21 +1123,7 @@ impl DemandPointsTo for QueryHandle<'_, '_> {
     }
 
     fn query(&mut self, v: VarId, satisfied: ClientCheck<'_>) -> QueryResult {
-        let pag = self.session.pag;
-        let config = &self.session.config;
-        match (&mut self.scratch, &self.session.state) {
-            (HandleScratch::NoRefine(parts), _) => norefine_query(pag, config, parts, v, &[]),
-            (HandleScratch::RefinePts(parts), _) => {
-                refinepts_query(pag, config, parts, v, satisfied)
-            }
-            (HandleScratch::DynSum { parts, shard }, SharedState::DynSum { cache, .. }) => {
-                dynsum_query(pag, config, Some(cache), shard, parts, v, &[], None)
-            }
-            (HandleScratch::StaSum(parts), SharedState::StaSum(shared)) => {
-                stasum_query(pag, config, shared, parts, v, &[])
-            }
-            _ => unreachable!("handle scratch always matches its session's state"),
-        }
+        self.query_with(v, satisfied, &QueryControl::default())
     }
 
     /// Shared summaries plus this handle's unmerged shard.
@@ -1146,6 +1428,9 @@ mod tests {
                 warm: Vec::new(),
                 spawn_failures: 0,
                 stale_rejected: 0,
+                cancellations: 0,
+                deadline_trips: 0,
+                query_panics: 0,
             };
             probe.invalidate_method(id)
         };
@@ -1163,6 +1448,155 @@ mod tests {
         // And queries still answer correctly throughout.
         let mut h = session.handle();
         assert!(h.points_to(vars[0]).resolved);
+    }
+
+    #[test]
+    fn batch_cancellation_is_counted_and_recoverable() {
+        let (pag, vars, ..) = two_callers();
+        let want = {
+            let mut cold = Session::new(&pag, EngineKind::DynSum);
+            cold.run_batch_vars(&vars, 1)
+        };
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let control = BatchControl {
+            cancel: Some(Arc::clone(&token)),
+            poll_every: 1,
+            ..BatchControl::default()
+        };
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        let cancelled = session.run_batch_with(&queries, 2, &control);
+        assert!(cancelled.iter().all(|r| r.outcome == Outcome::Cancelled));
+        assert!(cancelled.iter().all(|r| !r.resolved));
+        assert_eq!(session.health().cancellations, vars.len() as u64);
+        // The cancelled batch leaves no trace: clean follow-up batches on
+        // the same session match a cold session at every thread count.
+        for threads in [1, 2, 4] {
+            let after = session.run_batch_vars(&vars, threads);
+            for (a, b) in after.iter().zip(&want) {
+                assert_eq!(a.outcome, b.outcome, "threads={threads}");
+                assert_eq!(a.pts, b.pts, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_batch_deadline_trips_every_query() {
+        let (pag, vars, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        let control = BatchControl {
+            deadline: Some(Instant::now()),
+            poll_every: 1,
+            ..BatchControl::default()
+        };
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        let out = session.run_batch_with(&queries, 2, &control);
+        assert!(out.iter().all(|r| r.outcome == Outcome::DeadlineExceeded));
+        assert_eq!(session.health().deadline_trips, vars.len() as u64);
+        // Normal service resumes without the deadline.
+        assert!(session.run_batch_vars(&vars, 2).iter().all(|r| r.resolved));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_per_query() {
+        let (pag, vars, ..) = two_callers();
+        let want = {
+            let mut cold = Session::new(&pag, EngineKind::DynSum);
+            cold.run_batch_vars(&vars, 1)
+        };
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        let mut plan = FaultPlan::default();
+        plan.panic_queries.insert(1);
+        let control = BatchControl {
+            faults: Some(plan),
+            ..BatchControl::default()
+        };
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        let out = session.run_batch_with(&queries, 2, &control);
+        assert_eq!(out[1].outcome, Outcome::Panicked);
+        assert!(out[1].pts.is_empty());
+        for (i, (a, b)) in out.iter().zip(&want).enumerate() {
+            if i != 1 {
+                assert_eq!(a.outcome, b.outcome, "query {i}");
+                assert_eq!(a.pts, b.pts, "query {i}");
+            }
+        }
+        assert_eq!(session.health().query_panics, 1);
+        // The poisoned worker's shard was discarded, not absorbed:
+        // follow-up batches still match a cold session byte for byte.
+        for threads in [1, 2, 4] {
+            let after = session.run_batch_vars(&vars, threads);
+            for (a, b) in after.iter().zip(&want) {
+                assert_eq!(a.outcome, b.outcome, "threads={threads}");
+                assert_eq!(a.pts, b.pts, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_spawn_failures_degrade_inline() {
+        let (pag, vars, ..) = two_callers();
+        let want = {
+            let mut cold = Session::new(&pag, EngineKind::DynSum);
+            cold.run_batch_vars(&vars, 1)
+        };
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        let mut plan = FaultPlan::default();
+        plan.fail_spawns.insert(0);
+        plan.fail_spawns.insert(1);
+        let control = BatchControl {
+            faults: Some(plan),
+            ..BatchControl::default()
+        };
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        let out = session.run_batch_with(&queries, 2, &control);
+        assert_eq!(session.health().spawn_failures, 2);
+        for (a, b) in out.iter().zip(&want) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.pts, b.pts);
+        }
+    }
+
+    #[test]
+    fn injected_cancel_fuse_is_deterministic() {
+        let (pag, vars, ..) = two_callers();
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        let run = |threads: usize| {
+            let mut session = Session::new(&pag, EngineKind::DynSum);
+            let mut plan = FaultPlan::default();
+            plan.cancel_after.insert(0, 3);
+            plan.deadline_after.insert(2, 0);
+            let control = BatchControl {
+                faults: Some(plan),
+                ..BatchControl::default()
+            };
+            session.run_batch_with(&queries, threads, &control)
+        };
+        let base = run(1);
+        assert_eq!(base[0].outcome, Outcome::Cancelled);
+        assert_eq!(base[2].outcome, Outcome::DeadlineExceeded);
+        // Count-based fuses replay identically at every thread count —
+        // including the interrupted queries' partial sets.
+        for threads in [2, 4] {
+            let got = run(threads);
+            for (a, b) in got.iter().zip(&base) {
+                assert_eq!(a.outcome, b.outcome, "threads={threads}");
+                assert_eq!(a.pts, b.pts, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn health_snapshot_starts_clean() {
+        let (pag, vars, ..) = two_callers();
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        assert_eq!(session.health(), SessionHealth::default());
+        session.run_batch_vars(&vars, 2);
+        let h = session.health();
+        assert_eq!(h.cancellations, 0);
+        assert_eq!(h.deadline_trips, 0);
+        assert_eq!(h.query_panics, 0);
     }
 
     #[test]

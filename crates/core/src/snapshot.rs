@@ -422,6 +422,53 @@ impl<'p> Session<'p> {
         writer.write_all(&payload)
     }
 
+    /// [`save_snapshot`](Self::save_snapshot) with **atomic replace**
+    /// semantics: the bytes are written to a sibling temp file
+    /// (`<path>.tmp`), synced, and renamed over `path` only once every
+    /// byte landed. An IO failure mid-write — injected or real — can
+    /// therefore never leave a truncated snapshot at `path`: a previous
+    /// snapshot there survives intact, and the temp file is removed on
+    /// failure (best effort).
+    ///
+    /// # Errors
+    ///
+    /// Any IO error from creating, writing, syncing, or renaming the
+    /// temp file. `path` is unchanged on error.
+    pub fn save_snapshot_to_path(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            self.save_snapshot(&mut file)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// [`load_snapshot`](Self::load_snapshot) from a file path. A
+    /// missing or unreadable file degrades to a cold start like any
+    /// other reject — the returned session is always valid.
+    pub fn load_snapshot_from_path(
+        path: &std::path::Path,
+        pag: &'p Pag,
+        kind: EngineKind,
+        config: EngineConfig,
+    ) -> (Session<'p>, SnapshotLoad) {
+        match std::fs::File::open(path) {
+            Ok(file) => Self::load_snapshot(io::BufReader::new(file), pag, kind, config),
+            Err(e) => (
+                Session::with_config(pag, kind, config),
+                SnapshotLoad::Cold(SnapshotReject::Io(e.kind())),
+            ),
+        }
+    }
+
     /// The snapshot body: epoch, invalidation map, stack pool, cache.
     fn snapshot_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -721,6 +768,157 @@ mod tests {
         let mut bytes = Vec::new();
         session.save_snapshot(&mut bytes).unwrap();
         bytes
+    }
+
+    /// A `Write` that fails with an injected error once `fail_after`
+    /// write calls have succeeded — the IO half of the fault plan.
+    struct FailingWriter {
+        ok: Vec<u8>,
+        calls: u64,
+        fail_after: u64,
+    }
+
+    impl FailingWriter {
+        fn new(fail_after: u64) -> Self {
+            FailingWriter {
+                ok: Vec::new(),
+                calls: 0,
+                fail_after,
+            }
+        }
+    }
+
+    impl io::Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls >= self.fail_after {
+                return Err(io::Error::other("injected IO fault"));
+            }
+            self.calls += 1;
+            self.ok.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A unique scratch directory per test (no tempfile dependency).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dynsum_snapshot_{}_{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_fails_cleanly_at_every_write_call() {
+        let (pag, r, _) = field_pag();
+        let session = warm_session(&pag, r);
+        // Count the writes of a clean save, then inject a failure at
+        // every single write index: each save must surface the error
+        // (never panic, never silently succeed short).
+        let total = {
+            let mut probe = FailingWriter::new(u64::MAX);
+            session.save_snapshot(&mut probe).unwrap();
+            probe.calls
+        };
+        assert!(total >= 2, "header and payload are separate writes");
+        for fail_at in 0..total {
+            let mut w = FailingWriter::new(fail_at);
+            let err = session.save_snapshot(&mut w).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Other, "write {fail_at}");
+            // Whatever landed before the fault is a strict prefix of the
+            // good bytes — a reader can reject it as truncated.
+            let good = snapshot_of(&session);
+            assert!(good.starts_with(&w.ok), "write {fail_at}");
+            assert!(w.ok.len() < good.len(), "write {fail_at}");
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_always_reject_as_cold() {
+        let (pag, r, _) = field_pag();
+        let session = warm_session(&pag, r);
+        let good = snapshot_of(&session);
+        // Every possible truncation point — a torn non-atomic write —
+        // must degrade to a cold start, not a corrupt warm one.
+        for cut in 0..good.len() {
+            let (restored, load) = Session::load_snapshot(
+                &good[..cut],
+                &pag,
+                EngineKind::DynSum,
+                EngineConfig::default(),
+            );
+            assert!(matches!(load, SnapshotLoad::Cold(_)), "cut {cut}");
+            assert_eq!(restored.summary_count(), 0, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn path_save_round_trips_and_leaves_no_temp_file() {
+        let (pag, r, ox) = field_pag();
+        let session = warm_session(&pag, r);
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("warm.snap");
+        session.save_snapshot_to_path(&path).unwrap();
+        assert!(!dir.join("warm.snap.tmp").exists(), "temp renamed away");
+        let (mut restored, load) = Session::load_snapshot_from_path(
+            &path,
+            &pag,
+            EngineKind::DynSum,
+            EngineConfig::default(),
+        );
+        assert!(load.is_warm());
+        assert_eq!(restored.summary_count(), session.summary_count());
+        let got = restored.run_batch_vars(&[r], 1);
+        assert!(got[0].resolved && got[0].pts.contains_obj(ox));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_path_save_preserves_the_previous_snapshot() {
+        let (pag, r, _) = field_pag();
+        let session = warm_session(&pag, r);
+        let dir = scratch_dir("atomic");
+        let path = dir.join("warm.snap");
+        session.save_snapshot_to_path(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // Force the temp-file create to fail by squatting a directory on
+        // the temp path: the save must error out, and the previous
+        // snapshot at `path` must survive byte-identical.
+        let tmp = dir.join("warm.snap.tmp");
+        std::fs::create_dir(&tmp).unwrap();
+        assert!(session.save_snapshot_to_path(&path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let (restored, load) = Session::load_snapshot_from_path(
+            &path,
+            &pag,
+            EngineKind::DynSum,
+            EngineConfig::default(),
+        );
+        assert!(load.is_warm());
+        assert!(restored.summary_count() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_path_degrades_to_cold() {
+        let (pag, ..) = field_pag();
+        let dir = scratch_dir("missing");
+        let (restored, load) = Session::load_snapshot_from_path(
+            &dir.join("nope.snap"),
+            &pag,
+            EngineKind::DynSum,
+            EngineConfig::default(),
+        );
+        assert!(matches!(
+            load,
+            SnapshotLoad::Cold(SnapshotReject::Io(io::ErrorKind::NotFound))
+        ));
+        assert_eq!(restored.summary_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

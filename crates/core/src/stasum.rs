@@ -28,8 +28,8 @@
 use std::sync::Arc;
 
 use dynsum_cfl::{
-    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, FxHashMap, FxHashSet, QueryResult,
-    QueryStats, StackPool, StepKind, Trace,
+    Budget, BudgetExceeded, Direction, FieldFrame, FieldStackId, FxHashMap, FxHashSet, Interrupt,
+    QueryControl, QueryResult, QueryStats, StackPool, StepKind, Ticket, Trace,
 };
 use dynsum_pag::{AdjClass, CallSiteId, NodeId, NodeRef, ObjId, Pag, VarId};
 
@@ -221,6 +221,7 @@ pub(crate) fn stasum_query(
     parts: &mut DriveParts,
     v: VarId,
     ctx: &[CallSiteId],
+    control: &QueryControl,
 ) -> QueryResult {
     let DriveParts {
         fields,
@@ -231,12 +232,12 @@ pub(crate) fn stasum_query(
     ctxs.clear();
     let c0 = ctxs.from_slice(ctx);
     let mut provider = |fields: &mut StackPool<FieldFrame>,
-                        budget: &mut Budget,
+                        ticket: &mut Ticket,
                         stats: &mut QueryStats,
                         u: NodeId,
                         f: FieldStackId,
                         s: Direction|
-     -> Result<(Arc<Summary>, StepKind), BudgetExceeded> {
+     -> Result<(Arc<Summary>, StepKind), Interrupt> {
         if let Some(rs) = shared.rel.get(&(u, s)) {
             if let Some(sum) = instantiate(fields, &shared.options, rs, f) {
                 stats.cache_hits += 1;
@@ -247,9 +248,10 @@ pub(crate) fn stasum_query(
         // (truncated/aborted): concrete PPTA, not memorized — STASUM
         // is static, it learns nothing new at query time.
         stats.cache_misses += 1;
-        let sum = ppta::compute(pag, fields, ppta_scratch, config, budget, stats, u, f, s)?;
+        let sum = ppta::compute(pag, fields, ppta_scratch, config, ticket, stats, u, f, s)?;
         Ok((Arc::new(sum), StepKind::PptaComputed))
     };
+    let mut ticket = Ticket::with_control(config.budget, control);
     drive(
         pag,
         fields,
@@ -258,6 +260,7 @@ pub(crate) fn stasum_query(
         config,
         pag.var_node(v),
         c0,
+        &mut ticket,
         &mut provider,
         None::<&mut Trace>,
     )
@@ -287,6 +290,7 @@ pub struct StaSum<'p> {
     config: EngineConfig,
     shared: StaSumShared,
     parts: DriveParts,
+    control: QueryControl,
 }
 
 impl<'p> StaSum<'p> {
@@ -302,7 +306,15 @@ impl<'p> StaSum<'p> {
             config,
             shared: stasum_precompute(pag, &config, options),
             parts: DriveParts::default(),
+            control: QueryControl::default(),
         }
+    }
+
+    /// Attaches a [`QueryControl`] (cancel token / deadline) observed by
+    /// every subsequent query until replaced. Precomputation is not
+    /// affected — it has already happened by construction time.
+    pub fn set_control(&mut self, control: QueryControl) {
+        self.control = control;
     }
 
     /// Precomputation statistics.
@@ -389,6 +401,7 @@ impl DemandPointsTo for StaSum<'_> {
             &mut self.parts,
             v,
             &[],
+            &self.control,
         )
     }
 

@@ -26,6 +26,13 @@
 //!    byte-identical results ([`QueryResult::fingerprint`]) at 1, 2 and
 //!    4 threads, and identical to a sequential engine over the same
 //!    query order.
+//! 5. **Fault integrity** (the `fault_injection` regime) — a batch run
+//!    under a deterministic [`FaultPlan`] (injected panics, cancel and
+//!    deadline fuses, a forced spawn failure, a snapshot IO error) must
+//!    surface every fault per query without poisoning the session: the
+//!    un-faulted queries answer byte-identically to a clean cold
+//!    session, and every follow-up batch on the same session is
+//!    byte-identical to that cold reference at 1, 2 and 4 threads.
 //!
 //! The pipeline is split into an effectful half ([`observe`]: runs
 //! engines, records everything) and a pure half ([`judge`]: folds
@@ -37,8 +44,8 @@
 use std::collections::BTreeSet;
 
 use dynsum_andersen::Andersen;
-use dynsum_cfl::QueryResult;
-use dynsum_core::{EngineConfig, EngineKind, Session, SessionQuery};
+use dynsum_cfl::{Outcome, QueryResult};
+use dynsum_core::{BatchControl, EngineConfig, EngineKind, FaultPlan, Session, SessionQuery};
 use dynsum_pag::{ObjId, VarId};
 
 use crate::generator::{try_generate, GeneratorError, GeneratorOptions, Workload};
@@ -54,6 +61,9 @@ pub struct FuzzProfile {
     pub opts: GeneratorOptions,
     /// Engine configuration all four engines and the sessions run with.
     pub config: EngineConfig,
+    /// Run the fault-injection observation (check 5) for this regime's
+    /// cases, with a [`FaultPlan`] derived from the case seed.
+    pub inject_faults: bool,
 }
 
 /// The standard regimes `make fuzz` sweeps. Each one aims a generator
@@ -68,7 +78,11 @@ pub struct FuzzProfile {
 /// * `degenerate` — scale-0 graphs, null-heavy payloads, a cap-0
 ///   summary cache (evict after every query) and a near-zero budget;
 /// * `ci_oracle` — context-insensitive configuration, where resolved
-///   NOREFINE answers must match Andersen *exactly*.
+///   NOREFINE answers must match Andersen *exactly*;
+/// * `fault_injection` — baseline-shaped graphs run through
+///   [`Session::run_batch_with`] under a seeded [`FaultPlan`] (injected
+///   panics, cancel/deadline fuses, a forced spawn failure, a snapshot
+///   IO error), checking the fault-integrity invariant (check 5).
 pub fn fuzz_profiles() -> Vec<FuzzProfile> {
     let base = GeneratorOptions::default();
     vec![
@@ -82,6 +96,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 budget: 20_000,
                 ..EngineConfig::default()
             },
+            inject_faults: false,
         },
         FuzzProfile {
             name: "deep_recursion",
@@ -95,6 +110,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 max_ctx_depth: 8,
                 ..EngineConfig::default()
             },
+            inject_faults: false,
         },
         FuzzProfile {
             name: "field_storm",
@@ -108,6 +124,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 max_field_depth: 12,
                 ..EngineConfig::default()
             },
+            inject_faults: false,
         },
         FuzzProfile {
             name: "degenerate",
@@ -122,6 +139,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 max_cached_summaries: Some(0),
                 ..EngineConfig::default()
             },
+            inject_faults: false,
         },
         FuzzProfile {
             name: "ci_oracle",
@@ -133,6 +151,19 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 context_sensitive: false,
                 ..EngineConfig::default()
             },
+            inject_faults: false,
+        },
+        FuzzProfile {
+            name: "fault_injection",
+            opts: GeneratorOptions {
+                scale: 0.003,
+                ..base
+            },
+            config: EngineConfig {
+                budget: 20_000,
+                ..EngineConfig::default()
+            },
+            inject_faults: true,
         },
     ]
 }
@@ -196,6 +227,29 @@ pub struct BatchObservation {
     pub fingerprints: Vec<u64>,
 }
 
+/// The record of one fault-injection run (check 5): a faulted batch on
+/// a fresh DYNSUM session, followed by clean batches on that *same*
+/// session, against a cold-session reference.
+#[derive(Debug, Clone)]
+pub struct FaultObservation {
+    /// The deterministic plan that was injected.
+    pub plan: FaultPlan,
+    /// Clean cold-session fingerprints, in query order — the value every
+    /// un-faulted and post-fault answer must reproduce exactly.
+    pub reference: Vec<u64>,
+    /// [`Outcome::tag`] per query of the faulted batch.
+    pub faulted_tags: Vec<u8>,
+    /// Fingerprint per query of the faulted batch.
+    pub faulted_fingerprints: Vec<u64>,
+    /// Did the snapshot save through the failing writer surface an
+    /// `Err`? (It must — swallowing the IO fault would hand callers a
+    /// truncated snapshot path.)
+    pub snapshot_error_surfaced: bool,
+    /// Clean follow-up batches on the faulted session, one per probed
+    /// thread count.
+    pub after: Vec<BatchObservation>,
+}
+
 /// The complete record of one fuzz case, ready for [`judge`].
 #[derive(Debug, Clone)]
 pub struct Observations {
@@ -213,6 +267,9 @@ pub struct Observations {
     pub sequential: Vec<u64>,
     /// One entry per probed thread count.
     pub batches: Vec<BatchObservation>,
+    /// Fault-injection record (check 5); `None` unless the regime
+    /// injects faults.
+    pub fault: Option<FaultObservation>,
 }
 
 /// Which invariant a divergence violates.
@@ -229,6 +286,9 @@ pub enum DivergenceKind {
     /// `run_batch` results differ across thread counts or from
     /// sequential.
     Determinism,
+    /// An injected fault was swallowed, leaked into an un-faulted
+    /// query, or left a trace in the session's shared state.
+    FaultIntegrity,
 }
 
 impl DivergenceKind {
@@ -240,6 +300,7 @@ impl DivergenceKind {
             DivergenceKind::OracleExact => "oracle-exact",
             DivergenceKind::Budget => "budget",
             DivergenceKind::Determinism => "determinism",
+            DivergenceKind::FaultIntegrity => "fault-integrity",
         }
     }
 }
@@ -284,6 +345,10 @@ pub struct ObserveOptions {
     pub budget_probes: usize,
     /// Thread counts to run the DYNSUM session batch with.
     pub thread_counts: Vec<usize>,
+    /// When set, also run the fault-injection observation (check 5)
+    /// with the [`FaultPlan`] derived from this seed by
+    /// [`fault_plan_for`].
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for ObserveOptions {
@@ -291,7 +356,19 @@ impl Default for ObserveOptions {
         ObserveOptions {
             budget_probes: 6,
             thread_counts: vec![1, 2, 4],
+            fault_seed: None,
         }
+    }
+}
+
+/// The per-case [`ObserveOptions`]: `base`, plus the case's fault seed
+/// when the regime injects faults. The single source of truth shared by
+/// [`run_fuzz`] and reproducers, so a `fault-integrity` divergence
+/// replays the exact plan that found it.
+pub fn observe_opts_for(fp: &FuzzProfile, case_seed: u64, base: &ObserveOptions) -> ObserveOptions {
+    ObserveOptions {
+        fault_seed: fp.inject_faults.then_some(case_seed),
+        ..base.clone()
     }
 }
 
@@ -389,6 +466,12 @@ pub fn observe(w: &Workload, config: &EngineConfig, opts: &ObserveOptions) -> Ob
         });
     }
 
+    // Check 5 material: a faulted batch plus clean follow-ups on the
+    // same session, against a cold reference.
+    let fault = opts
+        .fault_seed
+        .map(|seed| observe_faults(w, config, &batch, seed, opts));
+
     Observations {
         workload: w.name.clone(),
         context_sensitive: config.context_sensitive,
@@ -396,6 +479,122 @@ pub fn observe(w: &Workload, config: &EngineConfig, opts: &ObserveOptions) -> Ob
         budget,
         sequential,
         batches,
+        fault,
+    }
+}
+
+/// Derives the deterministic [`FaultPlan`] for a fuzz case: per-query
+/// rolls from the case's seed pick injected panics and cancel/deadline
+/// fuses (roughly a quarter of the queries each, the rest run clean); a
+/// spawn failure on the first chunk and a snapshot IO fault are always
+/// injected. Public so reproducers replay the exact plan.
+pub fn fault_plan_for(seed: u64, queries: usize) -> FaultPlan {
+    let mut plan = FaultPlan {
+        snapshot_io_after: Some(0),
+        ..FaultPlan::default()
+    };
+    plan.fail_spawns.insert(0);
+    for i in 0..queries {
+        let roll = case_seed(seed ^ 0xFA17_FA17_FA17_FA17, i);
+        match roll % 4 {
+            0 => {
+                plan.panic_queries.insert(i);
+            }
+            1 => {
+                plan.cancel_after.insert(i, (roll >> 8) % 64);
+            }
+            2 => {
+                plan.deadline_after.insert(i, (roll >> 8) % 64);
+            }
+            _ => {} // clean query
+        }
+    }
+    plan
+}
+
+/// A `Write` sink that fails deterministically after a fixed number of
+/// calls — the snapshot-IO half of the fault plan.
+struct FailingWriter {
+    calls: u64,
+    fail_after: u64,
+}
+
+impl std::io::Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.calls >= self.fail_after {
+            return Err(std::io::Error::other("injected IO fault"));
+        }
+        self.calls += 1;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs the fault-injection observation: a cold reference batch, the
+/// faulted batch (2 threads, so the spawn-failure and shard-discard
+/// paths are exercised), a snapshot save through a failing writer, then
+/// clean batches at every probed thread count on the *same* session.
+fn observe_faults(
+    w: &Workload,
+    config: &EngineConfig,
+    batch: &[SessionQuery<'_>],
+    seed: u64,
+    opts: &ObserveOptions,
+) -> FaultObservation {
+    let plan = fault_plan_for(seed, batch.len());
+
+    // What every query answers on a session that never sees a fault.
+    let mut reference_session = Session::with_config(&w.pag, EngineKind::DynSum, *config);
+    let reference: Vec<u64> = reference_session
+        .run_batch(batch, 1)
+        .iter()
+        .map(QueryResult::fingerprint)
+        .collect();
+
+    let control = BatchControl {
+        faults: Some(plan.clone()),
+        ..BatchControl::default()
+    };
+    let mut session = Session::with_config(&w.pag, EngineKind::DynSum, *config);
+    let faulted = session.run_batch_with(batch, 2, &control);
+    let faulted_tags = faulted.iter().map(|r| r.outcome.tag()).collect();
+    let faulted_fingerprints = faulted.iter().map(QueryResult::fingerprint).collect();
+
+    let snapshot_error_surfaced = match plan.snapshot_io_after {
+        Some(fail_after) => {
+            let mut sink = FailingWriter {
+                calls: 0,
+                fail_after,
+            };
+            session.save_snapshot(&mut sink).is_err()
+        }
+        // No snapshot fault injected: vacuously surfaced.
+        None => true,
+    };
+
+    let after = opts
+        .thread_counts
+        .iter()
+        .map(|&threads| BatchObservation {
+            threads,
+            fingerprints: session
+                .run_batch(batch, threads)
+                .iter()
+                .map(QueryResult::fingerprint)
+                .collect(),
+        })
+        .collect();
+
+    FaultObservation {
+        plan,
+        reference,
+        faulted_tags,
+        faulted_fingerprints,
+        snapshot_error_surfaced,
+        after,
     }
 }
 
@@ -534,7 +733,96 @@ pub fn judge(obs: &Observations) -> Vec<Divergence> {
         }
     }
 
+    // Check 5: fault integrity. Every injected fault surfaces in its
+    // own query's outcome; nothing leaks into un-faulted queries or the
+    // session's shared state.
+    if let Some(f) = &obs.fault {
+        judge_faults(obs, f, &mut out);
+    }
+
     out
+}
+
+/// The fault-integrity clauses of [`judge`], applied to one
+/// [`FaultObservation`].
+fn judge_faults(obs: &Observations, f: &FaultObservation, out: &mut Vec<Divergence>) {
+    let mut push = |var: Option<VarId>, detail: String| {
+        out.push(Divergence {
+            kind: DivergenceKind::FaultIntegrity,
+            engine: Some(EngineKind::DynSum),
+            var,
+            detail,
+        });
+    };
+
+    for (i, (&tag, &print)) in f
+        .faulted_tags
+        .iter()
+        .zip(&f.faulted_fingerprints)
+        .enumerate()
+    {
+        let var = Some(obs.queries[i].var);
+        if f.plan.panic_queries.contains(&i) {
+            // An injected panic must be reported as exactly that — any
+            // other outcome means the batch swallowed or misfiled it.
+            if tag != Outcome::Panicked.tag() {
+                push(
+                    var,
+                    format!("injected panic at query {i} reported outcome tag {tag}"),
+                );
+            }
+        } else if f.plan.cancel_after.contains_key(&i) {
+            // A fused query either trips its injected interruption or
+            // finishes naturally first — in which case the answer must
+            // be byte-identical to the clean reference.
+            if tag != Outcome::Cancelled.tag() && print != f.reference[i] {
+                push(
+                    var,
+                    format!("cancel-fused query {i} neither cancelled nor clean (tag {tag})"),
+                );
+            }
+        } else if f.plan.deadline_after.contains_key(&i) {
+            if tag != Outcome::DeadlineExceeded.tag() && print != f.reference[i] {
+                push(
+                    var,
+                    format!("deadline-fused query {i} neither tripped nor clean (tag {tag})"),
+                );
+            }
+        } else if print != f.reference[i] {
+            // Faults were injected into *other* queries only; this one
+            // must be untouched.
+            push(
+                var,
+                format!("un-faulted query {i} differs from the clean cold reference"),
+            );
+        }
+    }
+
+    if !f.snapshot_error_surfaced {
+        push(
+            None,
+            "injected snapshot IO fault did not surface as an error".to_owned(),
+        );
+    }
+
+    // The integrity invariant proper: after any injected fault, the
+    // session must be indistinguishable from one that never saw it.
+    for b in &f.after {
+        if b.fingerprints != f.reference {
+            let first_bad = b
+                .fingerprints
+                .iter()
+                .zip(&f.reference)
+                .position(|(a, r)| a != r);
+            push(
+                first_bad.map(|i| obs.queries[i].var),
+                format!(
+                    "post-fault run_batch({} threads) differs from a clean cold session at query index {:?}",
+                    b.threads, first_bad
+                ),
+            );
+        }
+    }
 }
 
 /// One divergence found by a fuzz run, with everything needed to
@@ -605,13 +893,55 @@ pub fn run_fuzz(
     cases: usize,
     base_seed: u64,
     observe_opts: &ObserveOptions,
+    progress: impl FnMut(usize, usize) -> bool,
+) -> Result<FuzzReport, GeneratorError> {
+    run_fuzz_inner(cases, base_seed, observe_opts, None, progress)
+}
+
+/// [`run_fuzz`], but every case runs the single given regime instead of
+/// rotating through [`fuzz_profiles`] (benchmark profiles and per-case
+/// seeds still rotate as in [`case_plan`]). This is how `make
+/// fuzz-faults` pins the CI gate to the `fault_injection` regime.
+///
+/// # Errors
+///
+/// Propagates a [`GeneratorError`] only if the regime itself is invalid
+/// (a harness bug — regime options are fixed, not fuzzed).
+pub fn run_fuzz_in_regime(
+    cases: usize,
+    base_seed: u64,
+    observe_opts: &ObserveOptions,
+    regime: &FuzzProfile,
+    progress: impl FnMut(usize, usize) -> bool,
+) -> Result<FuzzReport, GeneratorError> {
+    run_fuzz_inner(cases, base_seed, observe_opts, Some(regime), progress)
+}
+
+fn run_fuzz_inner(
+    cases: usize,
+    base_seed: u64,
+    observe_opts: &ObserveOptions,
+    pinned: Option<&FuzzProfile>,
     mut progress: impl FnMut(usize, usize) -> bool,
 ) -> Result<FuzzReport, GeneratorError> {
     let mut report = FuzzReport::default();
     for i in 0..cases {
-        let (fp, bench, opts) = case_plan(base_seed, i);
+        let (fp, bench, opts) = match pinned {
+            Some(p) => {
+                let opts = GeneratorOptions {
+                    seed: case_seed(base_seed, i),
+                    ..p.opts
+                };
+                (p.clone(), &PROFILES[i % PROFILES.len()], opts)
+            }
+            None => case_plan(base_seed, i),
+        };
         let w = try_generate(bench, &opts)?;
-        let obs = observe(&w, &fp.config, observe_opts);
+        let obs = observe(
+            &w,
+            &fp.config,
+            &observe_opts_for(&fp, opts.seed, observe_opts),
+        );
         report.cases += 1;
         report.queries += obs.queries.len();
         report.profiles_covered.insert(w.name.clone());
@@ -753,11 +1083,12 @@ mod tests {
     #[test]
     fn fuzz_profiles_cover_the_advertised_regimes() {
         let ps = fuzz_profiles();
-        assert!(ps.len() >= 4);
+        assert!(ps.len() >= 6);
         assert!(ps.iter().any(|p| p.opts.recursion_bias > 0.0));
         assert!(ps.iter().any(|p| p.opts.field_chain > 0));
         assert!(ps.iter().any(|p| p.config.max_cached_summaries == Some(0)));
         assert!(ps.iter().any(|p| !p.config.context_sensitive));
+        assert!(ps.iter().any(|p| p.inject_faults));
         for p in &ps {
             assert!(
                 p.config.deterministic_reuse,
@@ -765,5 +1096,117 @@ mod tests {
                 p.name
             );
         }
+    }
+
+    /// A clean fault-injection fixture: same workload as [`clean_obs`],
+    /// with check-5 material attached. Each mutation test below seeds
+    /// one fault-integrity corruption and asserts the judge catches it.
+    fn fault_obs() -> Observations {
+        let (w, config) = small_case();
+        let opts = ObserveOptions {
+            fault_seed: Some(0xFA17),
+            ..ObserveOptions::default()
+        };
+        let obs = observe(&w, &config, &opts);
+        assert!(judge(&obs).is_empty(), "fault fixture must start clean");
+        obs
+    }
+
+    #[test]
+    fn fault_regime_is_clean_and_exercises_every_fault_kind() {
+        let obs = fault_obs();
+        let f = obs.fault.as_ref().expect("fault seed set");
+        assert!(
+            !f.plan.panic_queries.is_empty(),
+            "plan must panic at least one query"
+        );
+        assert!(!f.plan.cancel_after.is_empty(), "plan must fuse a cancel");
+        assert!(
+            !f.plan.deadline_after.is_empty(),
+            "plan must fuse a deadline"
+        );
+        assert!(f.snapshot_error_surfaced);
+        assert_eq!(f.after.len(), 3);
+        // At least one injected panic actually surfaced as Panicked.
+        assert!(f
+            .plan
+            .panic_queries
+            .iter()
+            .all(|&i| f.faulted_tags[i] == Outcome::Panicked.tag()));
+    }
+
+    #[test]
+    fn judge_flags_a_corrupted_post_fault_batch() {
+        let mut obs = fault_obs();
+        // The session keeping any trace of a fault is the invariant
+        // violation the whole regime exists to catch.
+        obs.fault.as_mut().unwrap().after[0].fingerprints[0] ^= 1;
+        let ds = judge(&obs);
+        assert!(
+            ds.iter()
+                .any(|d| d.kind == DivergenceKind::FaultIntegrity
+                    && d.var == Some(obs.queries[0].var)),
+            "seeded post-fault corruption not flagged: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn judge_flags_a_swallowed_injected_panic() {
+        let mut obs = fault_obs();
+        let f = obs.fault.as_mut().unwrap();
+        let &i = f
+            .plan
+            .panic_queries
+            .iter()
+            .next()
+            .expect("plan has a panic");
+        // Pretend the batch absorbed the panic and answered normally.
+        f.faulted_tags[i] = Outcome::Resolved.tag();
+        f.faulted_fingerprints[i] = f.reference[i];
+        let ds = judge(&obs);
+        assert!(
+            ds.iter().any(|d| d.kind == DivergenceKind::FaultIntegrity),
+            "swallowed panic not flagged: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn judge_flags_fault_leakage_into_a_clean_query() {
+        let mut obs = fault_obs();
+        let f = obs.fault.as_mut().unwrap();
+        let i = (0..f.faulted_fingerprints.len())
+            .find(|i| {
+                !f.plan.panic_queries.contains(i)
+                    && !f.plan.cancel_after.contains_key(i)
+                    && !f.plan.deadline_after.contains_key(i)
+            })
+            .expect("fixture needs an un-faulted query");
+        f.faulted_fingerprints[i] ^= 1;
+        let var = obs.queries[i].var;
+        let ds = judge(&obs);
+        assert!(
+            ds.iter()
+                .any(|d| d.kind == DivergenceKind::FaultIntegrity && d.var == Some(var)),
+            "seeded leakage into a clean query not flagged: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn judge_flags_a_lost_snapshot_io_error() {
+        let mut obs = fault_obs();
+        obs.fault.as_mut().unwrap().snapshot_error_surfaced = false;
+        let ds = judge(&obs);
+        assert!(
+            ds.iter()
+                .any(|d| d.kind == DivergenceKind::FaultIntegrity && d.detail.contains("snapshot")),
+            "lost snapshot error not flagged: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        assert_eq!(fault_plan_for(7, 20), fault_plan_for(7, 20));
+        assert_ne!(fault_plan_for(7, 20), fault_plan_for(8, 20));
+        assert!(fault_plan_for(7, 0).panic_queries.is_empty());
     }
 }

@@ -1,16 +1,22 @@
 //! `fuzz_engines` — differential fuzzing of the four demand engines.
 //!
 //! ```text
-//! fuzz_engines [--cases N] [--seed S] [--max-seconds T]
+//! fuzz_engines [--cases N] [--seed S] [--regime NAME] [--max-seconds T]
 //!              [--artifact-dir DIR] [--no-reduce] [--quiet]
 //! ```
 //!
 //! Generates `N` seeded random workloads across the adversarial fuzz
 //! regimes (`dynsum_workloads::fuzz::fuzz_profiles`), checks every
-//! query four ways (Andersen-oracle soundness, cross-engine precision
+//! query five ways (Andersen-oracle soundness, cross-engine precision
 //! ordering, budget-exhaustion consistency, 1/2/4-thread `run_batch`
-//! byte-identity), auto-reduces any divergent workload to a minimal
-//! reproducer, and writes reproducers under `--artifact-dir`.
+//! byte-identity, and — in the `fault_injection` regime —
+//! fault-integrity of the session batch path under injected panics,
+//! cancellations, deadlines, spawn failures and snapshot IO errors),
+//! auto-reduces any divergent workload to a minimal reproducer, and
+//! writes reproducers under `--artifact-dir`.
+//!
+//! `--regime NAME` pins every case to one regime instead of rotating;
+//! `make fuzz-faults` uses it to gate the fault regime in CI.
 //!
 //! Exit status: 0 on a clean run, 1 if any divergence was found, 2 on
 //! usage errors. `make fuzz` runs this with a fixed seed as a build
@@ -19,20 +25,22 @@
 use std::time::{Duration, Instant};
 
 use dynsum::workloads::fuzz::{
-    judge, observe, run_fuzz, Divergence, FoundDivergence, ObserveOptions,
+    fuzz_profiles, judge, observe, observe_opts_for, run_fuzz, run_fuzz_in_regime, Divergence,
+    FoundDivergence, ObserveOptions,
 };
 use dynsum::workloads::reduce::{reduce, ReduceOptions};
 use dynsum::workloads::wire::write_workload;
 use dynsum::workloads::{try_generate, Workload};
 
 const USAGE: &str = "\
-usage: fuzz_engines [--cases N] [--seed S] [--max-seconds T]
+usage: fuzz_engines [--cases N] [--seed S] [--regime NAME] [--max-seconds T]
                     [--artifact-dir DIR] [--no-reduce] [--quiet]
 defaults: --cases 500 --seed 3405691582 --artifact-dir target/fuzz";
 
 struct Cli {
     cases: usize,
     seed: u64,
+    regime: Option<String>,
     max_seconds: Option<u64>,
     artifact_dir: String,
     reduce: bool,
@@ -43,6 +51,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         cases: 500,
         seed: 0xCAFE_BABE,
+        regime: None,
         max_seconds: None,
         artifact_dir: "target/fuzz".to_owned(),
         reduce: true,
@@ -70,6 +79,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 };
                 cli.seed = parsed.map_err(|e| format!("--seed: {e}"))?
             }
+            "--regime" => cli.regime = Some(val("--regime")?),
             "--max-seconds" => {
                 cli.max_seconds = Some(
                     val("--max-seconds")?
@@ -96,11 +106,38 @@ fn main() {
         }
     };
 
+    // The fault regime injects panics by design; keep their unwind
+    // chatter out of the log while leaving real panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected query fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let pinned = cli.regime.as_deref().map(|name| {
+        fuzz_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| {
+                let known: Vec<&str> = fuzz_profiles().iter().map(|p| p.name).collect();
+                eprintln!(
+                    "error: unknown regime `{name}` (known: {})",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            })
+    });
+
     let started = Instant::now();
     let deadline = cli.max_seconds.map(Duration::from_secs);
     let observe_opts = ObserveOptions::default();
 
-    let report = run_fuzz(cli.cases, cli.seed, &observe_opts, |i, divergences| {
+    let progress = |i: usize, divergences: usize| {
         if !cli.quiet && (i + 1) % 50 == 0 {
             eprintln!(
                 "fuzz_engines: {}/{} cases, {} divergence(s), {:.1}s",
@@ -111,7 +148,11 @@ fn main() {
             );
         }
         deadline.map_or(true, |d| started.elapsed() < d)
-    })
+    };
+    let report = match &pinned {
+        Some(fp) => run_fuzz_in_regime(cli.cases, cli.seed, &observe_opts, fp, progress),
+        None => run_fuzz(cli.cases, cli.seed, &observe_opts, progress),
+    }
     .unwrap_or_else(|e| {
         eprintln!("error: fuzz regime rejected by generator: {e}");
         std::process::exit(2);
@@ -169,7 +210,8 @@ fn main() {
 fn write_artifact(found: &FoundDivergence, do_reduce: bool) -> Result<String, String> {
     let (fp, bench, opts) = plan_for(found)?;
     let w = try_generate(bench, &opts).map_err(|e| e.to_string())?;
-    let probe_opts = ObserveOptions::default();
+    // Fault regimes replay their exact injection plan while reducing.
+    let probe_opts = observe_opts_for(&fp, opts.seed, &ObserveOptions::default());
     let matches = |w: &Workload| {
         judge(&observe(w, &fp.config, &probe_opts))
             .iter()

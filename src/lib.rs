@@ -169,15 +169,17 @@ pub use dynsum_clients as clients;
 pub use dynsum_workloads as workloads;
 
 pub use dynsum_andersen::Andersen;
-pub use dynsum_cfl::{Budget, PointsToSet, QueryResult};
+pub use dynsum_cfl::{
+    Budget, CancelToken, Interrupt, Outcome, PointsToSet, QueryControl, QueryResult, Ticket,
+};
 pub use dynsum_clients::{
     run_batches, run_batches_parallel, run_client, split_batches, BatchReport, ClientKind,
     ClientReport,
 };
 pub use dynsum_core::{
-    pag_fingerprint, CacheStats, DemandPointsTo, DynSum, EngineConfig, EngineKind, NoRefine,
-    QueryHandle, RefinePts, Session, SessionQuery, SnapshotLoad, SnapshotReject, StaSum,
-    SummaryShard, SNAPSHOT_VERSION,
+    pag_fingerprint, BatchControl, CacheStats, DemandPointsTo, DynSum, EngineConfig, EngineKind,
+    FaultPlan, NoRefine, QueryHandle, RefinePts, Session, SessionHealth, SessionQuery,
+    SnapshotLoad, SnapshotReject, StaSum, SummaryShard, SNAPSHOT_VERSION,
 };
 pub use dynsum_frontend::{compile, compile_with, CallGraphMode, CompileError};
 pub use dynsum_pag::{Pag, PagBuilder};

@@ -1,0 +1,190 @@
+//! Fault isolation of the `Session` batch path: a panicking query is
+//! surfaced per-query while the rest of the batch completes, and the
+//! fault leaves no trace in the session — every follow-up batch is
+//! byte-identical to one on a clean cold session, at 1/2/4 threads
+//! (the deterministic-reuse integrity invariant), and in the
+//! single-thread case where chunk absorption order is pinned, the
+//! snapshot bytes themselves are identical to a session that never saw
+//! the poisoned query.
+
+use dynsum::{
+    BatchControl, ClientKind, EngineConfig, EngineKind, FaultPlan, Outcome, QueryResult, Session,
+    SessionQuery,
+};
+use dynsum_clients::queries_for;
+use dynsum_workloads::{generate, GeneratorOptions, Workload, PROFILES};
+use proptest::prelude::*;
+
+fn fingerprints(rs: &[QueryResult]) -> Vec<u64> {
+    rs.iter().map(QueryResult::fingerprint).collect()
+}
+
+fn null_deref_batch(w: &Workload) -> Vec<SessionQuery<'_>> {
+    queries_for(ClientKind::NullDeref, &w.info)
+        .iter()
+        .map(|q| SessionQuery::new(q.var))
+        .collect()
+}
+
+/// One poisoned query per batch: the panic is reported exactly at its
+/// index, every other query answers as on a clean cold session, and a
+/// follow-up batch on the poisoned session is byte-identical to the
+/// cold reference.
+fn check_panic_isolation(w: &Workload, poison: usize) {
+    let config = EngineConfig::default();
+    let batch = null_deref_batch(w);
+    if batch.is_empty() {
+        return;
+    }
+    let poison = poison % batch.len();
+
+    let mut cold = Session::with_config(&w.pag, EngineKind::DynSum, config);
+    let reference = fingerprints(&cold.run_batch(&batch, 1));
+
+    let mut plan = FaultPlan::default();
+    plan.panic_queries.insert(poison);
+    let control = BatchControl {
+        faults: Some(plan),
+        ..BatchControl::default()
+    };
+
+    for threads in [1usize, 2, 4] {
+        let mut session = Session::with_config(&w.pag, EngineKind::DynSum, config);
+        let results = session.run_batch_with(&batch, threads, &control);
+        assert_eq!(results.len(), batch.len());
+        for (i, r) in results.iter().enumerate() {
+            if i == poison {
+                assert_eq!(r.outcome, Outcome::Panicked, "threads={threads}");
+                assert!(!r.resolved);
+            } else {
+                assert_eq!(
+                    r.fingerprint(),
+                    reference[i],
+                    "{}: threads={threads}, un-poisoned query {i} disturbed by the panic",
+                    w.name
+                );
+            }
+        }
+        assert_eq!(session.health().query_panics, 1);
+
+        let after = fingerprints(&session.run_batch(&batch, threads));
+        assert_eq!(
+            after, reference,
+            "{}: threads={threads}, the poisoned batch left a trace in the session",
+            w.name
+        );
+    }
+}
+
+/// Cancel and deadline fuses must unwind as cleanly as panics: tripped
+/// queries report their outcome, untouched queries answer as on a cold
+/// session, and the session stays byte-identical afterwards.
+fn check_fuse_isolation(w: &Workload, fused: usize, fuse_at: u64) {
+    let config = EngineConfig::default();
+    let batch = null_deref_batch(w);
+    if batch.is_empty() {
+        return;
+    }
+    let fused = fused % batch.len();
+
+    let mut cold = Session::with_config(&w.pag, EngineKind::DynSum, config);
+    let reference = fingerprints(&cold.run_batch(&batch, 1));
+
+    let mut plan = FaultPlan::default();
+    plan.cancel_after.insert(fused, fuse_at);
+    let control = BatchControl {
+        faults: Some(plan),
+        ..BatchControl::default()
+    };
+
+    for threads in [1usize, 2, 4] {
+        let mut session = Session::with_config(&w.pag, EngineKind::DynSum, config);
+        let results = session.run_batch_with(&batch, threads, &control);
+        for (i, r) in results.iter().enumerate() {
+            if i == fused {
+                // Either the fuse tripped or the query finished first —
+                // in which case it must match the reference exactly.
+                assert!(
+                    r.outcome == Outcome::Cancelled || r.fingerprint() == reference[i],
+                    "{}: threads={threads}, fused query neither cancelled nor clean",
+                    w.name
+                );
+            } else {
+                assert_eq!(r.fingerprint(), reference[i], "threads={threads}");
+            }
+        }
+        let after = fingerprints(&session.run_batch(&batch, threads));
+        assert_eq!(
+            after, reference,
+            "{}: threads={threads}, the cancelled batch left a trace in the session",
+            w.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn a_panicking_query_is_isolated_on_generated_graphs(
+        seed in 0u64..400,
+        pidx in 0usize..PROFILES.len(),
+        poison in 0usize..64,
+    ) {
+        let w = generate(
+            &PROFILES[pidx],
+            &GeneratorOptions { scale: 0.005, seed, ..GeneratorOptions::default() },
+        );
+        check_panic_isolation(&w, poison);
+    }
+
+    #[test]
+    fn a_tripped_cancel_fuse_is_isolated_on_generated_graphs(
+        seed in 400u64..800,
+        pidx in 0usize..PROFILES.len(),
+        fused in 0usize..64,
+        fuse_at in 0u64..256,
+    ) {
+        let w = generate(
+            &PROFILES[pidx],
+            &GeneratorOptions { scale: 0.005, seed, ..GeneratorOptions::default() },
+        );
+        check_fuse_isolation(&w, fused, fuse_at);
+    }
+}
+
+/// The strongest form of "no trace": with the poisoned query first in a
+/// single-thread batch, the discarded worker scratch contains nothing,
+/// so the session's snapshot bytes must equal those of a session that
+/// never saw the poisoned query at all.
+#[test]
+fn a_leading_poisoned_query_leaves_snapshot_bytes_identical() {
+    let w = generate(
+        dynsum_workloads::BenchmarkProfile::find("bloat").unwrap(),
+        &GeneratorOptions {
+            scale: 0.01,
+            seed: 11,
+            ..GeneratorOptions::default()
+        },
+    );
+    let batch = null_deref_batch(&w);
+    assert!(batch.len() >= 2, "fixture needs a multi-query batch");
+
+    let mut plan = FaultPlan::default();
+    plan.panic_queries.insert(0);
+    let control = BatchControl {
+        faults: Some(plan),
+        ..BatchControl::default()
+    };
+    let mut poisoned = Session::new(&w.pag, EngineKind::DynSum);
+    let results = poisoned.run_batch_with(&batch, 1, &control);
+    assert_eq!(results[0].outcome, Outcome::Panicked);
+
+    let mut clean = Session::new(&w.pag, EngineKind::DynSum);
+    clean.run_batch(&batch[1..], 1);
+
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    poisoned.save_snapshot(&mut a).unwrap();
+    clean.save_snapshot(&mut b).unwrap();
+    assert_eq!(a, b, "poisoned session's cache differs from never-saw-it");
+}
