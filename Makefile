@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test doc fuzz fuzz-faults bench-check bench-report bench-parallel bench-cache fmt lint clean
+.PHONY: verify build test doc serve fuzz fuzz-faults fuzz-service bench-check bench-report bench-parallel bench-cache bench-service fmt lint clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -16,6 +16,14 @@ test:
 # Docs are a build gate: broken intra-doc links and missing docs fail.
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
+
+# The analysis daemon on stdin/stdout (line-delimited JSON frames; see
+# the README's "Running the daemon" for the grammar). SERVE_ARGS adds
+# workloads/transport flags, e.g.
+#   make serve SERVE_ARGS="--profile jack --socket /tmp/dynsum.sock"
+SERVE_ARGS ?=
+serve:
+	$(CARGO) run --release --bin dynsum_serve -- $(SERVE_ARGS)
 
 # Differential fuzzing of the four engines (fixed seed, so CI is
 # reproducible; override with FUZZ_SEED/FUZZ_CASES). Exits non-zero on
@@ -39,6 +47,17 @@ fuzz-faults:
 		--cases $(FUZZ_FAULT_CASES) --seed $(FUZZ_SEED) --regime fault_injection \
 		--max-seconds 600 --artifact-dir target/fuzz --quiet
 
+# The service regime alone: every case derives a random multi-client
+# script (interleaved queries, batches, cancels, invalidations) and
+# judges the daemon against a clean single-client session — every frame
+# answered, every answer byte-identical, replays deterministic. Fixed
+# seed; same artifact protocol as `make fuzz`.
+FUZZ_SERVICE_CASES ?= 200
+fuzz-service:
+	$(CARGO) run --release --bin fuzz_engines -- \
+		--cases $(FUZZ_SERVICE_CASES) --seed $(FUZZ_SEED) --regime service \
+		--max-seconds 600 --artifact-dir target/fuzz --quiet
+
 bench-check:
 	$(CARGO) bench --no-run
 
@@ -57,6 +76,14 @@ bench-parallel:
 # (the same results_identical_vs_sequential gate CI enforces).
 bench-cache:
 	$(CARGO) run --release -p dynsum-bench --bin perf_report -- --profile small --threads 1 --out BENCH_report_cache.json
+
+# The daemon under real concurrent clients: N OS threads over socketpair
+# connections through one serve_pair event loop, closed-loop single
+# queries -> BENCH_report_service.json (sustained q/s, p50/p99 round-trip
+# latency). Exits non-zero if any wire answer diverges from a clean
+# single-client session.
+bench-service:
+	$(CARGO) run --release -p dynsum-bench --bin bench_service -- --clients 4 --requests 100
 
 fmt:
 	$(CARGO) fmt --all

@@ -187,6 +187,20 @@ fn main() {
             }
         );
     }
+    for p in &report.service {
+        eprintln!(
+            "  service @ {} client(s): {:>8.1} q/s  p50 {:>6.2} ms  p99 {:>6.2} ms  results {}",
+            p.clients,
+            p.qps,
+            p.p50_ms,
+            p.p99_ms,
+            if p.results_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
     eprintln!("wrote {out_path}");
     // The identity checks are a gate, not a footnote: CI runs this
     // binary, so divergence from the sequential path — in the
@@ -202,6 +216,10 @@ fn main() {
     }
     if report.warm_start.iter().any(|p| !p.results_identical) {
         eprintln!("ERROR: a snapshot-warmed first batch diverged from the sequential path");
+        std::process::exit(1);
+    }
+    if report.service.iter().any(|p| !p.results_identical) {
+        eprintln!("ERROR: a service series point diverged from the clean single-client session");
         std::process::exit(1);
     }
 }

@@ -13,6 +13,7 @@
 //! | `figure5` | Figure 5 — cumulative DYNSUM summaries as % of STASUM |
 //! | `ablation`| extra: cache on/off, context sensitivity, budget sweeps |
 //! | `perf_report` | extra: engine perf snapshot → `BENCH_report.json` |
+//! | `bench_service` | extra: concurrent daemon clients over sockets → `BENCH_report_service.json` |
 //!
 //! Every binary accepts `--scale <f>` (default 0.02), `--seed <n>`,
 //! `--budget <n>` (default 75000) and `--bench <name,...>`; the same
@@ -34,7 +35,7 @@ pub use experiments::{
 pub use options::{EngineKind, ExperimentOptions};
 pub use perf::{
     perf_report, perf_report_with_threads, render_perf_json, BatchPerf, CachePressurePerf,
-    EnginePerf, PerfProfile, PerfReport, ThreadScalePerf, WarmStartPerf, DEFAULT_THREAD_COUNTS,
-    PERF_BATCHES, PERF_ENGINES,
+    EnginePerf, PerfProfile, PerfReport, ServicePerf, ThreadScalePerf, WarmStartPerf,
+    DEFAULT_CLIENT_COUNTS, DEFAULT_THREAD_COUNTS, PERF_BATCHES, PERF_ENGINES,
 };
 pub use table::Table;

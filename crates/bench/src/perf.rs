@@ -207,6 +207,30 @@ pub struct ThreadScalePerf {
     pub results_identical: bool,
 }
 
+/// One point of the service-daemon series: N logical clients in a
+/// closed loop (one query in flight per client) multiplexed onto the
+/// in-process daemon core, measuring frame-to-answer latency through
+/// the protocol layer and the round-robin scheduler, with every wire
+/// answer checked against a clean single-client session.
+#[derive(Debug, Clone)]
+pub struct ServicePerf {
+    /// Concurrent logical clients.
+    pub clients: usize,
+    /// Queries answered across all clients.
+    pub queries: usize,
+    /// Wall-clock milliseconds over the whole run.
+    pub wall_ms: f64,
+    /// Queries answered per wall-clock second.
+    pub qps: f64,
+    /// Median frame-to-answer latency.
+    pub p50_ms: f64,
+    /// 99th-percentile frame-to-answer latency.
+    pub p99_ms: f64,
+    /// `true` when every wire answer matched the clean-session
+    /// fingerprint byte for byte and no frame came back an error.
+    pub results_identical: bool,
+}
+
 /// The full perf report.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -247,6 +271,9 @@ pub struct PerfReport {
     /// streams, in percent (positive = session slower). The merge,
     /// snapshot, and handle-reuse machinery should keep this small.
     pub run_batch_overhead_vs_legacy_pct: f64,
+    /// The service-daemon series: one point per client count, each
+    /// verified answer-identical to a clean single-client session.
+    pub service: Vec<ServicePerf>,
 }
 
 /// Number of batches in the throughput measurement (§5.3 uses 10).
@@ -262,6 +289,9 @@ pub const PERF_ENGINES: [EngineKind; 4] = [
 
 /// The thread counts measured by default in the scaling series.
 pub const DEFAULT_THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The client counts measured by default in the service series.
+pub const DEFAULT_CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Per-query result fingerprint: resolution flag plus the sorted
 /// `(object, allocation context)` pairs. Context ids are comparable
@@ -516,6 +546,13 @@ pub fn perf_report_with_threads(
         .map(|(wi, w)| warm_start_point(w, config, &baseline[wi]))
         .collect();
 
+    // The service series: the daemon core under 1/2/4 closed-loop
+    // clients, answers verified against clean sessions.
+    let service = DEFAULT_CLIENT_COUNTS
+        .iter()
+        .map(|&n| service_point(&workloads, config, n))
+        .collect();
+
     PerfReport {
         profile: profile_name.to_owned(),
         scale: opts.scale,
@@ -530,6 +567,203 @@ pub fn perf_report_with_threads(
         cache_pressure,
         warm_start,
         run_batch_overhead_vs_legacy_pct,
+        service,
+    }
+}
+
+/// Sorted-sample percentile (nearest-rank; 0.5 = median).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Measures one service-series point: `clients_n` logical clients over
+/// the in-process daemon core, each workload served by name, clients
+/// assigned round-robin. Closed loop — every client keeps exactly one
+/// single-query frame in flight, so latency is the full frame-to-answer
+/// path through the protocol layer and the fair scheduler while
+/// `clients_n - 1` competitors interleave.
+fn service_point(
+    workloads: &[dynsum_workloads::Workload],
+    config: dynsum_core::EngineConfig,
+    clients_n: usize,
+) -> ServicePerf {
+    use dynsum_service::{json, json::Json, Daemon, ServedWorkload, ServiceConfig};
+    use std::collections::HashMap;
+
+    /// Closed-loop queries each client issues (streams cycle if short).
+    const QUERIES_PER_CLIENT: usize = 200;
+
+    // The daemon forces deterministic reuse; the reference sessions must
+    // run under identical semantics for byte-comparison to be fair.
+    let config = dynsum_core::EngineConfig {
+        deterministic_reuse: true,
+        ..config
+    };
+
+    // Per-workload reference: variable -> clean-session fingerprint.
+    let reference: Vec<HashMap<dynsum_pag::VarId, u64>> = workloads
+        .iter()
+        .map(|w| {
+            let mut vars: Vec<dynsum_pag::VarId> = queries_for(ClientKind::NullDeref, &w.info)
+                .iter()
+                .map(|q| q.var)
+                .collect();
+            vars.sort_unstable();
+            vars.dedup();
+            let mut session = Session::with_config(&w.pag, dynsum_core::EngineKind::DynSum, config);
+            let results = session.run_batch_vars(&vars, 1);
+            vars.iter()
+                .zip(&results)
+                .map(|(&v, r)| (v, r.fingerprint()))
+                .collect()
+        })
+        .collect();
+
+    let served: Vec<ServedWorkload<'_>> = workloads
+        .iter()
+        .map(|w| ServedWorkload {
+            name: &w.name,
+            pag: &w.pag,
+        })
+        .collect();
+    let mut daemon = Daemon::new(
+        served,
+        ServiceConfig {
+            engine_config: config,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let mut results_identical = true;
+    let ids: Vec<u64> = (0..clients_n).map(|_| daemon.connect()).collect();
+    let slot_of: HashMap<u64, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let streams: Vec<Vec<dynsum_pag::VarId>> = (0..clients_n)
+        .map(|i| {
+            let w = &workloads[i % workloads.len()];
+            let stream: Vec<dynsum_pag::VarId> = queries_for(ClientKind::NullDeref, &w.info)
+                .iter()
+                .map(|q| q.var)
+                .collect();
+            stream
+                .iter()
+                .cycle()
+                .take(QUERIES_PER_CLIENT.min(stream.len().max(1) * 4))
+                .copied()
+                .collect()
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let name = &workloads[i % workloads.len()].name;
+        let hello = format!(
+            r#"{{"op":"hello","id":1,"name":"bench{i}","engine":"dynsum","workload":"{name}"}}"#
+        );
+        for frame in daemon.ingest(id, &hello) {
+            let v = json::parse(&frame).expect("daemon emits valid JSON");
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                results_identical = false;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut pending: HashMap<u64, (Instant, dynsum_pag::VarId)> = HashMap::new();
+    let mut next_idx = vec![0usize; clients_n];
+    let mut next_id = vec![2u64; clients_n];
+    let send_next = |daemon: &mut Daemon<'_>,
+                     pending: &mut HashMap<u64, (Instant, dynsum_pag::VarId)>,
+                     next_idx: &mut [usize],
+                     next_id: &mut [u64],
+                     identical: &mut bool,
+                     i: usize| {
+        let var = streams[i][next_idx[i]];
+        next_idx[i] += 1;
+        let frame = format!(
+            r#"{{"op":"query","id":{},"var":{}}}"#,
+            next_id[i],
+            var.as_raw()
+        );
+        next_id[i] += 1;
+        let sent = Instant::now();
+        if daemon.ingest(ids[i], &frame).is_empty() {
+            pending.insert(ids[i], (sent, var));
+        } else {
+            // A valid query frame never answers synchronously.
+            *identical = false;
+        }
+    };
+    for (i, stream) in streams.iter().enumerate() {
+        if !stream.is_empty() {
+            send_next(
+                &mut daemon,
+                &mut pending,
+                &mut next_idx,
+                &mut next_id,
+                &mut results_identical,
+                i,
+            );
+        }
+    }
+    while !pending.is_empty() {
+        let completed = daemon.step();
+        if completed.is_empty() {
+            // The scheduler lost an in-flight query — record loudly.
+            results_identical = false;
+            break;
+        }
+        for (cid, frame) in completed {
+            let i = slot_of[&cid];
+            let (sent, var) = match pending.remove(&cid) {
+                Some(p) => p,
+                None => {
+                    results_identical = false;
+                    continue;
+                }
+            };
+            latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+            let v = json::parse(&frame).expect("daemon emits valid JSON");
+            let fp = v
+                .get("result")
+                .and_then(|r| r.get("fingerprint"))
+                .and_then(Json::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok());
+            if v.get("ok").and_then(Json::as_bool) != Some(true)
+                || fp != reference[i % workloads.len()].get(&var).copied()
+            {
+                results_identical = false;
+            }
+            if next_idx[i] < streams[i].len() {
+                send_next(
+                    &mut daemon,
+                    &mut pending,
+                    &mut next_idx,
+                    &mut next_id,
+                    &mut results_identical,
+                    i,
+                );
+            }
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let queries = latencies.len();
+    ServicePerf {
+        clients: clients_n,
+        queries,
+        wall_ms: secs * 1e3,
+        qps: if secs > 0.0 {
+            queries as f64 / secs
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies, 0.5),
+        p99_ms: percentile(&latencies, 0.99),
+        results_identical,
     }
 }
 
@@ -872,6 +1106,26 @@ pub fn render_perf_json(r: &PerfReport) -> String {
         });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"service\": [\n");
+    for (i, p) in r.service.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"clients\": {},\n", p.clients));
+        out.push_str(&format!("      \"queries\": {},\n", p.queries));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(p.wall_ms)));
+        out.push_str(&format!("      \"qps\": {},\n", json_f64(p.qps)));
+        out.push_str(&format!("      \"p50_ms\": {},\n", json_f64(p.p50_ms)));
+        out.push_str(&format!("      \"p99_ms\": {},\n", json_f64(p.p99_ms)));
+        out.push_str(&format!(
+            "      \"results_identical_vs_sequential\": {}\n",
+            p.results_identical
+        ));
+        out.push_str(if i + 1 == r.service.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"warm_start\": [\n");
     for (i, p) in r.warm_start.iter().enumerate() {
         out.push_str("    {\n");
@@ -1004,7 +1258,24 @@ mod tests {
             );
         }
 
+        // The service series: one point per default client count, every
+        // wire answer byte-identical to a clean single-client session,
+        // latency percentiles ordered.
+        assert_eq!(r.service.len(), DEFAULT_CLIENT_COUNTS.len());
+        for p in &r.service {
+            assert!(p.queries > 0, "{} clients: no queries answered", p.clients);
+            assert!(p.qps > 0.0);
+            assert!(p.p50_ms <= p.p99_ms, "percentiles out of order");
+            assert!(
+                p.results_identical,
+                "{} clients: daemon answers diverged from the clean session",
+                p.clients
+            );
+        }
+
         let json = render_perf_json(&r);
+        assert!(json.contains("\"service\""));
+        assert!(json.contains("\"p99_ms\""));
         assert!(json.contains("\"warm_start\""));
         assert!(json.contains("\"warm_speedup\""));
         assert!(json.contains("\"session_scaling\""));

@@ -67,6 +67,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -255,10 +256,10 @@ impl BatchControl {
             .is_some_and(|plan| plan.panic_queries.contains(&query_index))
     }
 
-    fn injects_spawn_failure(&self, chunk_index: usize) -> bool {
+    fn injects_spawn_failure(&self, worker_index: usize) -> bool {
         self.faults
             .as_ref()
-            .is_some_and(|plan| plan.fail_spawns.contains(&chunk_index))
+            .is_some_and(|plan| plan.fail_spawns.contains(&worker_index))
     }
 }
 
@@ -267,8 +268,8 @@ impl BatchControl {
 /// Every action is keyed by a count or an index — no wall clock, no
 /// cross-thread races — so a plan replays identically at any thread
 /// count and on any machine. Batch query indices are **global** (input
-/// order); chunk indices follow the deterministic contiguous partition
-/// of [`Session::run_batch`].
+/// order); worker indices are the deterministic spawn order
+/// `0..threads` of [`Session::run_batch`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Global query indices whose evaluation panics (injected inside the
@@ -281,10 +282,11 @@ pub struct FaultPlan {
     /// Global query index → budget-charge count after which that query
     /// trips [`Outcome::DeadlineExceeded`].
     pub deadline_after: BTreeMap<usize, u64>,
-    /// Chunk indices whose worker spawn is forced to fail, exercising
-    /// the inline-degradation path (counted by
-    /// [`Session::spawn_failures`]). Ignored by 1-thread batches, which
-    /// spawn nothing.
+    /// Worker indices (spawn order, `0..threads`) whose spawn is forced
+    /// to fail, exercising the degradation path: the batch runs on the
+    /// surviving workers — ultimately on the calling thread when none
+    /// survive (counted by [`Session::spawn_failures`]). Ignored by
+    /// 1-thread batches, which spawn nothing.
     pub fail_spawns: BTreeSet<usize>,
     /// `write` call index after which snapshot saves fail. `run_batch`
     /// itself never saves snapshots; IO-fault harnesses (the snapshot
@@ -727,27 +729,34 @@ impl<'p> Session<'p> {
     /// Runs a query batch on up to `threads` worker threads and returns
     /// one result per query, in input order.
     ///
-    /// Workers read the session cache frozen at batch start and collect
-    /// fresh summaries in private shards; the shards are merged back
-    /// here after all workers join (so later batches start warmer), the
-    /// size cap is enforced on the merged cache, and the worker scratch
-    /// (buffers, pools) is kept warm for the next call. Results —
-    /// resolution flags and points-to sets, including the partial sets
-    /// of over-budget queries — are **byte-identical to sequential
-    /// execution** for every thread count: summary reuse charges its
-    /// recorded cold cost against the per-query budget, so no query's
-    /// outcome depends on what any other query cached.
+    /// Work is distributed by **dynamic claiming**: workers pull the
+    /// next unclaimed query index off a shared atomic cursor, so one
+    /// expensive query occupies one worker while the others drain the
+    /// rest of the batch — no worker idles behind a static split (the
+    /// skew case of mixed daemon workloads). Workers read the session
+    /// cache frozen at batch start and collect fresh summaries in
+    /// private shards; the shards are merged back here after all
+    /// workers join (so later batches start warmer), the size cap is
+    /// enforced on the merged cache, and the worker scratch (buffers,
+    /// pools) is kept warm for the next call. Results — resolution
+    /// flags and points-to sets, including the partial sets of
+    /// over-budget queries — are **byte-identical to sequential
+    /// execution** for every thread count and every claim
+    /// interleaving: summary reuse charges its recorded cold cost
+    /// against the per-query budget, so no query's outcome depends on
+    /// what any other query cached or on which worker ran it.
     ///
-    /// A 1-thread batch runs its single chunk directly on the calling
-    /// thread — same checkout/merge machinery, no thread spawn — so
-    /// per-batch overhead vs the legacy engine is just the merge. If a
+    /// A 1-thread batch runs directly on the calling thread — same
+    /// checkout/merge machinery, no thread spawn — so per-batch
+    /// overhead vs the legacy engine is just the merge. If a
     /// multi-thread batch's worker cannot be spawned (stack/rlimit
-    /// pressure), its chunk likewise runs on the calling thread — the
-    /// batch degrades to fewer workers, ultimately one, rather than
+    /// pressure), the batch degrades to the workers that did spawn —
+    /// the unclaimed queries are simply drained by fewer threads, by
+    /// the calling thread alone if none spawned — rather than
     /// panicking; [`spawn_failures`](Self::spawn_failures) counts the
     /// degradations.
     ///
-    /// Chunks on the calling thread run PPTA recursion on the caller's
+    /// Queries on the calling thread run PPTA recursion on the caller's
     /// stack — exactly like the legacy engines' `points_to` always has
     /// — which is typically smaller than
     /// [`EngineConfig::worker_stack_bytes`]. Callers with unusually
@@ -797,71 +806,77 @@ impl<'p> Session<'p> {
         let mut slots: Vec<HandleScratch> = (0..threads).map(|_| self.checkout()).collect();
         let stack_bytes = self.config.worker_stack_bytes;
         let sess: &Session<'p> = self;
-        let (per_chunk, failures) = std::thread::scope(|scope| {
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let (per_worker, failures) = std::thread::scope(|scope| {
             let mut spawned = Vec::with_capacity(threads);
-            let mut inline: Vec<(usize, usize, &[SessionQuery<'_>])> = Vec::new();
             let mut failures = 0u64;
-            let mut base = 0usize;
-            for (ci, chunk) in balanced_chunks(queries, threads).enumerate() {
-                let chunk_base = base;
-                base += chunk.len();
+            for wi in 0..threads {
                 // The slot moves into the spawn closure, so a failed
-                // spawn forfeits it; the in-line fallback rebuilds
-                // fresh scratch (rare path, correctness unaffected).
-                let slot = slots.pop().expect("one slot per chunk");
-                if control.injects_spawn_failure(ci) {
+                // spawn forfeits it; the surviving workers (or the
+                // degraded in-line pass below) absorb its share of the
+                // cursor (rare path, correctness unaffected).
+                let slot = slots.pop().expect("one slot per worker");
+                if control.injects_spawn_failure(wi) {
                     // An injected spawn failure forfeits the slot too,
                     // mirroring the real failure path exactly.
                     drop(slot);
                     failures += 1;
-                    inline.push((ci, chunk_base, chunk));
                     continue;
                 }
                 let spawn = std::thread::Builder::new()
                     .stack_size(stack_bytes)
                     .spawn_scoped(scope, move || {
-                        run_chunk(sess, slot, chunk, chunk_base, epoch, control)
+                        run_stealing(sess, slot, queries, cursor, epoch, control)
                     });
                 match spawn {
-                    Ok(worker) => spawned.push((ci, worker)),
-                    Err(_) => {
-                        failures += 1;
-                        inline.push((ci, chunk_base, chunk));
-                    }
+                    Ok(worker) => spawned.push(worker),
+                    Err(_) => failures += 1,
                 }
             }
-            let mut per_chunk: Vec<Option<(Vec<QueryResult>, HandleScratch)>> =
-                (0..threads).map(|_| None).collect();
-            // Degraded chunks run here, overlapping the live workers.
-            for (ci, chunk_base, chunk) in inline {
-                per_chunk[ci] = Some(run_chunk(
+            let mut per_worker: Vec<(Vec<(usize, QueryResult)>, HandleScratch)> =
+                Vec::with_capacity(threads);
+            if failures > 0 {
+                // Degraded mode: the calling thread joins the claim
+                // loop, overlapping any workers that did spawn, so the
+                // batch always drains even when no worker could start.
+                per_worker.push(run_stealing(
                     sess,
                     sess.new_scratch(),
-                    chunk,
-                    chunk_base,
+                    queries,
+                    cursor,
                     epoch,
                     control,
                 ));
             }
-            for (ci, worker) in spawned {
+            for worker in spawned {
                 match worker.join() {
-                    Ok(pair) => per_chunk[ci] = Some(pair),
-                    // Per-query panics are caught inside `run_chunk`; a
-                    // panic that still reaches the join is an engine bug
-                    // outside any query — re-raise the original payload
-                    // rather than masking it.
+                    Ok(pair) => per_worker.push(pair),
+                    // Per-query panics are caught inside the claim
+                    // loop; a panic that still reaches the join is an
+                    // engine bug outside any query — re-raise the
+                    // original payload rather than masking it.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
-            (per_chunk, failures)
+            (per_worker, failures)
         });
         self.spawn_failures += failures;
-        let mut results = Vec::with_capacity(queries.len());
-        for entry in per_chunk {
-            let (out, scratch) = entry.expect("every chunk ran");
-            results.extend(out);
+        // Scatter the claimed (index, result) pairs back into input
+        // order; the claim loop visits every index exactly once, so
+        // every cell fills.
+        let mut scattered: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        for (out, scratch) in per_worker {
+            for (i, r) in out {
+                debug_assert!(scattered[i].is_none(), "each query claimed once");
+                scattered[i] = Some(r);
+            }
             self.retire_slot(scratch, epoch);
         }
+        let results: Vec<QueryResult> = scattered
+            .into_iter()
+            .map(|r| r.expect("every query ran"))
+            .collect();
         self.finish_merge();
         self.count_outcomes(&results);
         results
@@ -892,24 +907,63 @@ impl<'p> Session<'p> {
     }
 }
 
-/// Splits `items` into at most `n` contiguous chunks whose lengths
-/// differ by at most one — the deterministic work partition behind
-/// [`Session::run_batch`].
-fn balanced_chunks<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
-    let len = items.len();
-    let base = len / n;
-    let extra = len % n;
-    (0..n).scan(0usize, move |start, i| {
-        let size = base + usize::from(i < extra);
-        let s = *start;
-        *start += size;
-        Some(&items[s..s + size])
-    })
+/// One worker's dynamic claim loop: pull the next unclaimed global
+/// query index off the shared cursor until the batch is drained,
+/// returning the claimed `(index, result)` pairs together with the
+/// scratch so [`Session::run_batch`] can scatter results back into
+/// input order, drain the shard, and keep the scratch warm.
+///
+/// Which worker claims which index is racy and irrelevant: the
+/// [`FaultPlan`] and per-query fuses key off the *global* index
+/// claimed, and deterministic reuse accounting makes every result a
+/// pure function of `(pag, config, query)` — so any interleaving
+/// produces byte-identical results. The per-query `catch_unwind`
+/// isolation is identical to [`run_chunk`]'s.
+fn run_stealing<'s, 'p>(
+    sess: &'s Session<'p>,
+    scratch: HandleScratch,
+    queries: &[SessionQuery<'_>],
+    cursor: &AtomicUsize,
+    epoch: u64,
+    control: &BatchControl,
+) -> (Vec<(usize, QueryResult)>, HandleScratch) {
+    let mut h = QueryHandle {
+        session: sess,
+        scratch,
+        epoch,
+    };
+    let mut out = Vec::new();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let q = match queries.get(i) {
+            Some(q) => q,
+            None => break,
+        };
+        let qc = control.query_control(i);
+        let inject_panic = control.injects_panic(i);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected query fault");
+            }
+            h.query_with(q.var, q.satisfied, &qc)
+        }));
+        out.push((
+            i,
+            run.unwrap_or_else(|_| {
+                // Same discard discipline as `run_chunk`: nothing a
+                // half-unwound query touched can reach the shared cache.
+                h.scratch = sess.new_scratch();
+                QueryResult::panicked()
+            }),
+        ));
+    }
+    (out, h.scratch)
 }
 
-/// Runs one chunk of a batch on (owned) worker scratch, returning the
-/// results together with the scratch so [`Session::run_batch`] can
-/// drain its shard and keep it warm.
+/// Runs one contiguous chunk of a batch on (owned) worker scratch,
+/// returning the results together with the scratch so the sequential
+/// fast path of [`Session::run_batch`] can drain its shard and keep it
+/// warm.
 ///
 /// `base` is the chunk's first global query index — the key the
 /// [`FaultPlan`] and per-query fuses are resolved against. Every query
@@ -1555,6 +1609,61 @@ mod tests {
         for (a, b) in out.iter().zip(&want) {
             assert_eq!(a.outcome, b.outcome);
             assert_eq!(a.pts, b.pts);
+        }
+    }
+
+    #[test]
+    fn partial_spawn_failure_still_drains_the_batch() {
+        // One of two workers fails to spawn: the survivor and the
+        // degraded in-line pass share the cursor and drain everything.
+        let (pag, vars, ..) = two_callers();
+        let want = {
+            let mut cold = Session::new(&pag, EngineKind::DynSum);
+            cold.run_batch_vars(&vars, 1)
+        };
+        let mut session = Session::new(&pag, EngineKind::DynSum);
+        let mut plan = FaultPlan::default();
+        plan.fail_spawns.insert(1);
+        let control = BatchControl {
+            faults: Some(plan),
+            ..BatchControl::default()
+        };
+        let queries: Vec<SessionQuery<'_>> = vars.iter().map(|&v| SessionQuery::new(v)).collect();
+        let out = session.run_batch_with(&queries, 2, &control);
+        assert_eq!(session.health().spawn_failures, 1);
+        for (a, b) in out.iter().zip(&want) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.pts, b.pts);
+        }
+    }
+
+    #[test]
+    fn work_stealing_drains_skewed_batches_byte_identically() {
+        // The skew case the static split handled badly: a batch whose
+        // tail is a long run of duplicates of one query. Whatever the
+        // claim interleaving, results must stay byte-identical to the
+        // sequential run, in input order.
+        let (pag, vars, ..) = two_callers();
+        let mut skewed: Vec<VarId> = vars.clone();
+        for _ in 0..40 {
+            skewed.push(vars[0]);
+        }
+        let want = {
+            let mut cold = Session::new(&pag, EngineKind::DynSum);
+            cold.run_batch_vars(&skewed, 1)
+        };
+        for threads in [2usize, 4] {
+            let mut session = Session::new(&pag, EngineKind::DynSum);
+            let got = session.run_batch_vars(&skewed, threads);
+            assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.fingerprint(),
+                    b.fingerprint(),
+                    "threads={threads} query {i}"
+                );
+                assert_eq!(a.pts, b.pts, "threads={threads} query {i}");
+            }
         }
     }
 

@@ -1,0 +1,552 @@
+//! A hand-rolled JSON value, parser and encoder.
+//!
+//! The workspace is offline (no serde); this module hand-rolls the wire
+//! format the way `dynsum_core::snapshot` hand-rolls its binary format.
+//! The dialect is deliberately small but standard: `null`, booleans,
+//! numbers (stored as `f64` — integers round-trip exactly up to 2^53,
+//! far beyond any counter the protocol carries), strings with the
+//! standard escapes (`\uXXXX` included, surrogate pairs handled),
+//! arrays, and objects (key order preserved, duplicate keys rejected).
+//!
+//! Robustness is the point: the parser is bounded (depth cap, input
+//! length checked by the caller), never panics on any input, and
+//! reports typed errors with byte offsets so the daemon can answer
+//! malformed frames with a structured error instead of dying.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Protocol frames are at
+/// most three levels deep; 32 leaves headroom without letting an
+/// adversarial `[[[[…` recurse the stack away.
+pub const MAX_JSON_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Integers are exact up to 2^53.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved, keys unique.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number from an unsigned counter.
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The payload as a non-negative integer, if this is a number that
+    /// is one (rejects fractions, negatives, and anything above 2^53
+    /// where `f64` stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= MAX_EXACT_INT => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => render_num(*n, out),
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Largest integer magnitude `f64` represents exactly (2^53).
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+fn render_num(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if n.fract() == 0.0 && n.abs() <= MAX_EXACT_INT {
+        let _ = write!(out, "{}", n as i64);
+    } else if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        // JSON has no NaN/Inf; the encoder never receives them from the
+        // protocol, but degrade to null rather than emit garbage.
+        out.push_str("null");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong
+/// at. Never panics, never recurses unboundedly — every malformed input
+/// maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value from `input`, requiring it to span the whole
+/// string (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.error("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // A leading surrogate must pair with a
+                            // trailing one.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.error("unpaired surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.error("unpaired surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            return Err(self.error("unpaired surrogate"));
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(self.error("invalid escape")),
+                        }
+                    }
+                    _ => return Err(self.error("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.error("control character in string")),
+                Some(b) => {
+                    // Re-decode multi-byte UTF-8 from the source slice
+                    // (input is a &str, so it is valid by construction).
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(b);
+                        let end = start + len;
+                        let s = std::str::from_utf8(&self.bytes[start..end.min(self.bytes.len())])
+                            .map_err(|_| self.error("invalid utf-8"))?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.error("truncated escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected `,` or `]`"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.error("duplicate object key"));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected `,` or `}`"));
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(text: &str) -> String {
+        parse(text).unwrap().render()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip("null"), "null");
+        assert_eq!(round_trip("true"), "true");
+        assert_eq!(round_trip("false"), "false");
+        assert_eq!(round_trip("42"), "42");
+        assert_eq!(round_trip("-7"), "-7");
+        assert_eq!(round_trip("2.5"), "2.5");
+        assert_eq!(round_trip("\"hi\""), "\"hi\"");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        assert_eq!(round_trip("[1, 2, [3]]"), "[1,2,[3]]");
+        assert_eq!(
+            round_trip("{\"a\": 1, \"b\": {\"c\": []}}"),
+            "{\"a\":1,\"b\":{\"c\":[]}}"
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = parse("\"a\\n\\t\\\"\\\\b\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\n\t\"\\bé😀");
+        // Re-render + re-parse is a fixed point.
+        let again = parse(&v.render()).unwrap();
+        assert_eq!(again, v);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = parse("\"héllo — 世界\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "héllo — 世界");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_work() {
+        let v = parse("{\"op\":\"query\",\"id\":3,\"deep\":[true]}").unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("deep").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "\"unterminated",
+            "tru",
+            "01x",
+            "nul",
+            "{\"a\":1,\"a\":2}",
+            "[1] trailing",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "1e999",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"), "{err}");
+    }
+
+    #[test]
+    fn big_counters_render_as_integers() {
+        assert_eq!(Json::num(1_000_000_000_000).render(), "1000000000000");
+        assert_eq!(
+            parse("1000000000000").unwrap().as_u64(),
+            Some(1_000_000_000_000)
+        );
+    }
+}

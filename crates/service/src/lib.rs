@@ -1,0 +1,58 @@
+//! `dynsum-service` — the long-lived analysis daemon.
+//!
+//! The batch APIs grown in earlier layers answer *one process's* demand
+//! queries; this crate turns the analysis into a **service**: a daemon
+//! that holds [`Session`](dynsum_core::Session)s alive across many
+//! clients, speaking a line-delimited JSON protocol over stdio or a
+//! Unix socket. Clients that negotiate the same analysis — same PAG
+//! fingerprint, same semantic config digest, same engine — share one
+//! session, so summaries computed on behalf of one IDE pane or CI shard
+//! warm every other, and a snapshot directory carries that warmth
+//! across daemon restarts.
+//!
+//! The crate is layered so the deterministic core never touches IO:
+//!
+//! - [`json`] — a hand-rolled JSON tree (the workspace is offline;
+//!   there is no serde), with the strictness the wire needs: depth
+//!   caps, duplicate-key rejection, exact integers to 2^53.
+//! - [`proto`] — frame grammar: requests in, `ok`/`error` frames out,
+//!   with a closed error-code taxonomy. Malformed input of any shape
+//!   becomes a structured error frame, never a panic and never a
+//!   dropped connection.
+//! - [`daemon`] — the transport-agnostic state machine: client
+//!   registry, shared-session multiplexing, per-client budgets and
+//!   deadlines, and a round-robin scheduler that keeps an adversarial
+//!   batch from starving interactive clients. Fully deterministic given
+//!   a frame sequence, which is what the differential fuzzer leans on.
+//! - [`server`] — the IO shell: reader threads feed an event loop;
+//!   cancel frames take a fast path through the shared
+//!   [`CancelRegistry`] so they interrupt the query that is running
+//!   *right now*.
+//!
+//! A quick session, one frame per line:
+//!
+//! ```text
+//! → {"op":"hello","id":1,"name":"ide","engine":"dynsum"}
+//! ← {"id":1,"ok":true,"engine":"dynsum",...,"warm":true,"warm_summaries":41,...}
+//! → {"op":"query","id":2,"var":"Main.main#box"}
+//! ← {"id":2,"ok":true,"result":{"outcome":"resolved","pts":[[3,0]],...}}
+//! → {"op":"shutdown","id":3}
+//! ← {"id":3,"ok":true,"shutdown":true}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use daemon::{
+    CancelRegistry, ClientCounters, ClientId, Daemon, ServedWorkload, ServiceConfig, SessionKeyView,
+};
+pub use json::{Json, JsonError};
+pub use proto::{ErrorCode, ProtoError, Request, VarRef, MAX_BATCH_VARS, MAX_FRAME_BYTES};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{serve_pair, serve_stdio};

@@ -1,0 +1,282 @@
+//! Transports: the event loop that connects byte streams to the
+//! [`Daemon`] state machine.
+//!
+//! All transports share one shape: a **reader thread per connection**
+//! turns raw bytes into line events on an [`mpsc`] channel, and the
+//! calling thread runs the event loop — ingesting frames, cranking the
+//! scheduler one query at a time, and writing response frames back.
+//! Because only the event-loop thread touches the daemon and the
+//! writers, the core stays single-threaded and deterministic; the only
+//! cross-thread state is the [`CancelRegistry`], which reader threads
+//! use to flip cancel tokens *while the scheduler is mid-query*, so a
+//! `cancel` frame interrupts a long-running query instead of queueing
+//! behind it.
+//!
+//! Entry points:
+//!
+//! - [`serve_pair`] — serve pre-connected duplex streams (stdio halves,
+//!   [`std::os::unix::net::UnixStream::pair`] halves, in-memory pipes).
+//! - [`serve_stdio`] — one connection over the process's stdin/stdout.
+//! - [`serve_unix`] — listen on a Unix socket and serve every
+//!   connection that arrives (Unix only).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::mpsc;
+
+use crate::daemon::{CancelRegistry, ClientId, Daemon};
+use crate::proto::{parse_request, Request, MAX_FRAME_BYTES};
+
+/// What a reader thread tells the event loop.
+enum Event<W> {
+    /// A new connection: register `id` and write its frames to `W`.
+    Connect(ClientId, W),
+    /// One frame line from `id` (without the trailing newline).
+    Line(ClientId, String),
+    /// `id` reached EOF or errored; tear it down.
+    Disconnect(ClientId),
+}
+
+/// Reads newline-delimited frames from `stream` and forwards them as
+/// events. Lines longer than [`MAX_FRAME_BYTES`] are forwarded anyway —
+/// truncated to the cap plus one byte so the protocol layer answers
+/// with a structured `oversized` error instead of the daemon buffering
+/// an unbounded line.
+fn pump_lines<R: Read, W: Write>(
+    stream: R,
+    id: ClientId,
+    registry: &CancelRegistry,
+    tx: &mpsc::Sender<Event<W>>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        // Bounded read: never buffer more than the frame cap (plus one
+        // byte to make the oversize detectable downstream).
+        let mut oversized = false;
+        let ok = loop {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break false,
+            };
+            if chunk.is_empty() {
+                break !buf.is_empty(); // EOF: flush a final unterminated line
+            }
+            let (take, done) = match chunk.iter().position(|b| *b == b'\n') {
+                Some(i) => (i + 1, true),
+                None => (chunk.len(), false),
+            };
+            let keep = take.min((MAX_FRAME_BYTES + 1).saturating_sub(buf.len()));
+            if keep < take {
+                oversized = true;
+            }
+            buf.extend_from_slice(&chunk[..keep]);
+            reader.consume(take);
+            if done {
+                break true;
+            }
+        };
+        if !ok {
+            let _ = tx.send(Event::Disconnect(id));
+            return;
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        }
+        if oversized {
+            // Pad back over the cap so `parse_request` classifies it.
+            buf.resize(MAX_FRAME_BYTES + 1, b' ');
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        // Fast path: flip cancel tokens from the reader thread so a
+        // cancel takes effect while the scheduler is mid-query. The
+        // daemon's own ingest of the same frame produces the ack and is
+        // idempotent.
+        if line.contains("cancel") {
+            if let Ok(Request::Cancel { target, .. }) = parse_request(&line) {
+                registry.cancel(id, target);
+            }
+        }
+        if tx.send(Event::Line(id, line)).is_err() {
+            return; // event loop is gone
+        }
+    }
+}
+
+/// Writes one frame line, reporting failure so the loop can tear the
+/// client down.
+fn write_frame<W: Write>(writer: &mut W, frame: &str) -> bool {
+    writer
+        .write_all(frame.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+fn deliver<W: Write>(
+    daemon: &mut Daemon<'_>,
+    writers: &mut HashMap<ClientId, W>,
+    id: ClientId,
+    frame: &str,
+) {
+    let alive = match writers.get_mut(&id) {
+        Some(w) => write_frame(w, frame),
+        None => return, // already torn down
+    };
+    if !alive {
+        writers.remove(&id);
+        daemon.disconnect(id);
+    }
+}
+
+/// Serves a set of pre-connected duplex streams until every one
+/// disconnects or a client requests `shutdown`.
+///
+/// Reader threads are detached, not joined: a reader blocked on a
+/// stream whose peer never closes would otherwise pin the call forever.
+/// They exit on EOF, on read error, or on their next line once the
+/// event loop is gone.
+pub fn serve_pair<R, W>(daemon: &mut Daemon<'_>, conns: Vec<(R, W)>)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Event<W>>();
+    let registry = daemon.cancel_registry();
+    let mut writers: HashMap<ClientId, W> = HashMap::new();
+    for (read_half, write_half) in conns {
+        let id = daemon.connect();
+        writers.insert(id, write_half);
+        let tx = tx.clone();
+        let registry = registry.clone();
+        std::thread::spawn(move || pump_lines(read_half, id, &registry, &tx));
+    }
+    drop(tx); // the loop's channel closes when the last reader exits
+    event_loop(daemon, &rx, writers);
+}
+
+/// The shared event loop: alternates between channel events and
+/// scheduler turns, never blocking while queued work remains. Returns
+/// the surviving writers (so Unix-socket serving can shut their streams
+/// down and unblock reader threads).
+fn event_loop<W: Write>(
+    daemon: &mut Daemon<'_>,
+    rx: &mpsc::Receiver<Event<W>>,
+    seed: HashMap<ClientId, W>,
+) -> HashMap<ClientId, W> {
+    let mut writers = seed;
+    let mut channel_closed = false;
+    loop {
+        if daemon.shutdown_requested() && !daemon.has_work() {
+            break;
+        }
+        if channel_closed && !daemon.has_work() {
+            break;
+        }
+        let event = if daemon.has_work() {
+            match rx.try_recv() {
+                Ok(ev) => Some(ev),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    channel_closed = true;
+                    None
+                }
+            }
+        } else {
+            match rx.recv() {
+                Ok(ev) => Some(ev),
+                Err(_) => {
+                    channel_closed = true;
+                    continue;
+                }
+            }
+        };
+        match event {
+            Some(Event::Connect(id, writer)) => {
+                daemon.connect_as(id);
+                writers.insert(id, writer);
+            }
+            Some(Event::Line(id, line)) => {
+                for frame in daemon.ingest(id, &line) {
+                    deliver(daemon, &mut writers, id, &frame);
+                }
+            }
+            Some(Event::Disconnect(id)) => {
+                daemon.disconnect(id);
+                writers.remove(&id);
+            }
+            None => {}
+        }
+        for (id, frame) in daemon.step() {
+            deliver(daemon, &mut writers, id, &frame);
+        }
+    }
+    writers
+}
+
+/// Serves one connection over the process's stdin/stdout — the
+/// transport a parent process supervising the daemon uses.
+pub fn serve_stdio(daemon: &mut Daemon<'_>) {
+    serve_pair(daemon, vec![(std::io::stdin(), std::io::stdout())]);
+}
+
+/// Listens on a Unix socket at `path` and serves every connection until
+/// a client requests `shutdown`. The socket file is removed first if it
+/// already exists, and removed again on exit.
+#[cfg(unix)]
+pub fn serve_unix(daemon: &mut Daemon<'_>, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Event<UnixStream>>();
+    let registry = daemon.cancel_registry();
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let ids = AtomicU64::new(0);
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let id = ids.fetch_add(1, Ordering::Relaxed) + 1;
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let writer = match stream.try_clone() {
+                            Ok(w) => w,
+                            Err(_) => continue,
+                        };
+                        if tx.send(Event::Connect(id, writer)).is_err() {
+                            return;
+                        }
+                        let tx = tx.clone();
+                        let registry = registry.clone();
+                        std::thread::spawn(move || pump_lines(stream, id, &registry, &tx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+    };
+    drop(tx);
+    let writers = event_loop(daemon, &rx, HashMap::new());
+    // Unblock any reader still parked on its stream, then stop
+    // accepting.
+    for (_, stream) in writers {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    stop.store(true, Ordering::Release);
+    let _ = acceptor.join();
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

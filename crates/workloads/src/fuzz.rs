@@ -33,6 +33,12 @@
 //!    un-faulted queries answer byte-identically to a clean cold
 //!    session, and every follow-up batch on the same session is
 //!    byte-identical to that cold reference at 1, 2 and 4 threads.
+//! 6. **Service identity** (the `service` regime) — a random
+//!    multi-client script (interleaved queries, batches, cancels and
+//!    invalidations) against the analysis daemon must answer every
+//!    frame, answer every query byte-identically to a clean
+//!    single-client session, and replay byte-identically — see
+//!    [`service_fuzz`](crate::service_fuzz).
 //!
 //! The pipeline is split into an effectful half ([`observe`]: runs
 //! engines, records everything) and a pure half ([`judge`]: folds
@@ -64,6 +70,9 @@ pub struct FuzzProfile {
     /// Run the fault-injection observation (check 5) for this regime's
     /// cases, with a [`FaultPlan`] derived from the case seed.
     pub inject_faults: bool,
+    /// Run the daemon script observation (check 6) for this regime's
+    /// cases, with a client script derived from the case seed.
+    pub exercise_service: bool,
 }
 
 /// The standard regimes `make fuzz` sweeps. Each one aims a generator
@@ -82,7 +91,11 @@ pub struct FuzzProfile {
 /// * `fault_injection` — baseline-shaped graphs run through
 ///   [`Session::run_batch_with`] under a seeded [`FaultPlan`] (injected
 ///   panics, cancel/deadline fuses, a forced spawn failure, a snapshot
-///   IO error), checking the fault-integrity invariant (check 5).
+///   IO error), checking the fault-integrity invariant (check 5);
+/// * `service` — baseline-shaped graphs served by the analysis daemon
+///   to a seeded multi-client script (interleaved queries, batches,
+///   cancels and invalidations), checking the service-identity
+///   invariant (check 6).
 pub fn fuzz_profiles() -> Vec<FuzzProfile> {
     let base = GeneratorOptions::default();
     vec![
@@ -97,6 +110,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 ..EngineConfig::default()
             },
             inject_faults: false,
+            exercise_service: false,
         },
         FuzzProfile {
             name: "deep_recursion",
@@ -111,6 +125,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 ..EngineConfig::default()
             },
             inject_faults: false,
+            exercise_service: false,
         },
         FuzzProfile {
             name: "field_storm",
@@ -125,6 +140,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 ..EngineConfig::default()
             },
             inject_faults: false,
+            exercise_service: false,
         },
         FuzzProfile {
             name: "degenerate",
@@ -140,6 +156,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 ..EngineConfig::default()
             },
             inject_faults: false,
+            exercise_service: false,
         },
         FuzzProfile {
             name: "ci_oracle",
@@ -152,6 +169,7 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 ..EngineConfig::default()
             },
             inject_faults: false,
+            exercise_service: false,
         },
         FuzzProfile {
             name: "fault_injection",
@@ -164,6 +182,20 @@ pub fn fuzz_profiles() -> Vec<FuzzProfile> {
                 ..EngineConfig::default()
             },
             inject_faults: true,
+            exercise_service: false,
+        },
+        FuzzProfile {
+            name: "service",
+            opts: GeneratorOptions {
+                scale: 0.003,
+                ..base
+            },
+            config: EngineConfig {
+                budget: 20_000,
+                ..EngineConfig::default()
+            },
+            inject_faults: false,
+            exercise_service: true,
         },
     ]
 }
@@ -270,6 +302,9 @@ pub struct Observations {
     /// Fault-injection record (check 5); `None` unless the regime
     /// injects faults.
     pub fault: Option<FaultObservation>,
+    /// Daemon script record (check 6); `None` unless the regime
+    /// exercises the service.
+    pub service: Option<crate::service_fuzz::ServiceObservation>,
 }
 
 /// Which invariant a divergence violates.
@@ -289,6 +324,10 @@ pub enum DivergenceKind {
     /// An injected fault was swallowed, leaked into an un-faulted
     /// query, or left a trace in the session's shared state.
     FaultIntegrity,
+    /// The daemon dropped a frame, answered a well-formed frame with an
+    /// error, diverged from the clean single-client reference, invented
+    /// a cancellation, or failed to replay byte-identically.
+    Service,
 }
 
 impl DivergenceKind {
@@ -301,6 +340,7 @@ impl DivergenceKind {
             DivergenceKind::Budget => "budget",
             DivergenceKind::Determinism => "determinism",
             DivergenceKind::FaultIntegrity => "fault-integrity",
+            DivergenceKind::Service => "service",
         }
     }
 }
@@ -349,6 +389,10 @@ pub struct ObserveOptions {
     /// with the [`FaultPlan`] derived from this seed by
     /// [`fault_plan_for`].
     pub fault_seed: Option<u64>,
+    /// When set, also run the daemon script observation (check 6) with
+    /// the client script derived from this seed by
+    /// [`generate_script`](crate::service_fuzz::generate_script).
+    pub service_seed: Option<u64>,
 }
 
 impl Default for ObserveOptions {
@@ -357,6 +401,7 @@ impl Default for ObserveOptions {
             budget_probes: 6,
             thread_counts: vec![1, 2, 4],
             fault_seed: None,
+            service_seed: None,
         }
     }
 }
@@ -368,6 +413,7 @@ impl Default for ObserveOptions {
 pub fn observe_opts_for(fp: &FuzzProfile, case_seed: u64, base: &ObserveOptions) -> ObserveOptions {
     ObserveOptions {
         fault_seed: fp.inject_faults.then_some(case_seed),
+        service_seed: fp.exercise_service.then_some(case_seed),
         ..base.clone()
     }
 }
@@ -472,6 +518,11 @@ pub fn observe(w: &Workload, config: &EngineConfig, opts: &ObserveOptions) -> Ob
         .fault_seed
         .map(|seed| observe_faults(w, config, &batch, seed, opts));
 
+    // Check 6 material: a seeded multi-client script against the daemon.
+    let service = opts
+        .service_seed
+        .map(|seed| crate::service_fuzz::observe_service(w, config, seed));
+
     Observations {
         workload: w.name.clone(),
         context_sensitive: config.context_sensitive,
@@ -480,6 +531,7 @@ pub fn observe(w: &Workload, config: &EngineConfig, opts: &ObserveOptions) -> Ob
         sequential,
         batches,
         fault,
+        service,
     }
 }
 
@@ -738,6 +790,19 @@ pub fn judge(obs: &Observations) -> Vec<Divergence> {
     // session's shared state.
     if let Some(f) = &obs.fault {
         judge_faults(obs, f, &mut out);
+    }
+
+    // Check 6: service identity. The daemon must be a byte-transparent
+    // multiplexer over clean single-client sessions.
+    if let Some(s) = &obs.service {
+        for d in crate::service_fuzz::judge_service(s) {
+            out.push(Divergence {
+                kind: DivergenceKind::Service,
+                engine: None,
+                var: d.var,
+                detail: d.detail,
+            });
+        }
     }
 
     out
@@ -1083,12 +1148,13 @@ mod tests {
     #[test]
     fn fuzz_profiles_cover_the_advertised_regimes() {
         let ps = fuzz_profiles();
-        assert!(ps.len() >= 6);
+        assert!(ps.len() >= 7);
         assert!(ps.iter().any(|p| p.opts.recursion_bias > 0.0));
         assert!(ps.iter().any(|p| p.opts.field_chain > 0));
         assert!(ps.iter().any(|p| p.config.max_cached_summaries == Some(0)));
         assert!(ps.iter().any(|p| !p.config.context_sensitive));
         assert!(ps.iter().any(|p| p.inject_faults));
+        assert!(ps.iter().any(|p| p.exercise_service));
         for p in &ps {
             assert!(
                 p.config.deterministic_reuse,
@@ -1200,6 +1266,33 @@ mod tests {
             ds.iter()
                 .any(|d| d.kind == DivergenceKind::FaultIntegrity && d.detail.contains("snapshot")),
             "lost snapshot error not flagged: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn service_regime_attaches_a_clean_observation() {
+        let (w, config) = small_case();
+        let service = fuzz_profiles()
+            .into_iter()
+            .find(|p| p.exercise_service)
+            .expect("service regime exists");
+        let opts = observe_opts_for(&service, 0x5EC7, &ObserveOptions::default());
+        assert_eq!(opts.service_seed, Some(0x5EC7));
+        let obs = observe(&w, &config, &opts);
+        let s = obs.service.as_ref().expect("service seed set");
+        assert!(s.replay_identical);
+        assert!(!s.answers.is_empty());
+        let ds = judge(&obs);
+        assert!(ds.is_empty(), "unexpected divergences: {ds:?}");
+
+        // Corrupting the service record must surface as a `service`
+        // divergence through the top-level judge.
+        let mut obs = obs;
+        obs.service.as_mut().unwrap().replay_identical = false;
+        let ds = judge(&obs);
+        assert!(
+            ds.iter().any(|d| d.kind == DivergenceKind::Service),
+            "seeded service corruption not flagged: {ds:?}"
         );
     }
 

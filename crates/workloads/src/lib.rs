@@ -33,6 +33,7 @@ mod generator;
 mod motivating;
 mod profiles;
 pub mod reduce;
+pub mod service_fuzz;
 pub mod wire;
 
 pub use generator::{

@@ -1,0 +1,232 @@
+//! Example 10: talking to the analysis daemon over the wire.
+//!
+//! Everything earlier examples did in-process — sessions, batches,
+//! snapshots, cancellation — is available to *other* processes through
+//! `dynsum_serve`'s line-delimited JSON protocol. This example runs the
+//! daemon's serve loop on a thread over a socketpair (exactly how the
+//! binary serves stdio, minus the process boundary) and walks the whole
+//! client lifecycle:
+//!
+//! 1. `hello` — negotiate engine + workload, cold the first time;
+//! 2. `batch` — resolve the motivating example's two queries;
+//! 3. a long batch with a racing `cancel` — the round-robin scheduler
+//!    answers with whatever mix of resolved/cancelled the race produced;
+//! 4. `save_snapshot` + `shutdown`;
+//! 5. a second daemon over the same snapshot directory — `hello` now
+//!    reports a **warm** session, and the same queries return
+//!    byte-identical fingerprints without recomputation.
+//!
+//! Run with: `cargo run --example service_client`
+
+fn main() {
+    example::run();
+}
+
+#[cfg(not(unix))]
+mod example {
+    pub fn run() {
+        println!("service_client: requires a Unix platform (socketpair transport)");
+    }
+}
+
+#[cfg(unix)]
+mod example {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    use dynsum::service::{serve_pair, Daemon, Json, ServedWorkload, ServiceConfig};
+    use dynsum::workloads::motivating_pag;
+
+    /// A minimal protocol client: frames out, lines in.
+    struct Client {
+        writer: UnixStream,
+        reader: BufReader<UnixStream>,
+    }
+
+    impl Client {
+        fn over(stream: UnixStream) -> Client {
+            let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+            Client {
+                writer: stream,
+                reader,
+            }
+        }
+
+        fn send(&mut self, frame: &str) {
+            writeln!(self.writer, "{frame}").expect("daemon is listening");
+        }
+
+        /// Reads and parses one response frame.
+        fn recv(&mut self) -> Json {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("daemon answered");
+            dynsum::service::json::parse(line.trim_end()).expect("daemon speaks valid JSON")
+        }
+    }
+
+    fn ok(frame: &Json) -> bool {
+        frame.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    pub fn run() {
+        let m = motivating_pag();
+        let snapshot_dir =
+            std::env::temp_dir().join(format!("dynsum-service-demo-{}", std::process::id()));
+        std::fs::create_dir_all(&snapshot_dir).expect("temp dir");
+        let config = ServiceConfig {
+            snapshot_dir: Some(snapshot_dir.clone()),
+            ..ServiceConfig::default()
+        };
+
+        println!("== round 1: cold daemon ==");
+        let cold = round(&m, &config, true);
+        println!(
+            "== round 2: warm restart from {} ==",
+            snapshot_dir.display()
+        );
+        let warm = round(&m, &config, false);
+        assert_eq!(
+            cold, warm,
+            "warm restart answers must be byte-identical to the cold run"
+        );
+        println!("fingerprints identical across the restart: {cold:?}");
+
+        let _ = std::fs::remove_dir_all(&snapshot_dir);
+    }
+
+    /// One daemon lifetime; returns the two motivating-query
+    /// fingerprints.
+    fn round(
+        m: &dynsum::workloads::Motivating,
+        config: &ServiceConfig,
+        expect_cold: bool,
+    ) -> Vec<String> {
+        let (client_half, server_half) = UnixStream::pair().expect("socketpair");
+        let mut fingerprints = Vec::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut daemon = Daemon::new(
+                    vec![ServedWorkload {
+                        name: "motivating",
+                        pag: &m.pag,
+                    }],
+                    config.clone(),
+                );
+                let reader = server_half.try_clone().expect("clone socket");
+                serve_pair(&mut daemon, vec![(reader, server_half)]);
+            });
+
+            let mut c = Client::over(client_half);
+
+            // 1. Negotiate. The daemon reports whether the session came
+            //    up warm from the snapshot directory.
+            c.send(r#"{"op":"hello","id":1,"name":"example","engine":"dynsum","workload":"motivating"}"#);
+            let hello = c.recv();
+            assert!(ok(&hello), "hello failed: {hello:?}");
+            let is_warm = hello.get("warm").and_then(Json::as_bool) == Some(true);
+            println!(
+                "hello: engine={} warm={} warm_summaries={}",
+                hello.get("engine").and_then(Json::as_str).unwrap_or("?"),
+                is_warm,
+                hello
+                    .get("warm_summaries")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            );
+            assert_eq!(is_warm, !expect_cold, "snapshot warm-start state");
+
+            // 2. The paper's two queries, as one batch.
+            c.send(&format!(
+                r#"{{"op":"batch","id":2,"vars":[{},{}]}}"#,
+                m.s1.as_raw(),
+                m.s2.as_raw()
+            ));
+            let batch = c.recv();
+            assert!(ok(&batch), "batch failed: {batch:?}");
+            for result in batch
+                .get("results")
+                .and_then(Json::as_arr)
+                .expect("results array")
+            {
+                let outcome = result.get("outcome").and_then(Json::as_str).unwrap_or("?");
+                let fp = result
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?");
+                println!("  query: outcome={outcome} fingerprint={fp}");
+                assert_eq!(outcome, "resolved");
+                fingerprints.push(fp.to_owned());
+            }
+
+            // 3. A long batch with a racing cancel: queries already run
+            //    keep their answers, the rest come back "cancelled".
+            //    Either way the connection stays live and the scheduler
+            //    keeps other clients' queries flowing.
+            let vars: Vec<String> = (0..100)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        m.s1.as_raw().to_string()
+                    } else {
+                        m.s2.as_raw().to_string()
+                    }
+                })
+                .collect();
+            c.send(&format!(
+                r#"{{"op":"batch","id":3,"vars":[{}]}}"#,
+                vars.join(",")
+            ));
+            c.send(r#"{"op":"cancel","id":4,"target":3}"#);
+            let (mut resolved, mut cancelled) = (0u32, 0u32);
+            for _ in 0..2 {
+                let frame = c.recv();
+                let id = frame.get("id").and_then(Json::as_u64);
+                if id == Some(3) {
+                    for r in frame.get("results").and_then(Json::as_arr).unwrap_or(&[]) {
+                        match r.get("outcome").and_then(Json::as_str) {
+                            Some("cancelled") => cancelled += 1,
+                            _ => resolved += 1,
+                        }
+                    }
+                } else {
+                    assert!(ok(&frame), "cancel ack failed: {frame:?}");
+                }
+            }
+            println!("cancelled batch: {resolved} answered, {cancelled} cancelled");
+            assert_eq!(resolved + cancelled, 100);
+
+            // 4. Health, then persist the working set for round 2.
+            c.send(r#"{"op":"health","id":5}"#);
+            let health = c.recv();
+            assert!(ok(&health), "health failed: {health:?}");
+            let client_stats = health.get("client").expect("client counters");
+            println!(
+                "health: queries={} cancelled={} budget_left={}",
+                client_stats
+                    .get("queries")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                client_stats
+                    .get("cancelled")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                client_stats
+                    .get("budget_left")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            );
+
+            c.send(r#"{"op":"save_snapshot","id":6}"#);
+            let saved = c.recv();
+            assert!(ok(&saved), "save_snapshot failed: {saved:?}");
+            println!(
+                "snapshot: {}",
+                saved.get("path").and_then(Json::as_str).unwrap_or("?")
+            );
+
+            c.send(r#"{"op":"shutdown","id":7}"#);
+            let bye = c.recv();
+            assert!(ok(&bye), "shutdown failed: {bye:?}");
+        });
+        fingerprints
+    }
+}

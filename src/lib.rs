@@ -17,6 +17,7 @@
 //! | [`andersen`] | `dynsum-andersen` | exhaustive inclusion-based oracle |
 //! | [`analysis`] | `dynsum-core` | NOREFINE, REFINEPTS, **DYNSUM**, STASUM |
 //! | [`clients`] | `dynsum-clients` | SafeCast, NullDeref, FactoryM |
+//! | [`service`] | `dynsum-service` | multi-tenant analysis daemon, wire protocol, transports |
 //! | [`workloads`] | `dynsum-workloads` | Table 3 profiles, generator, Figure 2 |
 //!
 //! The most common entry points are re-exported at the top level.
@@ -164,6 +165,9 @@ pub use dynsum_core as analysis;
 
 /// The evaluation clients (`dynsum-clients`).
 pub use dynsum_clients as clients;
+
+/// The multi-tenant analysis daemon (`dynsum-service`).
+pub use dynsum_service as service;
 
 /// Benchmark profiles and generators (`dynsum-workloads`).
 pub use dynsum_workloads as workloads;
