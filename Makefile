@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test doc serve fuzz fuzz-faults fuzz-service bench-check bench-report bench-parallel bench-cache bench-service fmt lint clean
+.PHONY: verify build test doc serve fuzz fuzz-faults fuzz-service bench-check bench-report bench-parallel bench-cache bench-service fmt lint lint-sync model-check clean
 
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
@@ -91,6 +91,23 @@ fmt:
 lint:
 	$(CARGO) fmt --check
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Forbid raw std::sync::atomic / std::thread outside the
+# dynsum_cfl::sync facade (keeps every kernel model-checkable). The
+# script self-tests by planting and detecting a raw-atomic probe.
+lint-sync:
+	./tools/lint_sync.sh
+
+# Bounded schedule exploration of the five concurrency kernels plus the
+# mutation seeds proving detection power (crates/modelcheck — a
+# deliberately workspace-EXCLUDED crate: it turns on the cfl
+# `model-check` feature, which must never unify into tier-1 builds).
+# Each kernel harness explores >=1k schedules; failing schedules write
+# replayable traces to target/modelcheck/ (a CI artifact). Stale traces
+# from previous runs are cleared first so the artifact reflects this run.
+model-check:
+	rm -rf target/modelcheck
+	cd crates/modelcheck && CARGO_TARGET_DIR=$(CURDIR)/target $(CARGO) test --release
 
 clean:
 	$(CARGO) clean

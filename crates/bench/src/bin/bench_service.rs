@@ -271,7 +271,7 @@ usage:
         );
 
         let started = Instant::now();
-        let runs: Vec<ClientRun> = std::thread::scope(|scope| {
+        let runs: Vec<ClientRun> = dynsum_cfl::sync::thread::scope(|scope| {
             let server = scope.spawn(|| serve_pair(&mut daemon, server_halves));
             let handles: Vec<_> = client_halves
                 .into_iter()

@@ -559,7 +559,7 @@ pub fn perf_report_with_threads(
         seed: opts.seed,
         budget: opts.budget,
         benchmarks: workloads.iter().map(|w| w.name.clone()).collect(),
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_parallelism: dynsum_cfl::sync::thread::available_parallelism().map_or(1, |n| n.get()),
         engines,
         dynsum_batches,
         dynsum_batch_throughput_qps,

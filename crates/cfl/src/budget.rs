@@ -187,7 +187,7 @@ impl From<BudgetExceeded> for Interrupt {
 /// ```
 #[derive(Debug, Default)]
 pub struct CancelToken {
-    flag: std::sync::atomic::AtomicBool,
+    flag: crate::sync::atomic::AtomicBool,
 }
 
 impl CancelToken {
@@ -198,12 +198,23 @@ impl CancelToken {
 
     /// Requests cancellation of every query holding this token.
     pub fn cancel(&self) {
-        self.flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Ordering::Relaxed — the flag is a sticky monotone boolean
+        // (false→true once, never back) carrying no payload: pollers
+        // need eventual visibility, not an ordering edge over other
+        // data. Callers that pair cancellation with shared state (the
+        // daemon's reply channel) get their happens-before from that
+        // channel, not from this store. Model-checked: no lost
+        // cancellation (crates/modelcheck, `cancel_token_*`).
+        self.flag
+            .store(true, crate::sync::atomic::Ordering::Relaxed);
     }
 
     /// `true` once [`cancel`](Self::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(std::sync::atomic::Ordering::Relaxed)
+        // Ordering::Relaxed — see `cancel`: a poll may lag the store by
+        // a bounded number of charges (the `poll_every` promptness
+        // bound already tolerates that), but can never un-see `true`.
+        self.flag.load(crate::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -501,8 +512,8 @@ impl Ticket {
 /// Propagates panics from `f` and panics if the OS refuses to spawn the
 /// thread.
 pub fn with_stack<T: Send>(stack_bytes: usize, f: impl FnOnce() -> T + Send) -> T {
-    std::thread::scope(|scope| {
-        std::thread::Builder::new()
+    crate::sync::thread::scope(|scope| {
+        crate::sync::thread::Builder::new()
             .stack_size(stack_bytes)
             .spawn_scoped(scope, f)
             .expect("failed to spawn analysis thread")

@@ -25,7 +25,10 @@
 //! * [`PointsToSet`], [`QueryResult`], [`QueryStats`] — context-qualified
 //!   results and deterministic work counters;
 //! * [`Trace`] — the `(v, f, s, c)` step recorder behind the paper's
-//!   Table 1.
+//!   Table 1;
+//! * [`sync`] — the synchronization facade every concurrency kernel in
+//!   the workspace imports (`std` by default, loom-instrumented under
+//!   the `model-check` feature for bounded schedule exploration).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@ mod hash;
 mod query;
 mod rsm;
 mod stack;
+pub mod sync;
 mod trace;
 
 pub use budget::{

@@ -1,0 +1,59 @@
+//! The workspace's single gateway to synchronization primitives.
+//!
+//! Every concurrency kernel in the workspace — the [`CancelToken`]
+//! flag, the clock-eviction reference bits, the work-stealing batch
+//! cursor, the daemon's stop flag and cancel registry — imports its
+//! atomics, mutexes and thread-spawning through this module instead of
+//! `std` directly. By default the re-exports *are* `std::sync` /
+//! `std::thread`, so production builds are untouched; under the
+//! `model-check` feature they switch to the vendored `loom` shim's
+//! instrumented types, and the same kernel code becomes explorable by
+//! the bounded schedule checker (`crates/modelcheck`).
+//!
+//! The `make lint-sync` gate forbids raw `std::sync::atomic` /
+//! `std::thread` imports outside this file, so new concurrency cannot
+//! silently bypass instrumentation.
+//!
+//! [`CancelToken`]: crate::CancelToken
+//!
+//! # What is (and is not) instrumented
+//!
+//! * **Atomics and [`Mutex`]** switch to model-aware types: every
+//!   operation becomes a scheduling + store-visibility choice point.
+//! * **[`Arc`]** is always `std`'s — its internal refcount is not a
+//!   kernel under test.
+//! * **[`thread::spawn`] / [`thread::sleep`] / [`thread::yield_now`]**
+//!   switch, becoming virtual-thread operations inside a model run.
+//! * **[`thread::scope`] / [`thread::Builder`] /
+//!   [`thread::available_parallelism`]** stay `std` in both modes: the
+//!   checker does not model scoped spawning (harnesses drive kernels
+//!   with `spawn` + `join` instead), and code using them keeps working
+//!   under the feature because the instrumented atomics fall back to
+//!   their `std` behavior on non-virtual threads.
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{Arc, LockResult, Mutex, MutexGuard, PoisonError};
+
+#[cfg(feature = "model-check")]
+pub use loom::sync::{Arc, LockResult, Mutex, MutexGuard, PoisonError};
+
+/// Atomic types routed through the facade.
+pub mod atomic {
+    #[cfg(not(feature = "model-check"))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(feature = "model-check")]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning routed through the facade.
+pub mod thread {
+    #[cfg(not(feature = "model-check"))]
+    pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
+
+    #[cfg(feature = "model-check")]
+    pub use loom::thread::{sleep, spawn, yield_now, JoinHandle};
+
+    // Deliberately std in both modes — see the module docs above.
+    pub use std::thread::{available_parallelism, scope, Builder, Scope, ScopedJoinHandle};
+}

@@ -67,8 +67,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use dynsum_cfl::sync::atomic::{AtomicUsize, Ordering};
+use dynsum_cfl::sync::thread;
 use std::time::Instant;
 
 use dynsum_cfl::{
@@ -808,7 +810,7 @@ impl<'p> Session<'p> {
         let sess: &Session<'p> = self;
         let cursor = AtomicUsize::new(0);
         let cursor = &cursor;
-        let (per_worker, failures) = std::thread::scope(|scope| {
+        let (per_worker, failures) = thread::scope(|scope| {
             let mut spawned = Vec::with_capacity(threads);
             let mut failures = 0u64;
             for wi in 0..threads {
@@ -824,7 +826,7 @@ impl<'p> Session<'p> {
                     failures += 1;
                     continue;
                 }
-                let spawn = std::thread::Builder::new()
+                let spawn = thread::Builder::new()
                     .stack_size(stack_bytes)
                     .spawn_scoped(scope, move || {
                         run_stealing(sess, slot, queries, cursor, epoch, control)
@@ -934,6 +936,14 @@ fn run_stealing<'s, 'p>(
     };
     let mut out = Vec::new();
     loop {
+        // Ordering::Relaxed — uniqueness comes from the RMW's
+        // atomicity, not its ordering: no two workers can observe the
+        // same counter value, so every index is claimed exactly once
+        // regardless of how the claims interleave with anything else.
+        // No data rides on the cursor (queries/scratch are passed by
+        // reference, and the merge-on-join absorb happens after the
+        // scope's join barrier, which is the ordering edge). Model-
+        // checked: exactly-once claims (crates/modelcheck, `cursor_*`).
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let q = match queries.get(i) {
             Some(q) => q,

@@ -1,6 +1,6 @@
 //! Partial points-to summaries and the cross-query summary cache.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use dynsum_cfl::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dynsum_cfl::{Direction, FieldStackId, FxHashMap};
@@ -133,6 +133,10 @@ impl Clone for CacheSlot {
     fn clone(&self) -> Self {
         CacheSlot {
             summary: Arc::clone(&self.summary),
+            // Ordering::Relaxed — recency is a heuristic hint, not data:
+            // a cloned cache that misses a concurrent mark merely ages
+            // that entry one sweep earlier, and eviction cannot change
+            // outcomes (reuse accounting below).
             referenced: AtomicBool::new(self.referenced.load(Ordering::Relaxed)),
         }
     }
@@ -200,6 +204,12 @@ impl SummaryCache {
     /// eviction sweep.
     pub fn get(&self, key: SummaryKey) -> Option<Arc<Summary>> {
         self.map.get(&key).map(|slot| {
+            // Ordering::Relaxed — the bit only biases *which* entry the
+            // next sweep evicts, never what a query answers: summaries
+            // are immutable behind `Arc` and reuse accounting charges
+            // cold cost on every hit, so a delayed mark is at worst one
+            // extra recompute. Model-checked: eviction never changes
+            // outcomes (crates/modelcheck, `clock_eviction_*`).
             slot.referenced.store(true, Ordering::Relaxed);
             Arc::clone(&slot.summary)
         })
@@ -355,6 +365,12 @@ impl SummaryCache {
                     self.ring.swap_remove(self.hand);
                 }
                 Some(slot) => {
+                    // Ordering::Relaxed — the swap's atomicity (not its
+                    // ordering) is what matters: a concurrent `get`'s
+                    // mark either lands before the swap (second chance)
+                    // or re-marks after it; neither order loses the
+                    // entry's summary or corrupts the ring, and the
+                    // sweep itself holds `&mut self`.
                     if slot.referenced.swap(false, Ordering::Relaxed) {
                         // Second chance; the hand moves on.
                         self.hand += 1;

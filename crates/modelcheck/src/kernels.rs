@@ -1,0 +1,239 @@
+//! The five kernel harnesses. Each is a plain `fn()` run thousands of
+//! times by the explorer — once per schedule — so everything it builds
+//! must be per-run (no statics) and deterministic apart from the
+//! scheduler/visibility choices.
+//!
+//! Harnesses drive real workspace types wherever Rust's borrow rules
+//! allow concurrent access at all (`CancelToken`, `SummaryCache::get`,
+//! `CancelRegistry`); the batch-cursor kernel is driven as a faithful
+//! port of `run_stealing`'s operation sequence onto the same
+//! `dynsum_cfl::sync` facade types, because the real loop is embedded
+//! in scoped-thread spawning, which the checker does not virtualize.
+
+use dynsum_cfl::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use dynsum_cfl::sync::Arc;
+use dynsum_cfl::{CancelToken, Direction, FieldStackId};
+use dynsum_core::{Summary, SummaryCache, SummaryKey};
+use dynsum_pag::NodeId;
+use dynsum_service::CancelRegistry;
+
+fn key(n: u32) -> SummaryKey {
+    (NodeId::from_raw(n), FieldStackId::EMPTY, Direction::S1)
+}
+
+/// Kernel 1 — `CancelToken` (`crates/cfl/src/budget.rs`).
+///
+/// Invariants: cancellation is never lost (after joining any canceller,
+/// `is_cancelled()` is `true`), is idempotent across racing cancellers,
+/// and is sticky (two successive polls never observe `true` then
+/// `false`).
+pub fn cancel_token_flag() {
+    let token = Arc::new(CancelToken::new());
+    let (t1, t2) = (Arc::clone(&token), Arc::clone(&token));
+    let c1 = loom::thread::spawn(move || t1.cancel());
+    let c2 = loom::thread::spawn(move || t2.cancel());
+    // Racing polls mid-cancel: any answer is legal, but it must be
+    // monotone — the flag can never un-set.
+    let early = token.is_cancelled();
+    let later = token.is_cancelled();
+    assert!(!early || later, "cancellation flag went backwards");
+    c1.join().unwrap();
+    c2.join().unwrap();
+    // Join gives happens-before: the cancel must now be visible even
+    // through the Relaxed polling load — this is what "no lost
+    // cancellation" means at the API boundary.
+    assert!(token.is_cancelled(), "cancellation lost after join");
+}
+
+/// Kernel 2 — clock eviction (`crates/core/src/summary.rs`).
+///
+/// Concurrent shared `get`s mark reference bits while racing each
+/// other; the post-join `enforce_cap` sweep (exclusive, `&mut`) must
+/// honor every mark (evict only unreferenced entries) and eviction must
+/// never invalidate a summary a reader still holds. Together with the
+/// engines' deterministic reuse accounting this is the "eviction never
+/// changes outcomes" invariant.
+pub fn clock_eviction_sweep() {
+    let mut cache = SummaryCache::new();
+    for i in 0..4 {
+        cache.insert(key(i), Arc::new(Summary::default()));
+    }
+    let cache = Arc::new(cache);
+    let (c1, c2) = (Arc::clone(&cache), Arc::clone(&cache));
+    // Two readers marking overlapping entries, racing each other and a
+    // third lookup on this thread.
+    let r1 = loom::thread::spawn(move || c1.get(key(0)).map(|s| s.len()));
+    let r2 = loom::thread::spawn(move || c2.get(key(1)).map(|s| s.len()));
+    let held = cache.get(key(0));
+    let h1 = r1.join().unwrap();
+    let h2 = r2.join().unwrap();
+    // Shared lookups can never miss a live entry, under any schedule.
+    assert!(held.is_some() && h1.is_some() && h2.is_some(), "lost hit");
+    // Sweep after the readers retire (`enforce_cap` is `&mut`: Rust
+    // already forbids sweeping concurrently with `get`, and the model
+    // confirms the marks published by Relaxed stores are all visible
+    // to the sweep's RMW).
+    let mut cache = Arc::into_inner(cache).expect("readers retired");
+    let evicted = cache.enforce_cap(2);
+    assert_eq!(evicted, 2, "sweep must evict exactly down to cap");
+    // The marked entries (0 and 1) got their second chance; only the
+    // never-referenced entries (2 and 3) were evictable.
+    assert!(
+        cache.get(key(0)).is_some() && cache.get(key(1)).is_some(),
+        "sweep evicted a referenced entry: a concurrent get's mark was lost"
+    );
+    // Eviction never changes outcomes: a summary handed out before the
+    // sweep is untouched by it.
+    assert_eq!(
+        held.map(|s| s.len()),
+        Some(0),
+        "evicted data reached a reader"
+    );
+}
+
+/// Number of batch queries in the cursor harness (small enough to keep
+/// the DFS tree explorable, large enough that workers interleave).
+const BATCH: usize = 3;
+
+/// Kernel 3 — the work-stealing batch cursor + merge-on-join
+/// (`crates/core/src/session.rs`, `run_stealing`/`retire_slot`).
+///
+/// A faithful port of the claim loop: workers `fetch_add(1, Relaxed)`
+/// a shared cursor and record a result for each claimed index with a
+/// Relaxed store. Invariants: every index in `0..BATCH` is claimed
+/// exactly once (RMW atomicity, not ordering), every claimed result is
+/// visible at the join barrier (merge-on-join), and the epoch fence
+/// refuses to absorb a shard detached before an invalidation.
+pub fn batch_cursor_claims() {
+    let cursor = Arc::new(AtomicUsize::new(0));
+    // One result slot per query; 0 = never claimed. `run_batch`'s
+    // scatter asserts the same exactly-once property via `debug_assert`.
+    let slots: Arc<Vec<AtomicUsize>> = Arc::new((0..BATCH).map(|_| AtomicUsize::new(0)).collect());
+    let epoch = Arc::new(AtomicU64::new(5));
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        let (cur, slo) = (Arc::clone(&cursor), Arc::clone(&slots));
+        // Shard stamped with the session epoch at checkout — on the
+        // *session* thread before the workers spawn, exactly like
+        // `Session::run_batch` capturing `epoch` before `thread::scope`
+        // (a first version of this harness read the epoch inside the
+        // worker; the checker caught it racing the invalidation below).
+        let shard_epoch = epoch.load(Ordering::Relaxed);
+        workers.push(loom::thread::spawn(move || {
+            let mut claimed = Vec::new();
+            loop {
+                let i = cur.fetch_add(1, Ordering::Relaxed);
+                if i >= BATCH {
+                    break;
+                }
+                // "Run the query": the result is a pure function of the
+                // claimed global index (deterministic reuse accounting),
+                // so any interleaving produces identical values.
+                slo[i].store(i * 7 + 1, Ordering::Relaxed);
+                claimed.push(i);
+            }
+            (shard_epoch, claimed)
+        }));
+    }
+    let mut total = 0usize;
+    let mut absorbed = Vec::new();
+    for (wi, w) in workers.into_iter().enumerate() {
+        let (shard_epoch, claimed) = w.join().unwrap();
+        total += claimed.len();
+        // retire_slot's fence: a shard detached under an older epoch
+        // than the session's current one must NOT be absorbed.
+        if shard_epoch == epoch.load(Ordering::Relaxed) {
+            absorbed.push((wi, claimed));
+        }
+        if wi == 0 {
+            // An invalidation lands between the two joins (it is
+            // `&mut self` in the real session, hence on this thread):
+            // the second worker's shard is now fenced.
+            epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    assert_eq!(total, BATCH, "claims lost or duplicated");
+    // Exactly-once: every slot was filled by exactly one claim, and the
+    // claimed results are all visible after join (merge-on-join HB).
+    for i in 0..BATCH {
+        assert_eq!(
+            slots[i].load(Ordering::Relaxed),
+            i * 7 + 1,
+            "index {i} not claimed exactly once or its result not visible at join"
+        );
+    }
+    // The fence admitted only the pre-invalidation join.
+    assert_eq!(absorbed.len(), 1, "fenced shard absorbed");
+    assert_eq!(absorbed[0].0, 0, "wrong shard absorbed");
+}
+
+/// Kernel 4 — the Unix server's stop flag and id counter
+/// (`crates/service/src/server.rs`, `serve_unix`).
+///
+/// The event loop finishes delivering answers, then stores `stop` with
+/// Release; the acceptor polls with Acquire. Invariant ("no answer
+/// after stop"): an acceptor that observes the stop also observes every
+/// answer the loop delivered before requesting it — so it can never
+/// accept a connection whose answers would race the shutdown. Client
+/// ids stay unique under racing accepts.
+pub fn server_stop_flag() {
+    let answered = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ids = Arc::new(AtomicU64::new(0));
+    let (a2, s2) = (Arc::clone(&answered), Arc::clone(&stop));
+    let event_loop = loom::thread::spawn(move || {
+        // `event_loop` returns (all frames written)...
+        a2.store(true, Ordering::Relaxed);
+        // ...then serve_unix publishes the stop request.
+        s2.store(true, Ordering::Release);
+    });
+    // The acceptor's poll (while-loop head in serve_unix).
+    if stop.load(Ordering::Acquire) {
+        assert!(
+            answered.load(Ordering::Relaxed),
+            "acceptor observed stop before the final answers were visible"
+        );
+    }
+    // Racing id allocations stay unique (RMW atomicity).
+    let i2 = Arc::clone(&ids);
+    let alloc = loom::thread::spawn(move || i2.fetch_add(1, Ordering::Relaxed) + 1);
+    let mine = ids.fetch_add(1, Ordering::Relaxed) + 1;
+    let theirs = alloc.join().unwrap();
+    assert_ne!(mine, theirs, "duplicate client id");
+    assert_eq!(mine.max(theirs), 2, "ids must be dense");
+    event_loop.join().unwrap();
+    assert!(stop.load(Ordering::Acquire), "stop request lost");
+}
+
+/// Kernel 5 — the cancel-registry fast path
+/// (`crates/service/src/daemon.rs`, `CancelRegistry`).
+///
+/// Drives the real registry: the scheduler thread registers a token at
+/// ingest and polls it mid-query; a reader thread races `cancel` (the
+/// fast path that flips tokens while the scheduler is mid-query).
+/// Invariants: a registered token is always found, the flip is never
+/// lost (visible at the latest by the post-join poll), and an
+/// unregistered token is unreachable. Lock-order deadlocks would be
+/// reported by the explorer automatically.
+pub fn cancel_registry_fast_path() {
+    let registry = CancelRegistry::default();
+    let token = Arc::new(CancelToken::new());
+    // Ingest: the daemon registers before the query starts running.
+    registry.insert(1, 7, Arc::clone(&token));
+    let reg2 = registry.clone();
+    let reader = loom::thread::spawn(move || reg2.cancel(1, 7));
+    // The query polls at budget-charge granularity while the reader
+    // races the flip; observing the cancel early is legal, not required.
+    let mid_query = token.is_cancelled();
+    let found = reader.join().unwrap();
+    assert!(found, "registered token not found by the fast path");
+    // No lost cancellation: after the reader retires, the very next
+    // poll observes the flip.
+    assert!(token.is_cancelled(), "cancel flip lost");
+    let _ = mid_query;
+    // Completion: the scheduler unregisters; a late cancel frame for
+    // the finished request finds nothing (and is answered idempotently
+    // by the daemon's own ingest path).
+    registry.remove(1, 7);
+    assert!(!registry.cancel(1, 7), "removed token still cancellable");
+}

@@ -1,0 +1,127 @@
+//! Model-checked harnesses for the workspace's concurrency kernels.
+//!
+//! Each harness in [`kernels`] drives *real* workspace code (or, where
+//! scoped threads make that impossible, a faithful port of the kernel's
+//! exact operation sequence onto the same facade types) under the
+//! vendored loom-style schedule explorer, asserting the repo's actual
+//! invariants across ≥1,000 explored schedules:
+//!
+//! 1. **`CancelToken`** — no lost cancellation: once any canceller's
+//!    store is joined, `is_cancelled()` is `true`, and the flag is
+//!    sticky (never observed flipping back).
+//! 2. **Clock eviction** (`SummaryCache`) — eviction never changes
+//!    outcomes: concurrent `get`s always hit live entries, their marks
+//!    are never lost, and the post-join sweep evicts only unreferenced
+//!    entries while summaries held via `Arc` stay intact.
+//! 3. **Work-stealing cursor** (`Session::run_batch`) — every batch
+//!    index is claimed exactly once, every claimed result is visible at
+//!    the join barrier, and the epoch fence rejects a shard detached
+//!    before an invalidation.
+//! 4. **Server stop flag** (`serve_unix`) — no answer after stop: an
+//!    acceptor that observes `stop` also observes everything the event
+//!    loop completed first; client ids are unique and dense.
+//! 5. **Cancel registry** (`CancelRegistry`) — the reader-thread fast
+//!    path finds registered tokens, cancellation is never lost, and
+//!    unregistered tokens are unreachable.
+//!
+//! The mutation tests (`tests/mutations.rs`) prove detection power by
+//! seeding deliberate weakenings of kernels 2–4 and asserting the
+//!   explorer catches each with a replayable trace.
+//!
+//! Run everything through `make model-check` at the repo root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use loom::model::{Builder, Failure, Report};
+
+pub mod kernels;
+
+/// Exploration floor every kernel harness must clear (the CI gate's
+/// "≥1k schedules per kernel" acceptance criterion).
+pub const MIN_SCHEDULES: usize = 1_000;
+
+/// The explorer configuration shared by every harness: exhaustive DFS
+/// up to 5k schedules, a seeded random phase when the tree is larger,
+/// and padding up to the [`MIN_SCHEDULES`] floor for small state spaces.
+pub fn explorer() -> Builder {
+    Builder {
+        max_schedules: 5_000,
+        random_schedules: 1_000,
+        min_schedules: MIN_SCHEDULES,
+        ..Builder::new()
+    }
+}
+
+/// Directory failing-schedule traces are written to (a CI artifact).
+/// `MODELCHECK_TRACE_DIR` overrides; the default resolves to the repo's
+/// shared `target/modelcheck/` from this crate's directory.
+pub fn trace_dir() -> PathBuf {
+    match std::env::var_os("MODELCHECK_TRACE_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/modelcheck"),
+    }
+}
+
+fn write_trace(name: &str, failure: &Failure) {
+    let dir = trace_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // artifact is best-effort; the assertion still fires
+    }
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.trace"))) {
+        let _ = writeln!(f, "harness: {name}");
+        let _ = writeln!(f, "message: {}", failure.message);
+        let _ = writeln!(f, "schedules: {}", failure.schedules);
+        let _ = writeln!(f, "trace: {}", failure.trace);
+        let _ = writeln!(
+            f,
+            "replay: parse the `trace:` line with loom::model::Trace and pass it to \
+             loom::model::Builder::replay against the `{name}` harness"
+        );
+    }
+}
+
+/// Runs `harness` under the shared explorer and asserts it passes every
+/// schedule **and** clears the [`MIN_SCHEDULES`] floor. On failure the
+/// trace is written to [`trace_dir`] (CI uploads it) before panicking.
+pub fn expect_pass(name: &str, harness: fn()) -> Report {
+    match explorer().check_result(harness) {
+        Ok(report) => {
+            assert!(
+                report.schedules >= MIN_SCHEDULES,
+                "{name}: explored only {} schedules (< {MIN_SCHEDULES} floor)",
+                report.schedules
+            );
+            report
+        }
+        Err(failure) => {
+            write_trace(name, &failure);
+            panic!("{name}: {failure}");
+        }
+    }
+}
+
+/// Runs a deliberately weakened kernel (a mutation seed) and asserts
+/// the explorer catches it — and that the failing schedule's serialized
+/// trace replays deterministically to the same assertion. The caught
+/// trace is written to [`trace_dir`] as proof.
+pub fn expect_caught(name: &str, mutant: fn()) -> Failure {
+    let failure = explorer()
+        .check_result(mutant)
+        .expect_err("mutation must be caught by the explorer");
+    write_trace(name, &failure);
+    // Round-trip through the wire format, then replay: same assertion.
+    let wire = failure.trace.to_string();
+    let parsed: loom::model::Trace = wire.parse().expect("trace must serialize round-trip");
+    let replayed = explorer()
+        .replay(&parsed, mutant)
+        .expect_err("replaying the failing schedule must fail again");
+    assert_eq!(
+        replayed.message, failure.message,
+        "{name}: replay diverged from the recorded failure"
+    );
+    failure
+}

@@ -1,0 +1,54 @@
+//! The CI gate: every kernel harness passes every explored schedule
+//! and clears the ≥1,000-schedule floor. A failure writes its
+//! replayable trace to `target/modelcheck/<name>.trace` (uploaded as a
+//! CI artifact) before panicking.
+
+use dynsum_modelcheck::{expect_pass, kernels};
+
+#[test]
+fn cancel_token_flag() {
+    let report = expect_pass("cancel_token_flag", kernels::cancel_token_flag);
+    println!(
+        "cancel_token_flag: {} schedules (exhausted: {})",
+        report.schedules, report.exhausted
+    );
+}
+
+#[test]
+fn clock_eviction_sweep() {
+    let report = expect_pass("clock_eviction_sweep", kernels::clock_eviction_sweep);
+    println!(
+        "clock_eviction_sweep: {} schedules (exhausted: {})",
+        report.schedules, report.exhausted
+    );
+}
+
+#[test]
+fn batch_cursor_claims() {
+    let report = expect_pass("batch_cursor_claims", kernels::batch_cursor_claims);
+    println!(
+        "batch_cursor_claims: {} schedules (exhausted: {})",
+        report.schedules, report.exhausted
+    );
+}
+
+#[test]
+fn server_stop_flag() {
+    let report = expect_pass("server_stop_flag", kernels::server_stop_flag);
+    println!(
+        "server_stop_flag: {} schedules (exhausted: {})",
+        report.schedules, report.exhausted
+    );
+}
+
+#[test]
+fn cancel_registry_fast_path() {
+    let report = expect_pass(
+        "cancel_registry_fast_path",
+        kernels::cancel_registry_fast_path,
+    );
+    println!(
+        "cancel_registry_fast_path: {} schedules (exhausted: {})",
+        report.schedules, report.exhausted
+    );
+}

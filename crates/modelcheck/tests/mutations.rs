@@ -1,0 +1,131 @@
+//! Mutation tests: deliberately weakened copies of the kernels, each of
+//! which the explorer must catch with a replayable trace — proof that
+//! the clean runs in `tests/kernels.rs` are meaningful, not vacuous.
+//!
+//! Each mutant reproduces a specific weakening named in the issue:
+//!
+//! 1. `serve_unix`'s `stop.store(…, Release)` dropped to `Relaxed` —
+//!    the acceptor can observe the stop before the final answers.
+//! 2. The clock reference bit's `swap` split into a plain load+store —
+//!    a concurrent `get`'s mark can be silently erased.
+//! 3. The batch cursor's `fetch_add` split into a load+store — two
+//!    workers can claim the same index and starve another.
+//!
+//! `expect_caught` asserts the failure, serializes the trace, parses it
+//! back, replays it, and checks the replay reproduces the identical
+//! assertion message.
+
+use dynsum_cfl::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use dynsum_cfl::sync::Arc;
+use dynsum_modelcheck::expect_caught;
+
+/// Mutation 1: the stop flag published with `Relaxed` instead of
+/// `Release`. The acceptor's Acquire load then synchronizes with
+/// nothing, so it may see `stop == true` while the loop's prior
+/// `answered` store is still invisible — exactly the reordering the
+/// real `Release` forbids.
+fn mutant_server_stop_relaxed() {
+    let answered = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (a2, s2) = (Arc::clone(&answered), Arc::clone(&stop));
+    let event_loop = loom::thread::spawn(move || {
+        a2.store(true, Ordering::Relaxed);
+        s2.store(true, Ordering::Relaxed); // MUTATION: was Release
+    });
+    if stop.load(Ordering::Acquire) {
+        assert!(
+            answered.load(Ordering::Relaxed),
+            "acceptor observed stop before the final answers were visible"
+        );
+    }
+    event_loop.join().unwrap();
+}
+
+#[test]
+fn catches_dropped_release_on_stop_flag() {
+    let failure = expect_caught("mutant_server_stop_relaxed", mutant_server_stop_relaxed);
+    assert!(
+        failure.message.contains("before the final answers"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// Mutation 2: the sweep's atomic `swap(false)` split into
+/// `load` + `store(false)`. A `get`'s mark landing between the two is
+/// erased without being observed — the mark neither grants this sweep's
+/// second chance nor survives to the next, so a referenced entry ages
+/// out as if never touched.
+fn mutant_clock_bit_load_store() {
+    let referenced = Arc::new(AtomicBool::new(false));
+    let r2 = Arc::clone(&referenced);
+    // A shared `get` marking recency, racing the sweep.
+    let getter = loom::thread::spawn(move || r2.store(true, Ordering::Relaxed));
+    // MUTATION: the sweep's `swap(false, Relaxed)` done non-atomically.
+    let observed = referenced.load(Ordering::Relaxed);
+    referenced.store(false, Ordering::Relaxed);
+    getter.join().unwrap();
+    let survives = referenced.load(Ordering::Relaxed);
+    // The real swap guarantees: a concurrent mark is either observed by
+    // this sweep (second chance now) or still set afterwards (second
+    // chance at the next sweep). Never neither.
+    assert!(
+        observed || survives,
+        "recency mark erased: neither observed by the sweep nor preserved"
+    );
+}
+
+#[test]
+fn catches_clock_bit_lost_mark() {
+    let failure = expect_caught("mutant_clock_bit_load_store", mutant_clock_bit_load_store);
+    assert!(
+        failure.message.contains("recency mark erased"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// Mutation 3: the claim cursor's `fetch_add` split into
+/// `load` + `store(i + 1)`. Two workers can read the same cursor value
+/// and claim the same index, double-running one query and never running
+/// another — breaking `run_batch`'s exactly-once scatter.
+fn mutant_cursor_double_claim() {
+    const BATCH: usize = 2;
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let slots: Arc<Vec<AtomicUsize>> = Arc::new((0..BATCH).map(|_| AtomicUsize::new(0)).collect());
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        let (cur, slo) = (Arc::clone(&cursor), Arc::clone(&slots));
+        workers.push(loom::thread::spawn(move || {
+            loop {
+                // MUTATION: was `cur.fetch_add(1, Relaxed)`.
+                let i = cur.load(Ordering::Relaxed);
+                cur.store(i + 1, Ordering::Relaxed);
+                if i >= BATCH {
+                    break;
+                }
+                slo[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    for i in 0..BATCH {
+        assert_eq!(
+            slots[i].load(Ordering::Relaxed),
+            1,
+            "index {i} not claimed exactly once"
+        );
+    }
+}
+
+#[test]
+fn catches_cursor_double_claim() {
+    let failure = expect_caught("mutant_cursor_double_claim", mutant_cursor_double_claim);
+    assert!(
+        failure.message.contains("not claimed exactly once"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}

@@ -36,8 +36,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use dynsum_cfl::sync::{Mutex, MutexGuard, PoisonError};
 
 use dynsum_cfl::{CancelToken, Outcome};
 use dynsum_core::{
@@ -121,19 +123,23 @@ impl CancelRegistry {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, TokenMap> {
+    fn lock(&self) -> MutexGuard<'_, TokenMap> {
         // A reader thread that panicked while holding the lock poisons
         // it; the map itself is still consistent (no partial writes).
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn insert(&self, client: ClientId, request: u64, token: Arc<CancelToken>) {
+    // `insert`/`remove` are hidden-public rather than private so the
+    // out-of-workspace model-check harness (crates/modelcheck) can
+    // drive the real registration/cancel/unregister protocol under the
+    // schedule explorer. They are not part of the supported API.
+    #[doc(hidden)]
+    pub fn insert(&self, client: ClientId, request: u64, token: Arc<CancelToken>) {
         self.lock().insert((client, request), token);
     }
 
-    fn remove(&self, client: ClientId, request: u64) {
+    #[doc(hidden)]
+    pub fn remove(&self, client: ClientId, request: u64) {
         self.lock().remove(&(client, request));
     }
 }

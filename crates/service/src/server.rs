@@ -24,6 +24,8 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::mpsc;
 
+use dynsum_cfl::sync::thread;
+
 use crate::daemon::{CancelRegistry, ClientId, Daemon};
 use crate::proto::{parse_request, Request, MAX_FRAME_BYTES};
 
@@ -151,7 +153,7 @@ where
         writers.insert(id, write_half);
         let tx = tx.clone();
         let registry = registry.clone();
-        std::thread::spawn(move || pump_lines(read_half, id, &registry, &tx));
+        thread::spawn(move || pump_lines(read_half, id, &registry, &tx));
     }
     drop(tx); // the loop's channel closes when the last reader exits
     event_loop(daemon, &rx, writers);
@@ -228,8 +230,9 @@ pub fn serve_stdio(daemon: &mut Daemon<'_>) {
 #[cfg(unix)]
 pub fn serve_unix(daemon: &mut Daemon<'_>, path: &std::path::Path) -> std::io::Result<()> {
     use std::os::unix::net::{UnixListener, UnixStream};
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
+
+    use dynsum_cfl::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
@@ -240,11 +243,22 @@ pub fn serve_unix(daemon: &mut Daemon<'_>, path: &std::path::Path) -> std::io::R
     let acceptor = {
         let stop = Arc::clone(&stop);
         let tx = tx.clone();
-        std::thread::spawn(move || {
+        thread::spawn(move || {
             let ids = AtomicU64::new(0);
+            // Ordering::Acquire — pairs with the event loop's Release
+            // store below: once the acceptor observes `stop`, it also
+            // observes everything the event loop did before requesting
+            // the stop (all answers delivered, writers shut down), so
+            // no connection is accepted-then-answered after shutdown.
+            // Model-checked: no answer after stop (crates/modelcheck,
+            // `server_stop_*`).
             while !stop.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        // Ordering::Relaxed — the RMW's atomicity alone
+                        // guarantees unique, monotone client ids; the
+                        // counter is thread-local to the acceptor today
+                        // and orders nothing else.
                         let id = ids.fetch_add(1, Ordering::Relaxed) + 1;
                         if stream.set_nonblocking(false).is_err() {
                             continue;
@@ -258,10 +272,10 @@ pub fn serve_unix(daemon: &mut Daemon<'_>, path: &std::path::Path) -> std::io::R
                         }
                         let tx = tx.clone();
                         let registry = registry.clone();
-                        std::thread::spawn(move || pump_lines(stream, id, &registry, &tx));
+                        thread::spawn(move || pump_lines(stream, id, &registry, &tx));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        thread::sleep(std::time::Duration::from_millis(5));
                     }
                     Err(_) => return,
                 }
@@ -275,6 +289,9 @@ pub fn serve_unix(daemon: &mut Daemon<'_>, path: &std::path::Path) -> std::io::R
     for (_, stream) in writers {
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
+    // Ordering::Release — publishes everything the event loop completed
+    // (final frames written, streams shut down) to the acceptor's
+    // Acquire load above before it can observe the stop request.
     stop.store(true, Ordering::Release);
     let _ = acceptor.join();
     let _ = std::fs::remove_file(path);

@@ -62,8 +62,8 @@ fn main() {
     let mut session = Session::new(&workload.pag, EngineKind::DynSum);
     let watchdog = {
         let token = Arc::clone(&token);
-        std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_micros(300));
+        dynsum_cfl::sync::thread::spawn(move || {
+            dynsum_cfl::sync::thread::sleep(Duration::from_micros(300));
             token.cancel();
         })
     };

@@ -103,7 +103,7 @@ mod example {
     ) -> Vec<String> {
         let (client_half, server_half) = UnixStream::pair().expect("socketpair");
         let mut fingerprints = Vec::new();
-        std::thread::scope(|scope| {
+        dynsum_cfl::sync::thread::scope(|scope| {
             scope.spawn(|| {
                 let mut daemon = Daemon::new(
                     vec![ServedWorkload {

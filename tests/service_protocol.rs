@@ -399,7 +399,7 @@ fn serve_pair_transport_survives_malformed_lines_and_shuts_down() {
 
     let m = motivating_pag();
     let (client_half, server_half) = UnixStream::pair().expect("socketpair");
-    std::thread::scope(|scope| {
+    dynsum_cfl::sync::thread::scope(|scope| {
         scope.spawn(|| {
             let mut daemon = daemon_over(&m, ServiceConfig::default());
             let reader = server_half.try_clone().expect("clone");

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# lint-sync — forbid raw `std::sync::atomic` / `std::thread` outside the
+# `dynsum_cfl::sync` facade (crates/cfl/src/sync.rs).
+#
+# Every concurrency kernel in the workspace must go through the facade
+# so the model-check feature can swap it onto the instrumented loom-shim
+# types; a raw import silently escapes schedule exploration. See
+# docs/ARCHITECTURE.md, "Concurrency model & verification".
+#
+# Scans crates/, src/, examples/, tests/ (vendor/ is exempt: the shims
+# themselves must build on std). Exits non-zero listing any violation.
+#
+# Every run also executes a self-test: a temporary probe file with a raw
+# atomic import is planted in a scanned directory and the scan must
+# reject it — so a silently broken grep can never report a green gate.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+facade='crates/cfl/src/sync.rs'
+pattern='std::(sync::atomic|thread)\b'
+
+scan() {
+    # || true: grep exits 1 on "no matches", which is our success case.
+    grep -RInE "$pattern" --include='*.rs' crates src examples tests 2>/dev/null \
+        | grep -v "^$facade:" \
+        | grep -v '/target/' || true
+}
+
+# --- self-test: the gate must reject a raw-atomic probe -------------------
+probe='tests/__lint_sync_probe.rs'
+cleanup() { rm -f "$probe"; }
+trap cleanup EXIT
+cat > "$probe" <<'EOF'
+// lint-sync self-test probe (deleted after the run; never compiled).
+use std::sync::atomic::AtomicBool;
+EOF
+if ! scan | grep -q "^$probe:"; then
+    echo "lint-sync: SELF-TEST FAILED — the scan did not flag the probe ($probe)" >&2
+    exit 2
+fi
+cleanup
+trap - EXIT
+
+# --- the actual gate ------------------------------------------------------
+violations="$(scan)"
+if [ -n "$violations" ]; then
+    echo "lint-sync: raw std::sync::atomic / std::thread outside the facade:" >&2
+    echo "$violations" >&2
+    echo >&2
+    echo "Import these through dynsum_cfl::sync (crates/cfl/src/sync.rs) instead," >&2
+    echo "so the concurrency stays visible to 'make model-check'." >&2
+    exit 1
+fi
+echo "lint-sync: ok (facade: $facade; self-test passed)"

@@ -1,0 +1,54 @@
+//! Vendored loom-style bounded schedule explorer for the dynsum
+//! workspace (offline shim — same API shape as the `loom` crate for the
+//! operations this codebase uses, not the upstream implementation).
+//!
+//! # What this is
+//!
+//! A systematic concurrency tester: run a closure many times, each time
+//! under a *different* thread interleaving and store-visibility choice,
+//! chosen by a bounded-exhaustive DFS with a seeded random fallback.
+//! Assertions inside the closure therefore get checked across the
+//! schedule space instead of whatever the OS happens to produce, and a
+//! failing schedule is reported as a serialized, replayable
+//! [`model::Trace`].
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || n2.fetch_add(1, Ordering::Relaxed));
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     // RMWs cannot lose updates, under any schedule:
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! # How it works
+//!
+//! See the `rt` module docs (in-source): virtual threads are real OS
+//! threads serialized by a baton-passing scheduler; every
+//! synchronization operation is a choice point; atomic locations keep
+//! their full store history with vector clocks so `Relaxed` loads can
+//! observe stale values that `Acquire`/`Release` pairs would forbid.
+//! The explorer ([`model::Builder`]) enumerates choice sequences.
+//!
+//! # Dual-mode types
+//!
+//! [`sync`] and [`thread`] types fall back to their `std` counterparts
+//! when used outside a model run, so production code compiled against a
+//! facade that re-exports them keeps its normal semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub(crate) mod rt;
+
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

@@ -1,0 +1,348 @@
+//! The schedule explorer: bounded-exhaustive DFS over choice points
+//! with a seeded random fallback, and replayable failing traces.
+//!
+//! A *schedule* is the sequence of decisions the runtime made — which
+//! thread ran at each handoff, which store each load observed. The DFS
+//! phase enumerates these sequences systematically (depth-first over
+//! the choice tree, replaying the shared prefix each run); when the
+//! tree is larger than [`Builder::max_schedules`], a second phase runs
+//! [`Builder::random_schedules`] seeded-random schedules to sample the
+//! remainder. Every failing schedule — DFS or random — is reported as a
+//! [`Trace`] that [`Builder::replay`] re-executes deterministically.
+
+use std::sync::Arc;
+
+use crate::rt::{Choice, Mode, Rt};
+
+/// Configuration for one exploration run.
+///
+/// The defaults suit kernel-sized harnesses (2–4 threads, a few dozen
+/// synchronization operations): exhaustive where feasible, bounded and
+/// randomized where not, always deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// DFS budget: systematic schedules explored before falling back.
+    pub max_schedules: usize,
+    /// Random schedules run when DFS did not exhaust the tree.
+    pub random_schedules: usize,
+    /// Pad with extra random schedules until at least this many total
+    /// ran — harnesses use it to guarantee an exploration floor even
+    /// for small state spaces.
+    pub min_schedules: usize,
+    /// Seed for the random phase (fixed ⇒ reproducible CI).
+    pub seed: u64,
+    /// Per-schedule step bound (catches livelocks / unbounded spins).
+    pub max_steps: u64,
+    /// Maximum virtual threads per schedule.
+    pub max_threads: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_schedules: 10_000,
+            random_schedules: 2_000,
+            min_schedules: 0,
+            seed: 0x05EE_DC11,
+            max_steps: 50_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// A passing exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Total schedules executed (DFS + random).
+    pub schedules: usize,
+    /// `true` when the DFS phase enumerated the *entire* choice tree —
+    /// the result is then exhaustive, not sampled.
+    pub exhausted: bool,
+}
+
+/// A failing exploration: the first schedule that violated an
+/// assertion (or deadlocked), with everything needed to re-run it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic message (or deadlock description) of the failing run.
+    pub message: String,
+    /// The failing schedule, replayable via [`Builder::replay`].
+    pub trace: Trace,
+    /// Schedules executed up to and including the failing one.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} schedule(s): {}\nfailing trace: {}\n\
+             (replay with loom::model::Builder::replay(trace.parse()?))",
+            self.schedules, self.message, self.trace
+        )
+    }
+}
+
+/// A serialized schedule: the recorded `(options, chosen)` pairs of
+/// every decision the failing run made.
+///
+/// The wire form is `mc1:` followed by `options.chosen` pairs separated
+/// by commas — stable, line-friendly, and diffable:
+///
+/// ```
+/// use loom::model::Trace;
+///
+/// let t: Trace = "mc1:2.1,3.0,2.1".parse().unwrap();
+/// assert_eq!(t.to_string(), "mc1:2.1,3.0,2.1");
+/// assert_eq!(t.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    pub(crate) choices: Vec<Choice>,
+}
+
+impl Trace {
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// `true` for the empty (single-schedule) trace.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mc1:")?;
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}.{}", c.options, c.chosen)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`Trace`] wire string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError(String);
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid model-check trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl std::str::FromStr for Trace {
+    type Err = TraceParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix("mc1:")
+            .ok_or_else(|| TraceParseError("missing `mc1:` prefix".into()))?;
+        let mut choices = Vec::new();
+        for (i, pair) in body.split(',').enumerate() {
+            if pair.is_empty() && body.is_empty() {
+                break; // empty trace
+            }
+            let (o, c) = pair
+                .split_once('.')
+                .ok_or_else(|| TraceParseError(format!("pair {i}: missing `.` in `{pair}`")))?;
+            let options: u32 = o
+                .parse()
+                .map_err(|_| TraceParseError(format!("pair {i}: bad options `{o}`")))?;
+            let chosen: u32 = c
+                .parse()
+                .map_err(|_| TraceParseError(format!("pair {i}: bad choice `{c}`")))?;
+            if options < 2 || chosen >= options {
+                return Err(TraceParseError(format!(
+                    "pair {i}: choice {chosen} out of range for {options} options"
+                )));
+            }
+            choices.push(Choice { options, chosen });
+        }
+        Ok(Trace { choices })
+    }
+}
+
+/// Outcome of one schedule.
+struct RunOutcome {
+    failure: Option<String>,
+    choices: Vec<Choice>,
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explores `f` and panics (with the failing trace in the message)
+    /// on the first schedule that fails — the `loom::model` behavior.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Err(failure) = self.check_result(f) {
+            panic!("{failure}");
+        }
+    }
+
+    /// Explores `f`, returning either a [`Report`] (all explored
+    /// schedules passed) or the first [`Failure`].
+    pub fn check_result<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_filter();
+        let f = Arc::new(f);
+        let rt = Rt::new();
+        let mut choices: Vec<Choice> = Vec::new();
+        let mut schedules = 0usize;
+        let mut exhausted = false;
+        while schedules < self.max_schedules {
+            let out = run_one(&rt, &f, Mode::Dfs, std::mem::take(&mut choices), self);
+            schedules += 1;
+            choices = out.choices;
+            if let Some(message) = out.failure {
+                return Err(Failure {
+                    message,
+                    trace: Trace { choices },
+                    schedules,
+                });
+            }
+            if !next_dfs(&mut choices) {
+                exhausted = true;
+                break;
+            }
+        }
+        let mut extra = if exhausted { 0 } else { self.random_schedules };
+        if schedules + extra < self.min_schedules {
+            extra = self.min_schedules - schedules;
+        }
+        for i in 0..extra {
+            let out = run_one(
+                &rt,
+                &f,
+                Mode::Random(self.seed.wrapping_add(i as u64)),
+                Vec::new(),
+                self,
+            );
+            schedules += 1;
+            if let Some(message) = out.failure {
+                return Err(Failure {
+                    message,
+                    trace: Trace {
+                        choices: out.choices,
+                    },
+                    schedules,
+                });
+            }
+        }
+        Ok(Report {
+            schedules,
+            exhausted,
+        })
+    }
+
+    /// Re-executes exactly one schedule — the one `trace` records.
+    /// Returns the failure it reproduces, or a [`Report`] if the trace
+    /// no longer fails (e.g. after a fix).
+    pub fn replay<F>(&self, trace: &Trace, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_filter();
+        let f = Arc::new(f);
+        let rt = Rt::new();
+        let out = run_one(&rt, &f, Mode::Replay, trace.choices.clone(), self);
+        match out.failure {
+            Some(message) => Err(Failure {
+                message,
+                trace: Trace {
+                    choices: out.choices,
+                },
+                schedules: 1,
+            }),
+            None => Ok(Report {
+                schedules: 1,
+                exhausted: false,
+            }),
+        }
+    }
+}
+
+/// DFS backtrack: drop exhausted trailing decisions, bump the deepest
+/// one with untried options. Returns `false` when the tree is done.
+fn next_dfs(choices: &mut Vec<Choice>) -> bool {
+    while let Some(last) = choices.last() {
+        if last.chosen + 1 < last.options {
+            let i = choices.len() - 1;
+            choices[i].chosen += 1;
+            return true;
+        }
+        choices.pop();
+    }
+    false
+}
+
+/// Runs one schedule to completion and harvests its outcome.
+fn run_one<F>(rt: &Arc<Rt>, f: &Arc<F>, mode: Mode, choices: Vec<Choice>, b: &Builder) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    {
+        let mut g = rt.lock();
+        g.reset(mode, choices, b.max_steps, b.max_threads);
+    }
+    let body = Arc::clone(f);
+    rt.start_root(move || (*body)());
+    // Wait for every OS thread of this schedule to retire.
+    let mut g = rt.lock();
+    loop {
+        if g.live == 0 {
+            break;
+        }
+        let (ng, timeout) = rt.wait_done(g);
+        g = ng;
+        if timeout && g.live > 0 && g.failure.is_none() {
+            g.failure = Some("internal: execution hung (live threads)".to_string());
+            rt.notify();
+        }
+    }
+    RunOutcome {
+        failure: g.failure.take(),
+        choices: std::mem::take(&mut g.choices),
+    }
+}
+
+/// Model-thread panics are reported through [`Failure`] (the payload is
+/// captured by the runtime); silence the default stderr backtrace noise
+/// for those threads only, forwarding everything else untouched.
+fn install_panic_filter() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if crate::rt::in_model_thread() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Explores `f` under the default bounds, panicking on the first
+/// failing schedule — the drop-in `loom::model` entry point.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f);
+}

@@ -1,0 +1,837 @@
+//! The model-checking runtime: a cooperative scheduler that serializes
+//! virtual threads at synchronization operations, a store-history memory
+//! model with vector clocks, and the unified choice-point machinery the
+//! explorer drives.
+//!
+//! # Execution model
+//!
+//! Every virtual thread runs on a real OS thread, but at most one is
+//! ever *active*: a thread runs freely between synchronization
+//! operations (which cannot race — all shared state goes through the
+//! instrumented types) and parks at each one until the scheduler hands
+//! it the baton. Each handoff is a **choice point**: the explorer
+//! decides which runnable thread performs its pending operation next.
+//! Loads from atomics are a second kind of choice point: the memory
+//! model computes the set of stores the load may legally observe (see
+//! below) and the explorer picks one. Both kinds flow through the same
+//! [`Exec::choose`] hook, so a schedule is just a sequence of small
+//! integers — which is what makes failing schedules serializable and
+//! replayable ([`crate::model::Trace`]).
+//!
+//! # Memory model
+//!
+//! A sound under-approximation of C11 for the operations the workspace
+//! uses:
+//!
+//! * every atomic location keeps its full store history in modification
+//!   order (append order — stores are never reordered within a
+//!   location, a deliberate simplification);
+//! * a load may observe any store not superseded for the loading thread:
+//!   nothing older than a store that happens-before the load, nothing
+//!   older than what the thread already read or wrote (per-location
+//!   coherence floors);
+//! * `Release` stores publish the writer's vector clock; `Acquire`
+//!   loads that observe them join it (so `Relaxed` loads can keep
+//!   seeing stale values of *other* locations — the reordering weak
+//!   hardware actually performs);
+//! * read-modify-writes always observe the latest store (C11 atomicity);
+//! * `SeqCst` operations additionally synchronize through a global
+//!   clock, approximating the single total order.
+//!
+//! Under-approximations can only hide behaviors real hardware has, never
+//! invent impossible ones: every failure the checker reports corresponds
+//! to a legal execution.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Re-exported memory orderings (the std enum, so facade code keeps
+/// `Ordering::` spellings unchanged under the model).
+pub use std::sync::atomic::Ordering;
+
+/// Globally unique execution ids, so instrumented objects can detect
+/// that a new execution started and re-register their locations.
+static EXEC_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Internal watchdog: a virtual thread parked longer than this has hit
+/// a runtime bug (lost wakeup); fail loudly instead of hanging CI.
+const PARK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Sentinel writer id for a location's initial store: it
+/// happens-before everything (construction precedes the model run).
+const INIT_WRITER: usize = usize::MAX;
+
+/// Panic payload used to tear worker threads down once a failure is
+/// recorded; the wrapper recognizes it and does not report it again.
+pub(crate) struct Abort;
+
+/// A vector clock over virtual thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: usize, v: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = v;
+    }
+
+    fn incr(&mut self, tid: usize) -> u32 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+}
+
+/// One store in a location's modification order.
+#[derive(Debug, Clone)]
+struct Store {
+    val: u64,
+    /// Writer's clock published iff the store was `Release` or stronger;
+    /// acquire loads that observe the store join it. (`SeqCst` ordering
+    /// is modeled separately through [`Exec::sc_clock`], not per-store.)
+    release: Option<VClock>,
+    /// Writer thread + its clock component at store time, for
+    /// happens-before tests ([`Exec::store_hb`]).
+    by: usize,
+    at: u32,
+}
+
+/// What a location is.
+#[derive(Debug)]
+enum LocKind {
+    Atomic,
+    Mutex { held_by: Option<usize> },
+}
+
+#[derive(Debug)]
+struct Loc {
+    kind: LocKind,
+    stores: Vec<Store>,
+}
+
+/// Why a thread cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting for a thread to finish.
+    Join(usize),
+    /// Waiting for a mutex location to be released.
+    Lock(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    state: Run,
+    clock: VClock,
+    /// Per-location coherence floor: the smallest store index this
+    /// thread may still legally observe.
+    floors: Vec<usize>,
+}
+
+/// How choices are produced.
+pub(crate) enum Mode {
+    /// Systematic DFS: replay the recorded prefix, then take the first
+    /// untried option at the frontier; the driver backtracks between
+    /// executions.
+    Dfs,
+    /// Seeded pseudo-random choices (SplitMix64), recorded so a failing
+    /// random schedule is just as replayable as a DFS one.
+    Random(u64),
+    /// Replay a fixed choice sequence exactly.
+    Replay,
+}
+
+/// One recorded decision: how many options existed, which was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub options: u32,
+    pub chosen: u32,
+}
+
+/// State of one execution (one schedule). Reset between runs; the
+/// `choices` vector is installed by the driver and harvested after.
+pub(crate) struct Exec {
+    pub exec_id: u64,
+    pub mode: Mode,
+    pub choices: Vec<Choice>,
+    pub depth: usize,
+    threads: Vec<ThreadSt>,
+    active: Option<usize>,
+    locs: Vec<Loc>,
+    pub failure: Option<String>,
+    steps: u64,
+    max_steps: u64,
+    max_threads: usize,
+    sc_clock: VClock,
+    /// OS threads still running (virtual threads whose wrapper has not
+    /// returned); the driver waits for 0 before reusing the runtime.
+    pub live: usize,
+}
+
+impl Exec {
+    fn new() -> Exec {
+        Exec {
+            exec_id: 0,
+            mode: Mode::Dfs,
+            choices: Vec::new(),
+            depth: 0,
+            threads: Vec::new(),
+            active: None,
+            locs: Vec::new(),
+            failure: None,
+            steps: 0,
+            max_steps: 0,
+            max_threads: 0,
+            sc_clock: VClock::default(),
+            live: 0,
+        }
+    }
+
+    /// Prepares the state for one execution.
+    pub(crate) fn reset(
+        &mut self,
+        mode: Mode,
+        choices: Vec<Choice>,
+        max_steps: u64,
+        max_threads: usize,
+    ) {
+        self.exec_id = EXEC_IDS.fetch_add(1, StdOrdering::Relaxed);
+        self.mode = mode;
+        self.choices = choices;
+        self.depth = 0;
+        self.threads.clear();
+        self.active = None;
+        self.locs.clear();
+        self.failure = None;
+        self.steps = 0;
+        self.max_steps = max_steps;
+        self.max_threads = max_threads;
+        self.sc_clock = VClock::default();
+        self.live = 0;
+    }
+
+    /// The unified decision hook: every scheduling choice and every
+    /// load-visibility choice funnels through here. `n == 1` is not a
+    /// decision and is not recorded, which keeps traces minimal.
+    pub(crate) fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if n <= 1 {
+            return 0;
+        }
+        let chosen = match self.mode {
+            Mode::Dfs | Mode::Replay => {
+                if self.depth < self.choices.len() {
+                    let c = self.choices[self.depth];
+                    if c.options != n as u32 {
+                        self.fail(format!(
+                            "non-deterministic harness: choice point {} had {} options on \
+                             a previous run but {} now (model closures must be deterministic)",
+                            self.depth, c.options, n
+                        ));
+                        return 0;
+                    }
+                    c.chosen as usize
+                } else if matches!(self.mode, Mode::Replay) {
+                    // Past the recorded trace: the run being replayed
+                    // ended here; defaulting keeps replay total.
+                    0
+                } else {
+                    self.choices.push(Choice {
+                        options: n as u32,
+                        chosen: 0,
+                    });
+                    0
+                }
+            }
+            Mode::Random(ref mut state) => {
+                // SplitMix64 step, inlined to keep the shim dependency-free.
+                *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let chosen = (z % n as u64) as usize;
+                self.choices.push(Choice {
+                    options: n as u32,
+                    chosen: chosen as u32,
+                });
+                chosen
+            }
+        };
+        self.depth += 1;
+        if chosen >= n {
+            self.fail(format!(
+                "trace corrupt: choice {chosen} out of {n} options at point {}",
+                self.depth - 1
+            ));
+            return 0;
+        }
+        chosen
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.active = None;
+    }
+
+    /// Registers a fresh virtual thread whose clock starts as a copy of
+    /// the parent's (spawn is a happens-before edge).
+    fn register_thread(&mut self, parent: Option<usize>) -> usize {
+        let tid = self.threads.len();
+        let clock = match parent {
+            Some(p) => {
+                let mut c = self.threads[p].clock.clone();
+                c.incr(tid);
+                c
+            }
+            None => VClock::default(),
+        };
+        self.threads.push(ThreadSt {
+            state: Run::Runnable,
+            clock,
+            floors: Vec::new(),
+        });
+        tid
+    }
+
+    /// Registers a fresh shared-memory location with an initial store
+    /// visible to (and happens-before) every thread.
+    pub(crate) fn new_loc(&mut self, mutex: bool, initial: u64) -> usize {
+        let id = self.locs.len();
+        self.locs.push(Loc {
+            kind: if mutex {
+                LocKind::Mutex { held_by: None }
+            } else {
+                LocKind::Atomic
+            },
+            stores: vec![Store {
+                val: initial,
+                release: Some(VClock::default()),
+                by: INIT_WRITER,
+                at: 0,
+            }],
+        });
+        id
+    }
+
+    /// `true` when `store` happens-before thread `tid`'s current point.
+    fn store_hb(&self, store: &Store, tid: usize) -> bool {
+        store.by == INIT_WRITER || self.threads[tid].clock.get(store.by) >= store.at
+    }
+
+    fn floor(&mut self, tid: usize, loc: usize) -> usize {
+        let floors = &mut self.threads[tid].floors;
+        if floors.len() <= loc {
+            floors.resize(loc + 1, 0);
+        }
+        floors[loc]
+    }
+
+    fn set_floor(&mut self, tid: usize, loc: usize, idx: usize) {
+        let floors = &mut self.threads[tid].floors;
+        if floors.len() <= loc {
+            floors.resize(loc + 1, 0);
+        }
+        if floors[loc] < idx {
+            floors[loc] = idx;
+        }
+    }
+
+    fn is_acquire(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_release(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// An atomic load: compute the observable window, let the explorer
+    /// pick a store from it, apply coherence + synchronization effects.
+    pub(crate) fn atomic_load(&mut self, tid: usize, loc: usize, ord: Ordering) -> u64 {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let mut lo = self.floor(tid, loc);
+        // Coherence: a load cannot observe a store older than the last
+        // one that happens-before it.
+        for (i, s) in self.locs[loc].stores.iter().enumerate().skip(lo) {
+            if self.store_hb(s, tid) && i > lo {
+                lo = i;
+            }
+        }
+        let hi = self.locs[loc].stores.len() - 1;
+        debug_assert!(lo <= hi);
+        // Newest-first so the default (choice 0) is the naive
+        // sequentially-consistent execution and staleness is explored
+        // as alternatives.
+        let idx = hi - self.choose(hi - lo + 1);
+        let (val, release) = {
+            let s = &self.locs[loc].stores[idx];
+            (s.val, s.release.clone())
+        };
+        self.set_floor(tid, loc, idx);
+        if Exec::is_acquire(ord) {
+            if let Some(rel) = release {
+                self.threads[tid].clock.join(&rel);
+            }
+        }
+        if ord == Ordering::SeqCst {
+            let clock = self.threads[tid].clock.clone();
+            self.sc_clock.join(&clock);
+        }
+        val
+    }
+
+    /// An atomic store: append to modification order, publish the clock
+    /// when `Release` or stronger.
+    pub(crate) fn atomic_store(&mut self, tid: usize, loc: usize, val: u64, ord: Ordering) {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let at = self.threads[tid].clock.get(tid);
+        let release = if Exec::is_release(ord) {
+            Some(self.threads[tid].clock.clone())
+        } else {
+            None
+        };
+        self.locs[loc].stores.push(Store {
+            val,
+            release,
+            by: tid,
+            at,
+        });
+        let idx = self.locs[loc].stores.len() - 1;
+        self.set_floor(tid, loc, idx);
+        if ord == Ordering::SeqCst {
+            let clock = self.threads[tid].clock.clone();
+            self.sc_clock.join(&clock);
+        }
+    }
+
+    /// A read-modify-write: observes the *latest* store (C11 atomicity),
+    /// applies `f`, appends the result. Returns the observed value.
+    pub(crate) fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let idx = self.locs[loc].stores.len() - 1;
+        let (old, release) = {
+            let s = &self.locs[loc].stores[idx];
+            (s.val, s.release.clone())
+        };
+        self.set_floor(tid, loc, idx);
+        if Exec::is_acquire(ord) {
+            if let Some(rel) = release {
+                self.threads[tid].clock.join(&rel);
+            }
+        }
+        if let Some(new) = f(old) {
+            let at = self.threads[tid].clock.get(tid);
+            let release = if Exec::is_release(ord) {
+                Some(self.threads[tid].clock.clone())
+            } else {
+                None
+            };
+            self.locs[loc].stores.push(Store {
+                val: new,
+                release,
+                by: tid,
+                at,
+            });
+            let idx = self.locs[loc].stores.len() - 1;
+            self.set_floor(tid, loc, idx);
+        }
+        if ord == Ordering::SeqCst {
+            let clock = self.threads[tid].clock.clone();
+            self.sc_clock.join(&clock);
+        }
+        old
+    }
+
+    /// Scheduling decision: pick the next active thread among the
+    /// runnable ones (a choice point when more than one is), detect
+    /// deadlock and completion.
+    fn advance(&mut self) {
+        if self.failure.is_some() {
+            self.active = None;
+            return;
+        }
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if self.threads.iter().all(|t| t.state == Run::Finished) {
+                self.active = None; // execution complete
+            } else {
+                let stuck: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t.state {
+                        Run::Blocked(Block::Join(on)) => {
+                            Some(format!("thread {i} joining thread {on}"))
+                        }
+                        Run::Blocked(Block::Lock(loc)) => {
+                            Some(format!("thread {i} waiting for mutex #{loc}"))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                self.fail(format!("deadlock: {}", stuck.join(", ")));
+            }
+            return;
+        }
+        let i = self.choose(runnable.len());
+        if self.failure.is_some() {
+            return;
+        }
+        self.active = Some(runnable[i]);
+    }
+}
+
+/// What a synchronization operation asks the scheduler to do.
+pub(crate) enum Step<R> {
+    /// The operation completed with this result.
+    Done(R),
+    /// The operation cannot proceed; park until woken.
+    Block(Block),
+}
+
+/// The shared runtime handle: one per [`crate::model::Builder`] run,
+/// cloned into every virtual thread.
+pub(crate) struct Rt {
+    state: Mutex<Exec>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's model context, if it is a virtual thread.
+pub(crate) fn ctx() -> Option<(Arc<Rt>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// `true` on virtual (model) threads — used by the panic filter.
+pub(crate) fn in_model_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn set_ctx(v: Option<(Arc<Rt>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+impl Rt {
+    pub(crate) fn new() -> Arc<Rt> {
+        Arc::new(Rt {
+            state: Mutex::new(Exec::new()),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Exec> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// One driver-side wait for execution progress; returns the guard
+    /// and whether the watchdog timed out.
+    pub(crate) fn wait_done<'a>(&'a self, g: MutexGuard<'a, Exec>) -> (MutexGuard<'a, Exec>, bool) {
+        let (ng, timeout) = self
+            .cv
+            .wait_timeout(g, PARK_TIMEOUT)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (ng, timeout.timed_out())
+    }
+
+    /// Parks until `tid` holds the baton; panics with [`Abort`] when the
+    /// execution has failed (tearing the thread down).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Exec>,
+        tid: usize,
+    ) -> MutexGuard<'a, Exec> {
+        loop {
+            if g.failure.is_some() {
+                drop(g);
+                std::panic::panic_any(Abort);
+            }
+            if g.active == Some(tid) {
+                return g;
+            }
+            let (ng, timeout) = self
+                .cv
+                .wait_timeout(g, PARK_TIMEOUT)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = ng;
+            if timeout.timed_out() && g.active != Some(tid) && g.failure.is_none() {
+                g.fail(format!("internal: thread {tid} starved (lost wakeup)"));
+                self.notify();
+            }
+        }
+    }
+
+    /// Runs one synchronization operation for the calling virtual
+    /// thread: wait for the baton, perform (or block and retry), then
+    /// hand the baton back through a scheduling decision.
+    pub(crate) fn yield_op<R>(
+        self: &Arc<Rt>,
+        tid: usize,
+        mut f: impl FnMut(&mut Exec, usize) -> Step<R>,
+    ) -> R {
+        let mut g = self.lock();
+        loop {
+            g = self.wait_for_turn(g, tid);
+            g.steps += 1;
+            if g.steps > g.max_steps {
+                let max = g.max_steps;
+                g.fail(format!(
+                    "step bound exceeded ({max} synchronization operations): \
+                     livelock, or raise Builder::max_steps"
+                ));
+                self.notify();
+                continue; // next wait_for_turn sees the failure and aborts
+            }
+            g.threads[tid].clock.incr(tid);
+            match f(&mut g, tid) {
+                Step::Done(r) => {
+                    g.advance();
+                    self.notify();
+                    g = self.wait_for_turn(g, tid);
+                    drop(g);
+                    return r;
+                }
+                Step::Block(reason) => {
+                    g.threads[tid].state = Run::Blocked(reason);
+                    g.advance();
+                    self.notify();
+                    // Parked until a wake makes us Runnable *and* the
+                    // scheduler picks us again; then retry the op.
+                }
+            }
+        }
+    }
+
+    /// Registers and starts the root virtual thread (tid 0).
+    pub(crate) fn start_root(self: &Arc<Rt>, body: impl FnOnce() + Send + 'static) {
+        let mut g = self.lock();
+        let tid = g.register_thread(None);
+        debug_assert_eq!(tid, 0);
+        g.live += 1;
+        drop(g);
+        let rt = Arc::clone(self);
+        std::thread::spawn(move || run_virtual(rt, 0, body));
+        // Kick off: schedule the first (only) thread.
+        let mut g = self.lock();
+        g.advance();
+        self.notify();
+    }
+
+    /// Spawns a child virtual thread from the currently active thread.
+    /// Registration happens inline (serialized); the spawn itself is a
+    /// scheduling point.
+    pub(crate) fn spawn_child(
+        self: &Arc<Rt>,
+        parent: usize,
+        body: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let child = {
+            let mut g = self.lock();
+            if g.threads.len() >= g.max_threads {
+                let max = g.max_threads;
+                g.fail(format!("thread bound exceeded (max_threads = {max})"));
+                self.notify();
+                drop(g);
+                std::panic::panic_any(Abort);
+            }
+            let child = g.register_thread(Some(parent));
+            g.live += 1;
+            child
+        };
+        let rt = Arc::clone(self);
+        std::thread::spawn(move || run_virtual(rt, child, body));
+        // The spawn is a synchronization event: give the scheduler a
+        // chance to run the child (or anyone else) before the parent
+        // continues.
+        self.yield_op(parent, |_, _| Step::Done(()));
+        child
+    }
+
+    /// Blocks until `target` finishes, establishing the join
+    /// happens-before edge.
+    pub(crate) fn join_thread(self: &Arc<Rt>, tid: usize, target: usize) {
+        self.yield_op(tid, |g, me| {
+            if g.threads[target].state == Run::Finished {
+                let tclock = g.threads[target].clock.clone();
+                g.threads[me].clock.join(&tclock);
+                Step::Done(())
+            } else {
+                Step::Block(Block::Join(target))
+            }
+        });
+    }
+
+    /// Marks `tid` finished, wakes its joiners, reschedules.
+    fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        let mut g = self.lock();
+        g.threads[tid].state = Run::Finished;
+        if let Some(msg) = panic_msg {
+            if g.failure.is_none() {
+                g.failure = Some(format!("thread {tid} panicked: {msg}"));
+            }
+        }
+        for t in g.threads.iter_mut() {
+            if t.state == Run::Blocked(Block::Join(tid)) {
+                t.state = Run::Runnable;
+            }
+        }
+        g.advance();
+        g.live -= 1;
+        self.notify();
+    }
+
+    /// Mutex acquire as a blocking op with the release-clock handoff.
+    pub(crate) fn mutex_lock(self: &Arc<Rt>, tid: usize, loc: usize) {
+        self.yield_op(tid, |g, me| {
+            match &mut g.locs[loc].kind {
+                LocKind::Mutex { held_by } => {
+                    if held_by.is_some() {
+                        return Step::Block(Block::Lock(loc));
+                    }
+                    *held_by = Some(me);
+                }
+                LocKind::Atomic => unreachable!("lock on an atomic location"),
+            }
+            // Synchronize with the previous unlock (or construction).
+            if let Some(rel) = g.locs[loc].stores.last().and_then(|s| s.release.clone()) {
+                g.threads[me].clock.join(&rel);
+            }
+            Step::Done(())
+        });
+    }
+
+    /// Mutex release: publish the clock, wake waiters.
+    pub(crate) fn mutex_unlock(self: &Arc<Rt>, tid: usize, loc: usize) {
+        self.yield_op(tid, |g, me| {
+            match &mut g.locs[loc].kind {
+                LocKind::Mutex { held_by } => {
+                    debug_assert_eq!(*held_by, Some(me), "unlock by non-owner");
+                    *held_by = None;
+                }
+                LocKind::Atomic => unreachable!("unlock on an atomic location"),
+            }
+            let at = g.threads[me].clock.get(me);
+            let release = Some(g.threads[me].clock.clone());
+            g.locs[loc].stores.push(Store {
+                val: 0,
+                release,
+                by: me,
+                at,
+            });
+            for t in g.threads.iter_mut() {
+                if t.state == Run::Blocked(Block::Lock(loc)) {
+                    t.state = Run::Runnable;
+                }
+            }
+            Step::Done(())
+        });
+    }
+}
+
+/// The OS-thread wrapper around one virtual thread's body.
+fn run_virtual(rt: Arc<Rt>, tid: usize, body: impl FnOnce()) {
+    set_ctx(Some((Arc::clone(&rt), tid)));
+    // Wait to be scheduled for the first time.
+    let first = {
+        let g = rt.lock();
+        let mut aborted = false;
+        let g2 = {
+            // Inline wait_for_turn, but catching the failure case
+            // without panicking (nothing to unwind yet).
+            let mut g = g;
+            loop {
+                if g.failure.is_some() {
+                    aborted = true;
+                    break;
+                }
+                if g.active == Some(tid) {
+                    break;
+                }
+                let (ng, _) = rt
+                    .cv
+                    .wait_timeout(g, PARK_TIMEOUT)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                g = ng;
+            }
+            g
+        };
+        drop(g2);
+        !aborted
+    };
+    let panic_msg = if first {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+            Ok(()) => None,
+            Err(payload) => {
+                if payload.is::<Abort>() {
+                    None // teardown of an already-failed execution
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    Some((*s).to_string())
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    Some(s.clone())
+                } else {
+                    Some("panic with non-string payload".to_string())
+                }
+            }
+        }
+    } else {
+        None
+    };
+    rt.finish_thread(tid, panic_msg);
+    set_ctx(None);
+}

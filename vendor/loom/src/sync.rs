@@ -1,0 +1,333 @@
+//! Model-aware drop-ins for `std::sync` primitives.
+//!
+//! Each type carries a plain `std` primitive *and* a lazily registered
+//! model location. On a virtual thread (inside [`crate::model()`]) every
+//! operation becomes a scheduler yield point routed through the
+//! store-history memory model; outside a model run the types behave
+//! exactly like their `std` counterparts — so code compiled against
+//! the facade keeps working even on paths the checker does not drive.
+//!
+//! Location registration is keyed by execution id: the same object
+//! observed in a fresh schedule re-registers with its construction-time
+//! value, which is what resets shared state between explored schedules.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+use crate::rt::{ctx, Exec, Step};
+
+/// Memory orderings — re-exported from `std` so facade call sites keep
+/// their `Ordering::Release` spellings under the model.
+pub use std::sync::atomic::Ordering;
+
+/// Atomic types instrumented for schedule exploration.
+pub mod atomic {
+    pub use super::Ordering;
+    pub use super::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+}
+
+/// Reference counting needs no instrumentation (its internal counter
+/// races are `std`'s concern, not the checked kernels'), so `Arc` is
+/// the real one.
+pub use std::sync::Arc;
+
+/// Lock outcome alias, matching `std::sync` (model mutexes never
+/// poison: a panicking schedule aborts the whole execution instead).
+pub use std::sync::{LockResult, PoisonError};
+
+/// Shared location metadata: `(execution id, location id)` packed into
+/// two plain atomics. Only virtual threads touch these, and virtual
+/// threads are serialized, so `Relaxed` is enough.
+#[derive(Debug, Default)]
+struct Meta {
+    exec: StdAtomicU64,
+    loc: StdAtomicU64,
+}
+
+impl Meta {
+    const fn new() -> Meta {
+        Meta {
+            exec: StdAtomicU64::new(0),
+            loc: StdAtomicU64::new(0),
+        }
+    }
+
+    /// The object's location in the current execution, registering it
+    /// (with `initial` as the first store) on first contact.
+    fn loc(&self, exec: &mut Exec, mutex: bool, initial: u64) -> usize {
+        if self.exec.load(StdOrdering::Relaxed) == exec.exec_id {
+            return self.loc.load(StdOrdering::Relaxed) as usize;
+        }
+        let loc = exec.new_loc(mutex, initial);
+        self.loc.store(loc as u64, StdOrdering::Relaxed);
+        self.exec.store(exec.exec_id, StdOrdering::Relaxed);
+        loc
+    }
+}
+
+macro_rules! instrumented_atomic {
+    ($name:ident, $prim:ty, $std:ty, $to:expr, $from:expr) => {
+        /// Instrumented atomic: routed through the model on virtual
+        /// threads, plain `std` otherwise.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            std: $std,
+            meta: Meta,
+        }
+
+        impl $name {
+            /// Creates a new atomic with `v` as the initial value.
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    std: <$std>::new(v),
+                    meta: Meta::new(),
+                }
+            }
+
+            fn with_loc<R>(&self, f: impl FnMut(&mut Exec, usize, usize) -> R) -> Option<R> {
+                let (rt, tid) = ctx()?;
+                let mut f = f;
+                Some(rt.yield_op(tid, |g, t| {
+                    let to: fn($prim) -> u64 = $to;
+                    let loc = self
+                        .meta
+                        .loc(g, false, to(self.std.load(StdOrdering::Relaxed)));
+                    Step::Done(f(g, t, loc))
+                }))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                let from: fn(u64) -> $prim = $from;
+                match self.with_loc(|g, t, loc| g.atomic_load(t, loc, ord)) {
+                    Some(v) => from(v),
+                    None => self.std.load(ord),
+                }
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                let to: fn($prim) -> u64 = $to;
+                match self.with_loc(|g, t, loc| g.atomic_store(t, loc, to(v), ord)) {
+                    Some(()) => {}
+                    None => self.std.store(v, ord),
+                }
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                let to: fn($prim) -> u64 = $to;
+                let from: fn(u64) -> $prim = $from;
+                match self.with_loc(|g, t, loc| g.atomic_rmw(t, loc, ord, |_| Some(to(v)))) {
+                    Some(old) => from(old),
+                    None => self.std.swap(v, ord),
+                }
+            }
+
+            /// Compare-and-exchange; `Ok(previous)` on success.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let to: fn($prim) -> u64 = $to;
+                let from: fn(u64) -> $prim = $from;
+                match self.with_loc(|g, t, loc| {
+                    g.atomic_rmw(t, loc, success, |old| (old == to(current)).then(|| to(new)))
+                }) {
+                    Some(old) => {
+                        if from(old) == current {
+                            Ok(current)
+                        } else {
+                            Err(from(old))
+                        }
+                    }
+                    None => self.std.compare_exchange(current, new, success, _failure),
+                }
+            }
+
+            /// Consumes the atomic, returning the value. Outside the
+            /// model this is exact; under the model it reads the latest
+            /// store (callers hold `&mut`, so the location is quiescent).
+            pub fn into_inner(self) -> $prim {
+                let from: fn(u64) -> $prim = $from;
+                match self.with_loc(|g, t, loc| g.atomic_load(t, loc, Ordering::SeqCst)) {
+                    Some(v) => from(v),
+                    None => self.std.into_inner(),
+                }
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> $name {
+                $name::new(v)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(
+    AtomicBool,
+    bool,
+    std::sync::atomic::AtomicBool,
+    |v| v as u64,
+    |v| v != 0
+);
+instrumented_atomic!(
+    AtomicU32,
+    u32,
+    std::sync::atomic::AtomicU32,
+    |v| v as u64,
+    |v| v as u32
+);
+instrumented_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64, |v| v, |v| v);
+instrumented_atomic!(
+    AtomicUsize,
+    usize,
+    std::sync::atomic::AtomicUsize,
+    |v| v as u64,
+    |v| v as usize
+);
+
+macro_rules! atomic_arith {
+    ($name:ident, $prim:ty, $to:expr, $from:expr) => {
+        impl $name {
+            /// Adds to the value (wrapping), returning the previous one.
+            pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                let to: fn($prim) -> u64 = $to;
+                let from: fn(u64) -> $prim = $from;
+                match self.with_loc(|g, t, loc| {
+                    g.atomic_rmw(t, loc, ord, |old| Some(to(from(old).wrapping_add(v))))
+                }) {
+                    Some(old) => from(old),
+                    None => self.std.fetch_add(v, ord),
+                }
+            }
+        }
+    };
+}
+
+atomic_arith!(AtomicU32, u32, |v| v as u64, |v| v as u32);
+atomic_arith!(AtomicU64, u64, |v| v, |v| v);
+atomic_arith!(AtomicUsize, usize, |v| v as u64, |v| v as usize);
+
+impl AtomicBool {
+    /// Logical OR, returning the previous value.
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        match self
+            .with_loc(|g, t, loc| g.atomic_rmw(t, loc, ord, |old| Some(((old != 0) | v) as u64)))
+        {
+            Some(old) => old != 0,
+            None => self.std.fetch_or(v, ord),
+        }
+    }
+}
+
+/// Instrumented mutex: acquisition order is a scheduling decision,
+/// lock/unlock transfer happens-before through the release clock, and
+/// circular waits surface as deadlock failures.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    std: std::sync::Mutex<T>,
+    meta: Meta,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `t`.
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            std: std::sync::Mutex::new(t),
+            meta: Meta::new(),
+        }
+    }
+
+    /// Acquires the mutex; the returned result is always `Ok` under the
+    /// model (a panicking schedule fails the whole execution instead of
+    /// poisoning).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            Some((rt, tid)) => {
+                let loc = {
+                    let mut g = rt.lock();
+                    self.meta.loc(&mut g, true, 0)
+                };
+                rt.mutex_lock(tid, loc);
+                let inner = self
+                    .std
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                Ok(MutexGuard {
+                    inner: Some(inner),
+                    model: Some((self, loc)),
+                })
+            }
+            None => match self.std.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(poison.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.std.into_inner() {
+            Ok(v) => Ok(v),
+            Err(poison) => Err(PoisonError::new(poison.into_inner())),
+        }
+    }
+
+    /// Mutable access without locking (callers hold `&mut`).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        match self.std.get_mut() {
+            Ok(v) => Ok(v),
+            Err(poison) => Err(PoisonError::new(poison.into_inner())),
+        }
+    }
+}
+
+/// Guard for an instrumented [`Mutex`]; releasing is a yield point.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(&'a Mutex<T>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data before the model unlock so the next owner
+        // (scheduled inside `mutex_unlock`) finds the std mutex free.
+        self.inner = None;
+        if let Some((mx, loc)) = self.model {
+            if let Some((rt, tid)) = ctx() {
+                // A guard dropped while the execution is tearing down
+                // (Abort unwinding) must not re-enter the scheduler:
+                // that would panic inside a panic.
+                let failed = rt.lock().failure.is_some();
+                if !failed {
+                    rt.mutex_unlock(tid, loc);
+                }
+                let _ = mx;
+            }
+        }
+    }
+}

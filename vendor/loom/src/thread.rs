@@ -1,0 +1,86 @@
+//! Model-aware replacements for `std::thread` spawning.
+//!
+//! On a virtual thread (inside [`crate::model()`]) `spawn` creates another
+//! *virtual* thread driven by the schedule explorer; outside a model run
+//! it is plain `std::thread::spawn`. `yield_now` and `sleep` become pure
+//! scheduling points under the model — a sleep's duration is irrelevant
+//! to which interleavings exist, only its position in the schedule is.
+
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+use crate::rt::{ctx, Rt, Step};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        rt: Arc<Rt>,
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (virtual or real) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Under the model this blocks the calling *virtual* thread (a
+    /// scheduling point that establishes the join happens-before edge);
+    /// if the joined thread panicked, the whole execution has already
+    /// failed and this call unwinds as part of the teardown.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { rt, tid, slot } => {
+                let me = ctx()
+                    .map(|(_, t)| t)
+                    .expect("model JoinHandle joined outside the model run");
+                rt.join_thread(me, tid);
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread finished without a result")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread — virtual when called from inside a model run, a
+/// real `std::thread` otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        Some((rt, me)) => {
+            let slot = Arc::new(StdMutex::new(None));
+            let out = Arc::clone(&slot);
+            let tid = rt.spawn_child(me, move || {
+                let v = f();
+                *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            });
+            JoinHandle(Inner::Model { rt, tid, slot })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// Yields: a pure scheduling point under the model.
+pub fn yield_now() {
+    match ctx() {
+        Some((rt, tid)) => rt.yield_op(tid, |_, _| Step::Done(())),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Sleeps: under the model the duration is ignored — only the schedule
+/// position matters, and the explorer already enumerates those.
+pub fn sleep(dur: Duration) {
+    match ctx() {
+        Some((rt, tid)) => rt.yield_op(tid, |_, _| Step::Done(())),
+        None => std::thread::sleep(dur),
+    }
+}

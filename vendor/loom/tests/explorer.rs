@@ -1,0 +1,326 @@
+//! Behavioral tests for the vendored schedule explorer: exhaustiveness,
+//! bug detection (races, weak memory, deadlock), trace round-trip, and
+//! the random-fallback / exploration-floor knobs.
+
+use std::sync::atomic::{AtomicUsize as StdUsize, Ordering as StdOrdering};
+
+use loom::model::{Builder, Trace};
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// Two RMW increments never lose an update, under any schedule — and a
+/// 2-thread, 2-op state space is fully enumerable.
+#[test]
+fn exhaustive_rmw_increments() {
+    let report = Builder::new()
+        .check_result(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = loom::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        })
+        .expect("RMW increments must not lose updates");
+    assert!(report.exhausted, "small state space should be exhausted");
+    assert!(report.schedules >= 2, "both interleavings must be explored");
+}
+
+/// A split load-then-store "increment" CAN lose an update; the explorer
+/// must find the interleaving that proves it.
+#[test]
+fn detects_lost_update() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = loom::thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect_err("split increment must lose an update in some schedule");
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+}
+
+/// Message passing with Release/Acquire is sound: observing the flag
+/// implies observing the data.
+#[test]
+fn message_passing_release_acquire_holds() {
+    Builder::new()
+        .check_result(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = loom::thread::spawn(move || {
+                d.store(42, Ordering::Relaxed);
+                f.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "flag without data");
+            }
+            t.join().unwrap();
+        })
+        .expect("Release/Acquire message passing must hold");
+}
+
+/// The same pattern with Relaxed on both sides is broken — the reader
+/// may see the flag but stale data. This is the property that makes
+/// dropped-`Release` mutations detectable (satellite 3's mechanism).
+#[test]
+fn message_passing_relaxed_fails() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = loom::thread::spawn(move || {
+                d.store(42, Ordering::Relaxed);
+                f.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "flag without data");
+            }
+            t.join().unwrap();
+        })
+        .expect_err("Relaxed message passing must be caught");
+    assert!(
+        failure.message.contains("flag without data"),
+        "{}",
+        failure.message
+    );
+}
+
+/// Mutexes provide mutual exclusion and a happens-before edge: a
+/// lock-protected split increment is correct.
+#[test]
+fn mutex_excludes() {
+    Builder::new()
+        .check_result(|| {
+            let n = Arc::new(Mutex::new(0usize));
+            let n2 = Arc::clone(&n);
+            let t = loom::thread::spawn(move || {
+                let mut g = n2.lock().unwrap();
+                *g += 1;
+            });
+            {
+                let mut g = n.lock().unwrap();
+                *g += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*n.lock().unwrap(), 2);
+        })
+        .expect("mutex-protected increments must not race");
+}
+
+/// ABBA lock ordering deadlocks in some schedule; the explorer reports
+/// it instead of hanging.
+#[test]
+fn detects_deadlock() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = loom::thread::spawn(move || {
+                let _g1 = b2.lock().unwrap();
+                let _g2 = a2.lock().unwrap();
+            });
+            let _g1 = a.lock().unwrap();
+            let _g2 = b.lock().unwrap();
+            drop(_g2);
+            drop(_g1);
+            t.join().unwrap();
+        })
+        .expect_err("ABBA locking must deadlock in some schedule");
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+}
+
+/// Single-location reads are coherent: a thread never observes values
+/// moving backwards in modification order.
+#[test]
+fn reads_are_coherent() {
+    Builder::new()
+        .check_result(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = loom::thread::spawn(move || {
+                n2.store(1, Ordering::Relaxed);
+                n2.store(2, Ordering::Relaxed);
+            });
+            let first = n.load(Ordering::Relaxed);
+            let second = n.load(Ordering::Relaxed);
+            assert!(
+                second >= first,
+                "reads went backwards: {first} then {second}"
+            );
+            t.join().unwrap();
+        })
+        .expect("per-location coherence must hold");
+}
+
+/// Satellite: a failing schedule round-trips through its serialized
+/// trace — parse(to_string(trace)) replays to the same assertion.
+#[test]
+fn trace_replay_round_trip() {
+    // The harness must be a deterministic function of the schedule, so
+    // both the original exploration and the replay share it.
+    fn harness() {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            d.store(7, Ordering::Relaxed);
+            f.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(data.load(Ordering::Relaxed), 7, "stale data after flag");
+        }
+        t.join().unwrap();
+    }
+
+    let b = Builder::new();
+    let failure = b.check_result(harness).expect_err("harness must fail");
+
+    // Serialize → parse: identical trace.
+    let wire = failure.trace.to_string();
+    assert!(wire.starts_with("mc1:"), "wire format prefix: {wire}");
+    let parsed: Trace = wire.parse().expect("serialized trace must parse");
+    assert_eq!(parsed, failure.trace);
+
+    // Replay reproduces the same assertion message deterministically.
+    let replayed = b
+        .replay(&parsed, harness)
+        .expect_err("replaying a failing trace must fail again");
+    assert_eq!(replayed.message, failure.message);
+
+    // And replaying twice is stable.
+    let replayed2 = b
+        .replay(&parsed, harness)
+        .expect_err("replay must be deterministic");
+    assert_eq!(replayed2.message, failure.message);
+}
+
+/// Trace parsing rejects malformed wire strings.
+#[test]
+fn trace_parse_errors() {
+    assert!("2.1,3.0".parse::<Trace>().is_err(), "missing prefix");
+    assert!("mc1:2x1".parse::<Trace>().is_err(), "missing dot");
+    assert!("mc1:1.0".parse::<Trace>().is_err(), "1-option non-decision");
+    assert!("mc1:2.2".parse::<Trace>().is_err(), "choice out of range");
+    let empty: Trace = "mc1:".parse().expect("empty trace is valid");
+    assert!(empty.is_empty());
+}
+
+/// With a DFS budget too small to exhaust the tree, the seeded random
+/// phase still finds the bug — and its trace replays.
+#[test]
+fn random_fallback_finds_bug() {
+    let b = Builder {
+        max_schedules: 2, // far too small for this tree
+        random_schedules: 2_000,
+        ..Builder::new()
+    };
+    fn harness() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n2 = Arc::clone(&n);
+            handles.push(loom::thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    }
+    let failure = b
+        .check_result(harness)
+        .expect_err("random phase must find it");
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+    let replayed = b
+        .replay(&failure.trace, harness)
+        .expect_err("random-found trace must replay");
+    assert_eq!(replayed.message, failure.message);
+}
+
+/// `min_schedules` pads exploration of tiny state spaces up to the
+/// requested floor (harnesses use it for the ≥1k CI guarantee).
+#[test]
+fn min_schedules_floor() {
+    let b = Builder {
+        min_schedules: 1_000,
+        ..Builder::new()
+    };
+    let runs = std::sync::Arc::new(StdUsize::new(0));
+    let r2 = std::sync::Arc::clone(&runs);
+    let report = b
+        .check_result(move || {
+            r2.fetch_add(1, StdOrdering::Relaxed);
+            let n = AtomicUsize::new(1);
+            assert_eq!(n.load(Ordering::Relaxed), 1);
+        })
+        .expect("trivial harness passes");
+    assert!(
+        report.schedules >= 1_000,
+        "floor not met: {}",
+        report.schedules
+    );
+    assert_eq!(runs.load(StdOrdering::Relaxed), report.schedules);
+}
+
+/// The step bound converts unbounded spin loops into a clean failure
+/// instead of a hang.
+#[test]
+fn step_bound_catches_livelock() {
+    let b = Builder {
+        max_steps: 200,
+        max_schedules: 4,
+        random_schedules: 0,
+        ..Builder::new()
+    };
+    let failure = b
+        .check_result(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            // Nobody ever sets the flag: this spin cannot terminate.
+            while !flag.load(Ordering::Acquire) {}
+        })
+        .expect_err("unbounded spin must hit the step bound");
+    assert!(
+        failure.message.contains("step bound"),
+        "{}",
+        failure.message
+    );
+}
+
+/// Outside a model run the types are plain std: no scheduler involved.
+#[test]
+fn std_fallback_outside_model() {
+    let n = AtomicUsize::new(5);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 5);
+    assert_eq!(n.load(Ordering::SeqCst), 7);
+    let b = AtomicBool::new(false);
+    assert!(!b.swap(true, Ordering::SeqCst));
+    assert!(b.load(Ordering::SeqCst));
+    let m = Mutex::new(3);
+    *m.lock().unwrap() += 1;
+    assert_eq!(m.into_inner().unwrap(), 4);
+    let t = loom::thread::spawn(|| 9usize);
+    assert_eq!(t.join().unwrap(), 9);
+}
